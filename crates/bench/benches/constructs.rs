@@ -1,0 +1,27 @@
+//! Criterion bench over the Table 3 construct-throughput harness and the
+//! Appendix A Turing artifacts (an ablation of RedN's building blocks).
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::micro::{if_throughput, recycled_while_throughput};
+use redn_bench::turingbench::appendix_a;
+
+fn bench(c: &mut Criterion) {
+    let f = if_throughput(150).unwrap();
+    let r = recycled_while_throughput(1500).unwrap();
+    println!("table3 if: {f:.2} M/s | while recycled: {r:.2} M/s (simulated)");
+    for row in appendix_a().unwrap() {
+        println!("appendix: {} -> {}", row.label, row.measured);
+    }
+    c.bench_function("table3/if_construct", |b| b.iter(|| if_throughput(50).unwrap()));
+    c.bench_function("table3/while_recycled", |b| {
+        b.iter(|| recycled_while_throughput(300).unwrap())
+    });
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

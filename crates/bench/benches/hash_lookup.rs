@@ -1,0 +1,27 @@
+//! Criterion bench over the Fig 10 / Table 4 hash-lookup harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::hashbench::{hash_throughput, redn_hash_latencies};
+use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_kv::workload::latency_stats;
+
+fn bench(c: &mut Criterion) {
+    let stats = latency_stats(&redn_hash_latencies(64, HashGetVariant::Single, 0, 20).unwrap());
+    println!("table5 RedN 64B: median {:.2} us p99 {:.2} us (simulated)", stats.p50_us, stats.p99_us);
+    let (kops, bn) = hash_throughput(64, 1, 150).unwrap();
+    println!("table4 64B single-port: {kops:.0} K ops/s, bottleneck {bn} (simulated)");
+    c.bench_function("fig10/redn_get_64B", |b| {
+        b.iter(|| redn_hash_latencies(64, HashGetVariant::Single, 0, 3).unwrap())
+    });
+    c.bench_function("table4/throughput_64B", |b| {
+        b.iter(|| hash_throughput(64, 1, 50).unwrap())
+    });
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench over the Fig 13 list-walk harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::listbench::{one_sided_walk, redn_walk};
+
+fn bench(c: &mut Criterion) {
+    let (redn, wrs) = redn_walk(8, false, 4).unwrap();
+    let one = one_sided_walk(8, 4).unwrap();
+    println!("fig13 range 8: RedN {redn:.2} us ({wrs:.0} WRs) vs one-sided {one:.2} us (simulated)");
+    c.bench_function("fig13/redn_range4", |b| b.iter(|| redn_walk(4, false, 2).unwrap()));
+    c.bench_function("fig13/one_sided_range4", |b| b.iter(|| one_sided_walk(4, 2).unwrap()));
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

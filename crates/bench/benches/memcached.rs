@@ -1,0 +1,20 @@
+//! Criterion bench over the Fig 14 Memcached harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::mcbench::memcached_latency;
+
+fn bench(c: &mut Criterion) {
+    let (redn, one, vma) = memcached_latency(64, 6).unwrap();
+    println!(
+        "fig14 64B: RedN {redn:.2} us | one-sided {one:.2} us | VMA {vma:.2} us (simulated)"
+    );
+    c.bench_function("fig14/memcached_64B", |b| b.iter(|| memcached_latency(64, 2).unwrap()));
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

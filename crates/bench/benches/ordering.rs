@@ -1,0 +1,22 @@
+//! Criterion bench over the Fig 8 ordering-mode harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::micro::ordering_chain_latency;
+
+fn bench(c: &mut Criterion) {
+    for (mode, name) in [(0u8, "wq"), (1, "completion"), (2, "doorbell")] {
+        let us = ordering_chain_latency(mode, 50).unwrap();
+        println!("fig8 {name} order, 50 ops: {us:.2} us (simulated)");
+        c.bench_function(&format!("fig8/{name}"), |b| {
+            b.iter(|| ordering_chain_latency(mode, 20).unwrap())
+        });
+    }
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench over the Fig 7 verb-latency harness. The *simulated*
+//! latencies are printed once; criterion measures the harness itself.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::micro::verb_latency;
+use rnic_sim::verbs::Opcode;
+
+fn bench(c: &mut Criterion) {
+    for op in [Opcode::Write, Opcode::Read, Opcode::Cas] {
+        let us = verb_latency(op, 10).unwrap();
+        println!("fig7 {op:?}: {us:.2} us (simulated)");
+        c.bench_function(&format!("fig7/{op:?}"), |b| {
+            b.iter(|| verb_latency(op, 3).unwrap())
+        });
+    }
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench over the Table 1 / Table 3 throughput harness.
+use criterion::{criterion_group, criterion_main, Criterion};
+use redn_bench::micro::verb_throughput;
+use rnic_sim::config::Generation;
+use rnic_sim::verbs::Opcode;
+
+fn bench(c: &mut Criterion) {
+    for (op, label) in [(Opcode::Write, "write"), (Opcode::Cas, "cas")] {
+        let m = verb_throughput(Generation::ConnectX5, op, 32, 400).unwrap();
+        println!("table3 {label}: {m:.1} M ops/s (simulated)");
+        c.bench_function(&format!("table3/{label}"), |b| {
+            b.iter(|| verb_throughput(Generation::ConnectX5, op, 16, 100).unwrap())
+        });
+    }
+}
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

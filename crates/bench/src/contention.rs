@@ -1,0 +1,57 @@
+//! Performance isolation sweep: Fig 15 (paper §5.5).
+
+use rnic_sim::error::Result;
+
+use redn_kv::isolation::{run_contention, IsolationPoint, ReaderPath};
+
+/// Fig 15 rows: per writer count, the reader's (avg, p99) for both paths.
+pub struct Fig15Row {
+    /// Number of writer clients.
+    pub writers: usize,
+    /// RedN reader stats.
+    pub redn: IsolationPoint,
+    /// Two-sided reader stats.
+    pub two_sided: IsolationPoint,
+}
+
+/// The writer counts the paper sweeps.
+pub const WRITER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Run the sweep with `reads` gets per point.
+pub fn fig15(reads: usize) -> Result<Vec<Fig15Row>> {
+    let mut rows = Vec::new();
+    for &w in &WRITER_COUNTS {
+        rows.push(Fig15Row {
+            writers: w,
+            redn: run_contention(w, reads, ReaderPath::RedN)?,
+            two_sided: run_contention(w, reads, ReaderPath::TwoSided)?,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_ratio_grows_with_writers() {
+        let one = Fig15Row {
+            writers: 1,
+            redn: run_contention(1, 25, ReaderPath::RedN).unwrap(),
+            two_sided: run_contention(1, 25, ReaderPath::TwoSided).unwrap(),
+        };
+        let sixteen = Fig15Row {
+            writers: 16,
+            redn: run_contention(16, 25, ReaderPath::RedN).unwrap(),
+            two_sided: run_contention(16, 25, ReaderPath::TwoSided).unwrap(),
+        };
+        // The paper's headline: at 16 writers RedN's p99 is ~35x below
+        // the two-sided baseline. Require a large, growing gap.
+        let ratio_1 = one.two_sided.stats.p99_us / one.redn.stats.p99_us;
+        let ratio_16 = sixteen.two_sided.stats.p99_us / sixteen.redn.stats.p99_us;
+        assert!(ratio_16 > ratio_1, "isolation gap must grow: {ratio_1} -> {ratio_16}");
+        assert!(ratio_16 > 5.0, "p99 isolation ratio at 16 writers: {ratio_16}");
+        assert!(sixteen.redn.stats.p99_us < 10.0, "RedN p99 {}", sixteen.redn.stats.p99_us);
+    }
+}

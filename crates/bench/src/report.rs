@@ -1,0 +1,106 @@
+//! Table formatting for paper-vs-measured output.
+
+/// One row of a comparison table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (verb name, value size, ...).
+    pub label: String,
+    /// Measured (simulated) value, formatted.
+    pub measured: String,
+    /// The paper's value, formatted ("—" when the paper gives none).
+    pub paper: String,
+    /// Optional note (bottleneck name, deviation, ...).
+    pub note: String,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        measured: impl Into<String>,
+        paper: impl Into<String>,
+        note: impl Into<String>,
+    ) -> Row {
+        Row {
+            label: label.into(),
+            measured: measured.into(),
+            paper: paper.into(),
+            note: note.into(),
+        }
+    }
+}
+
+/// Render a comparison table to stdout.
+pub fn print_table(title: &str, columns: [&str; 4], rows: &[Row]) {
+    println!("\n## {title}");
+    let mut w = [columns[0].len(), columns[1].len(), columns[2].len(), columns[3].len()];
+    for r in rows {
+        w[0] = w[0].max(r.label.len());
+        w[1] = w[1].max(r.measured.len());
+        w[2] = w[2].max(r.paper.len());
+        w[3] = w[3].max(r.note.len());
+    }
+    println!(
+        "{:<w0$}  {:>w1$}  {:>w2$}  {:<w3$}",
+        columns[0], columns[1], columns[2], columns[3],
+        w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3]
+    );
+    println!("{}", "-".repeat(w.iter().sum::<usize>() + 6));
+    for r in rows {
+        println!(
+            "{:<w0$}  {:>w1$}  {:>w2$}  {:<w3$}",
+            r.label, r.measured, r.paper, r.note,
+            w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3]
+        );
+    }
+}
+
+/// Format microseconds.
+pub fn us(v: f64) -> String {
+    format!("{v:.2} us")
+}
+
+/// Format M ops/s.
+pub fn mops(v: f64) -> String {
+    format!("{v:.2} M/s")
+}
+
+/// Format K ops/s.
+pub fn kops(v: f64) -> String {
+    format!("{v:.0} K/s")
+}
+
+/// Human-readable byte sizes.
+pub fn bytes_label(b: u64) -> String {
+    if b >= 1024 * 1024 {
+        format!("{} MB", b / 1024 / 1024)
+    } else if b >= 1024 {
+        format!("{} KB", b / 1024)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(1.234), "1.23 us");
+        assert_eq!(mops(63.0), "63.00 M/s");
+        assert_eq!(kops(500.4), "500 K/s");
+        assert_eq!(bytes_label(64), "64 B");
+        assert_eq!(bytes_label(4096), "4 KB");
+        assert_eq!(bytes_label(2 * 1024 * 1024), "2 MB");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "Demo",
+            ["a", "b", "c", "d"],
+            &[Row::new("x", "1", "2", "ok")],
+        );
+    }
+}

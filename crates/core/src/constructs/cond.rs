@@ -1,0 +1,515 @@
+//! Conditional branching via self-modifying CAS verbs (paper §3.3, Fig 4).
+//!
+//! The trick: a WQE's opcode and its free-form 48-bit `id` share one
+//! 64-bit header word. Stage the branch body as a `NOOP` whose *other*
+//! fields already describe the action (a NOOP ignores them), inject the
+//! runtime operand `x` into its `id` bits, and aim a CAS at the header:
+//!
+//! ```text
+//! CAS(target = action.header,
+//!     compare = header(NOOP,  y),      // matches iff x == y
+//!     swap    = header(ACTION, y))     // transmutes NOOP -> ACTION
+//! ```
+//!
+//! If `x == y` the header matches and the swap installs the action opcode
+//! — the branch is taken. Otherwise the WQE stays a NOOP — not taken.
+//! Doorbell ordering (WAIT on the CAS completion, then ENABLE the managed
+//! queue holding the action) guarantees the NIC fetches the action *after*
+//! the CAS modified it.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::CqId;
+use rnic_sim::sim::Simulator;
+use rnic_sim::verbs::Opcode;
+use rnic_sim::wqe::WorkRequest;
+
+use crate::builder::{ChainBuilder, Staged, VerbCounts};
+use crate::encode::{cond_compare, cond_swap, operand48, wide_segments, WqeField, OPERAND_BITS};
+
+/// A built `if (x == y) action` construct.
+#[derive(Clone, Copy, Debug)]
+pub struct IfEq {
+    /// The action WQE (staged as a NOOP in the managed queue).
+    pub action: Staged,
+    /// The CAS that implements the branch.
+    pub cas: Staged,
+    /// Where to inject the 48-bit runtime operand `x` (6 bytes,
+    /// little-endian): the action WQE's id field. RECV scatter entries or
+    /// chain WRITEs aim here.
+    pub x_inject_addr: u64,
+    /// Verb accounting for Table 2.
+    pub counts: VerbCounts,
+}
+
+impl IfEq {
+    /// Build the construct.
+    ///
+    /// * `ctrl` — an *unmanaged* control queue carrying the CAS and the
+    ///   ordering verbs. Nothing in it is data-dependent.
+    /// * `actions` — a *managed* queue holding the branch body; its fetch
+    ///   is released by this construct's ENABLE.
+    /// * `y` — the 48-bit comparison constant.
+    /// * `action` — what executes when `x == y` (its opcode is recorded as
+    ///   the transmutation target; the WQE is staged as a NOOP).
+    /// * `trigger` — optional `(cq, count)` the construct should WAIT on
+    ///   before branching (the client-invocation edge of Fig 1).
+    ///
+    /// With a trigger, the verb cost is exactly the paper's Table 2 `if`
+    /// row: 1 copy + 1 atomic + 3 ordering verbs.
+    pub fn build(
+        ctrl: &mut ChainBuilder,
+        actions: &mut ChainBuilder,
+        y: u64,
+        action: WorkRequest,
+        trigger: Option<(CqId, u64)>,
+    ) -> IfEq {
+        assert!(
+            actions.queue().managed,
+            "the action queue must be managed: the CAS modifies its WQE in place"
+        );
+        let y = operand48(y);
+        let action_op = action.wqe.opcode;
+        assert!(
+            action_op != Opcode::Noop,
+            "the action must be a real verb (it is staged as a NOOP placeholder)"
+        );
+
+        let mut counts = VerbCounts::default();
+        // Branch body: staged as a NOOP carrying the action's operands.
+        let mut placeholder = action;
+        placeholder.wqe.opcode = Opcode::Noop;
+        placeholder.wqe.id = 0;
+        let staged_action = actions.stage(placeholder);
+        counts.copies += 1;
+
+        // Optional trigger edge.
+        if let Some((cq, count)) = trigger {
+            ctrl.stage(WorkRequest::wait(cq, count));
+            counts.ordering += 1;
+        }
+
+        // The branch: CAS on the action's header word.
+        let cas = ctrl.stage(
+            WorkRequest::cas(
+                staged_action.addr(WqeField::Header),
+                staged_action.queue.ring.rkey,
+                cond_compare(y),
+                cond_swap(action_op, y),
+                0,
+                0,
+            )
+            .signaled(),
+        );
+        counts.atomics += 1;
+
+        // Doorbell ordering: the action may only be fetched after the CAS
+        // completed.
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        ctrl.stage(WorkRequest::enable(
+            staged_action.queue.sq,
+            staged_action.index + 1,
+        ));
+        counts.ordering += 2;
+
+        IfEq {
+            action: staged_action,
+            cas,
+            x_inject_addr: staged_action.addr(WqeField::Id),
+            counts,
+        }
+    }
+
+    /// Host-side injection of the runtime operand (tests and host-driven
+    /// setups; RPC offloads use RECV scatter instead).
+    pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
+        let x = operand48(x);
+        sim.mem_write(
+            self.action.queue.node,
+            self.x_inject_addr,
+            &x.to_le_bytes()[..6],
+        )
+    }
+}
+
+/// A built wide-operand conditional: `if (x == y) action` for operands
+/// wider than 48 bits, via CAS chaining (§3.5: "we can chain together
+/// multiple CAS operations to handle different segments of a larger
+/// operand — we do not rely on the atomicity property of CAS").
+///
+/// Stage `i` tests segment `i`; on a match its CAS transmutes the *next
+/// stage's placeholder from NOOP into a real CAS*, so the conjunction
+/// short-circuits: any mismatching segment leaves the rest of the chain
+/// as NOOPs and the action never fires.
+#[derive(Clone, Debug)]
+pub struct IfEqWide {
+    /// The action WQE.
+    pub action: Staged,
+    /// Injection addresses for the operand segments, least-significant
+    /// first (6 bytes each).
+    pub x_inject_addrs: Vec<u64>,
+    /// Verb accounting.
+    pub counts: VerbCounts,
+}
+
+impl IfEqWide {
+    /// Build a wide conditional comparing `bits` bits of `x` against `y`.
+    pub fn build(
+        ctrl: &mut ChainBuilder,
+        stages: &mut ChainBuilder,
+        y: u128,
+        bits: u32,
+        action: WorkRequest,
+        trigger: Option<(CqId, u64)>,
+    ) -> IfEqWide {
+        assert!(stages.queue().managed, "stage queue must be managed");
+        let y_segs = wide_segments(y, bits);
+        let k = y_segs.len();
+        assert!(k >= 1);
+        let action_op = action.wqe.opcode;
+        assert!(action_op != Opcode::Noop);
+
+        let mut counts = VerbCounts::default();
+        if let Some((cq, count)) = trigger {
+            ctrl.stage(WorkRequest::wait(cq, count));
+            counts.ordering += 1;
+        }
+
+        // Stage the carriers T_1..T_{k-1} (NOOP -> CAS) and the action
+        // T_k (NOOP -> action) in the managed queue, in order. Each
+        // carrier's CAS fields target the *next* staged WQE's header.
+        // We must know T_{i+1}'s address when staging T_i, so compute
+        // indices first.
+        let base = stages.next_index();
+        let queue = stages.queue();
+        let mut staged = Vec::with_capacity(k);
+        for i in 0..k {
+            let is_last = i == k - 1;
+            let next_slot_header = queue.slot_addr(base + i as u64 + 1) + WqeField::Header.offset();
+            let wr = if is_last {
+                let mut placeholder = action;
+                placeholder.wqe.opcode = Opcode::Noop;
+                placeholder.wqe.id = 0;
+                counts.copies += 1;
+                placeholder
+            } else {
+                // Carrier: preset CAS fields testing segment i+1 on the
+                // next WQE; staged as a NOOP (id holds x_i, injected).
+                let target_op = if i + 1 == k - 1 && k > 1 {
+                    action_op
+                } else {
+                    Opcode::Cas
+                };
+                let target_op = if i + 1 == k - 1 { action_op } else { target_op };
+                let mut wr = WorkRequest::cas(
+                    next_slot_header,
+                    queue.ring.rkey,
+                    cond_compare(y_segs[i + 1]),
+                    cond_swap(target_op, y_segs[i + 1]),
+                    0,
+                    0,
+                )
+                .signaled();
+                wr.wqe.opcode = Opcode::Noop;
+                counts.atomics += 1;
+                wr
+            };
+            staged.push(stages.stage(wr));
+        }
+
+        // First CAS, from the control queue, tests segment 0 on T_1.
+        let first_target = if k == 1 { action_op } else { Opcode::Cas };
+        ctrl.stage(
+            WorkRequest::cas(
+                staged[0].addr(WqeField::Header),
+                queue.ring.rkey,
+                cond_compare(y_segs[0]),
+                cond_swap(first_target, y_segs[0]),
+                0,
+                0,
+            )
+            .signaled(),
+        );
+        counts.atomics += 1;
+
+        // Release the stages one at a time under doorbell ordering: each
+        // stage may only be fetched once its predecessor CAS completed.
+        // Stage i's completion lands on `stages.cq()` (all carriers are
+        // signaled); the first CAS completes on `ctrl.cq()`.
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        ctrl.stage(WorkRequest::enable(queue.sq, staged[0].index + 1));
+        counts.ordering += 2;
+        for i in 1..k {
+            // Carrier T_i completes (as NOOP or CAS) on the stage queue's
+            // CQ; its absolute completion count is base_signaled + i. The
+            // k−1 carriers are signaled; the action placeholder is not.
+            let wait_count = stages.next_wait_count() - (k as u64 - 1) + i as u64;
+            ctrl.stage(WorkRequest::wait(queue.cq, wait_count));
+            ctrl.stage(WorkRequest::enable(queue.sq, staged[i].index + 1));
+            counts.ordering += 2;
+        }
+
+        IfEqWide {
+            action: staged[k - 1],
+            x_inject_addrs: staged.iter().map(|s| s.addr(WqeField::Id)).collect(),
+            counts,
+        }
+    }
+
+    /// Host-side injection of a wide operand.
+    pub fn inject_x(&self, sim: &mut Simulator, x: u128) -> Result<()> {
+        let segs = wide_segments(x, self.x_inject_addrs.len() as u32 * OPERAND_BITS);
+        let node = self.action.queue.node;
+        for (addr, seg) in self.x_inject_addrs.iter().zip(segs) {
+            sim.mem_write(node, *addr, &seg.to_le_bytes()[..6])?;
+        }
+        Ok(())
+    }
+}
+
+/// A built `if (x <= y) action` construct (§3.5: "inequality predicates,
+/// such as < or >, can also be supported by combining equality checks with
+/// MAX or MIN").
+///
+/// The chain computes `scratch = max(x, y)` with the vendor MAX verb, then
+/// copies the result into the conditional's operand position and tests
+/// `scratch == y` — true iff `x <= y`. Everything runs on the NIC; the
+/// host (or a RECV scatter) only places `x` into the scratch word.
+#[derive(Clone, Copy, Debug)]
+pub struct IfLe {
+    /// Where the runtime operand `x` must be written (8-byte word).
+    pub x_inject_addr: u64,
+    /// The underlying equality conditional.
+    pub inner: IfEq,
+    /// Verb accounting (includes the MAX and the operand-move READ).
+    pub counts: VerbCounts,
+}
+
+impl IfLe {
+    /// Build the construct. Requires calc-verb support on the NIC.
+    pub fn build(
+        sim: &mut Simulator,
+        ctrl: &mut ChainBuilder,
+        actions: &mut ChainBuilder,
+        pool: &mut crate::program::ConstPool,
+        y: u64,
+        action: WorkRequest,
+    ) -> Result<IfLe> {
+        let y = operand48(y);
+        let scratch = pool.reserve(sim, 8)?;
+        let pool_mr = pool.mr();
+        let mut counts = VerbCounts::default();
+
+        // The action placeholder will land at this index; compute its id
+        // address up front so the operand-move READ can target it before
+        // IfEq stages it.
+        let action_idx = actions.next_index();
+        let action_id_addr =
+            actions.queue().slot_addr(action_idx) + WqeField::Id.offset();
+
+        // scratch = max(x, y).
+        ctrl.stage(WorkRequest::max(scratch, pool_mr.rkey, y).signaled());
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        counts.atomics += 1;
+        counts.ordering += 1;
+
+        // Move the low 6 bytes of scratch into the action's id field.
+        let ring_lkey = actions.queue().ring.lkey;
+        ctrl.stage(
+            WorkRequest::read(action_id_addr, ring_lkey, 6, scratch, pool_mr.rkey).signaled(),
+        );
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        counts.copies += 1;
+        counts.ordering += 1;
+
+        // Equality test: max(x, y) == y  <=>  x <= y.
+        let inner = IfEq::build(ctrl, actions, y, action, None);
+        debug_assert_eq!(inner.action.index, action_idx);
+        let counts = counts.merge(&inner.counts);
+        Ok(IfLe {
+            x_inject_addr: scratch,
+            inner,
+            counts,
+        })
+    }
+
+    /// Place the runtime operand.
+    pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
+        sim.mem_write_u64(self.inner.action.queue.node, self.x_inject_addr, operand48(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ChainQueue, ConstPool};
+    use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
+    use rnic_sim::ids::{NodeId, ProcessId};
+    use rnic_sim::mem::Access;
+
+    struct Rig {
+        sim: Simulator,
+        node: NodeId,
+        ctrl: ChainQueue,
+        act: ChainQueue,
+        flag: u64,
+        flag_rkey: u32,
+        one: u64,
+        one_lkey: u32,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Simulator::new(SimConfig::default());
+        let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
+        let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
+        let act = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0)).unwrap();
+        let flag = sim.alloc(node, 8, 8).unwrap();
+        let fmr = sim.register_mr(node, flag, 8, Access::all()).unwrap();
+        let one = sim.alloc(node, 8, 8).unwrap();
+        let omr = sim.register_mr(node, one, 8, Access::all()).unwrap();
+        sim.mem_write_u64(node, one, 1).unwrap();
+        Rig {
+            sim,
+            node,
+            ctrl,
+            act,
+            flag,
+            flag_rkey: fmr.rkey,
+            one,
+            one_lkey: omr.lkey,
+        }
+    }
+
+    fn run_if(x: u64, y: u64) -> (u64, VerbCounts) {
+        let mut r = rig();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let parts = IfEq::build(&mut ctrl, &mut act, y, action, None);
+        let counts = parts.counts;
+        act.post(&mut r.sim).unwrap();
+        parts.inject_x(&mut r.sim, x).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        (r.sim.mem_read_u64(r.node, r.flag).unwrap(), counts)
+    }
+
+    #[test]
+    fn if_taken_when_equal() {
+        let (flag, counts) = run_if(5, 5);
+        assert_eq!(flag, 1, "x == y must take the branch");
+        // Without a trigger: 1C + 1A + 2E.
+        assert_eq!(counts.copies, 1);
+        assert_eq!(counts.atomics, 1);
+        assert_eq!(counts.ordering, 2);
+    }
+
+    #[test]
+    fn if_not_taken_when_different() {
+        let (flag, _) = run_if(5, 6);
+        assert_eq!(flag, 0, "x != y must not take the branch");
+    }
+
+    #[test]
+    fn if_with_trigger_matches_table2() {
+        // With the trigger WAIT the cost is the paper's 1C + 1A + 3E.
+        let r = rig();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let trigger_cq = r.act.cq; // any CQ works for accounting
+        let parts = IfEq::build(&mut ctrl, &mut act, 9, action, Some((trigger_cq, 0)));
+        assert_eq!(parts.counts.copies, 1);
+        assert_eq!(parts.counts.atomics, 1);
+        assert_eq!(parts.counts.ordering, 3);
+    }
+
+    #[test]
+    fn if_operand_is_48_bits() {
+        // Operands wider than 48 bits are truncated by a single if — the
+        // Table 2 limit.
+        let x = (1u64 << 48) | 7;
+        let (flag, _) = run_if(x, 7);
+        assert_eq!(flag, 1, "bit 48 must be ignored by a 48-bit conditional");
+    }
+
+    #[test]
+    fn chained_ifs_on_same_queues() {
+        // Two conditionals sharing ctrl and action queues: both fire.
+        let mut r = rig();
+        let flag2 = r.sim.alloc(r.node, 8, 8).unwrap();
+        let fmr2 = r.sim.register_mr(r.node, flag2, 8, Access::all()).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let a1 = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let a2 = WorkRequest::write(r.one, r.one_lkey, 8, flag2, fmr2.rkey);
+        let p1 = IfEq::build(&mut ctrl, &mut act, 1, a1, None);
+        let p2 = IfEq::build(&mut ctrl, &mut act, 2, a2, None);
+        act.post(&mut r.sim).unwrap();
+        p1.inject_x(&mut r.sim, 1).unwrap(); // taken
+        p2.inject_x(&mut r.sim, 3).unwrap(); // not taken
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.sim.mem_read_u64(r.node, r.flag).unwrap(), 1);
+        assert_eq!(r.sim.mem_read_u64(r.node, flag2).unwrap(), 0);
+    }
+
+    fn run_wide(x: u128, y: u128, bits: u32) -> u64 {
+        let mut r = rig();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut stages = ChainBuilder::new(&r.sim, r.act);
+        let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let parts = IfEqWide::build(&mut ctrl, &mut stages, y, bits, action, None);
+        stages.post(&mut r.sim).unwrap();
+        parts.inject_x(&mut r.sim, x).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        r.sim.mem_read_u64(r.node, r.flag).unwrap()
+    }
+
+    #[test]
+    fn wide_if_96_bits_taken() {
+        let v: u128 = 0x1234_5678_9ABC_DEF0_1122_3344;
+        assert_eq!(run_wide(v, v, 96), 1);
+    }
+
+    #[test]
+    fn wide_if_mismatch_in_high_segment() {
+        let v: u128 = 0x1234_5678_9ABC_DEF0_1122_3344;
+        // Flip a bit above the 48-bit boundary: a single-CAS conditional
+        // would miss it; the chained one must not.
+        let w = v ^ (1u128 << 60);
+        assert_eq!(run_wide(v, w, 96), 0);
+    }
+
+    #[test]
+    fn wide_if_mismatch_in_low_segment() {
+        let v: u128 = 0xAAAA_BBBB_CCCC_DDDD_EEEE;
+        assert_eq!(run_wide(v, v ^ 1, 80), 0);
+    }
+
+    #[test]
+    fn wide_if_single_segment_degenerates_to_if() {
+        assert_eq!(run_wide(42, 42, 48), 1);
+        assert_eq!(run_wide(42, 43, 48), 0);
+    }
+
+    #[test]
+    fn if_le_predicate_runs_entirely_on_nic() {
+        // x <= y via MAX + equality (§3.5), end to end on the NIC.
+        for (x, y, expect) in [(3u64, 5u64, 1u64), (5, 5, 1), (7, 5, 0), (0, 5, 1)] {
+            let mut r = rig();
+            let mut pool = ConstPool::create(&mut r.sim, r.node, 256, ProcessId(0)).unwrap();
+            let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+            let mut act = ChainBuilder::new(&r.sim, r.act);
+            let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+            let parts =
+                IfLe::build(&mut r.sim, &mut ctrl, &mut act, &mut pool, y, action).unwrap();
+            act.post(&mut r.sim).unwrap();
+            parts.inject_x(&mut r.sim, x).unwrap();
+            ctrl.post(&mut r.sim).unwrap();
+            r.sim.run().unwrap();
+            let flag = r.sim.mem_read_u64(r.node, r.flag).unwrap();
+            assert_eq!(flag, expect, "x={x} y={y}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! RedN programming constructs (§3 of the paper).
+//!
+//! * [`cond`] — conditionals via self-modifying CAS (Fig 4), including
+//!   wide operands through CAS chaining (§3.5).
+//! * [`loops`] — unrolled `while` (Fig 5), `break` via completion
+//!   suppression (Fig 6), and CPU-free unbounded loops via WQ recycling
+//!   (§3.4).
+//! * [`mov`] — the x86 `mov` addressing-mode emulation of Appendix A
+//!   (Table 7): immediate, indirect and indexed loads/stores.
+
+pub mod cond;
+pub mod loops;
+pub mod mov;

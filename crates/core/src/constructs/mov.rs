@@ -1,0 +1,385 @@
+//! Emulating the x86 `mov` instruction with RDMA verbs (Appendix A,
+//! Table 7 of the paper).
+//!
+//! Dolan showed `mov` alone is Turing complete; the paper's Appendix A
+//! argues RDMA is Turing complete by emulating `mov`'s addressing modes:
+//!
+//! | mode | x86 | RedN realization |
+//! |---|---|---|
+//! | Immediate | `mov Rdst, C` | one WRITE from a constant cell |
+//! | Indirect  | `mov Rdst, [Rsrc]` | WRITE patches the next WRITE's source address with `Rsrc`'s value (doorbell-ordered), which then moves `[Rsrc] → Rdst` |
+//! | Indexed   | `mov Rdst, [Rsrc + off]` | as indirect, plus a fetch-and-add on the patched address field |
+//!
+//! Registers are 8-byte cells in host memory ("since RDMA operations can
+//! only perform memory-to-memory transfers, we assume these registers are
+//! stored in memory"). Stores (`mov [Rdst], Rsrc`) patch the *destination*
+//! address instead of the source.
+
+use rnic_sim::error::Result;
+use rnic_sim::mem::MemoryRegion;
+use rnic_sim::sim::Simulator;
+use rnic_sim::wqe::WorkRequest;
+
+use crate::builder::ChainBuilder;
+use crate::encode::WqeField;
+use crate::program::ConstPool;
+
+/// A file of 8-byte registers stored in (registered) host memory.
+#[derive(Clone, Copy, Debug)]
+pub struct RegisterFile {
+    base: u64,
+    count: usize,
+    mr: MemoryRegion,
+}
+
+impl RegisterFile {
+    /// Allocate `count` registers out of a constant pool.
+    pub fn create(sim: &mut Simulator, pool: &mut ConstPool, count: usize) -> Result<RegisterFile> {
+        let base = pool.reserve(sim, count as u64 * 8)?;
+        Ok(RegisterFile {
+            base,
+            count,
+            mr: pool.mr(),
+        })
+    }
+
+    /// Address of register `i`.
+    pub fn addr(&self, i: usize) -> u64 {
+        assert!(i < self.count, "register index out of range");
+        self.base + i as u64 * 8
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Register files are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The memory region covering the registers.
+    pub fn mr(&self) -> MemoryRegion {
+        self.mr
+    }
+
+    /// Host-side read of register `i` (observation only).
+    pub fn read(&self, sim: &Simulator, node: rnic_sim::ids::NodeId, i: usize) -> Result<u64> {
+        sim.mem_read_u64(node, self.addr(i))
+    }
+
+    /// Host-side write of register `i` (program inputs).
+    pub fn write(
+        &self,
+        sim: &mut Simulator,
+        node: rnic_sim::ids::NodeId,
+        i: usize,
+        v: u64,
+    ) -> Result<()> {
+        sim.mem_write_u64(node, self.addr(i), v)
+    }
+}
+
+/// Emits `mov` operations onto a control chain + a managed patch queue.
+///
+/// Every indirect/indexed mov stages its *second-stage* WRITE in the
+/// managed queue (its address field is modified at run time) and the
+/// patch verbs + doorbell ordering in the control queue.
+pub struct MovUnit {
+    /// The registers.
+    pub regs: RegisterFile,
+    /// Region holding the data the program may address indirectly.
+    pub data_mr: MemoryRegion,
+}
+
+impl MovUnit {
+    /// Create a unit over a register file and a data region (the memory
+    /// `[R]` dereferences may touch).
+    pub fn new(regs: RegisterFile, data_mr: MemoryRegion) -> MovUnit {
+        MovUnit { regs, data_mr }
+    }
+
+    /// `mov Rdst, C` — immediate. One WRITE from a pooled constant.
+    pub fn mov_imm(
+        &self,
+        sim: &mut Simulator,
+        ctrl: &mut ChainBuilder,
+        pool: &mut ConstPool,
+        dst: usize,
+        c: u64,
+    ) -> Result<()> {
+        let c_addr = pool.push_u64(sim, c)?;
+        ctrl.stage(
+            WorkRequest::write(c_addr, pool.mr().lkey, 8, self.regs.addr(dst), self.regs.mr().rkey)
+                .signaled(),
+        );
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        Ok(())
+    }
+
+    /// `mov Rdst, Rsrc` — register to register.
+    pub fn mov_reg(&self, ctrl: &mut ChainBuilder, dst: usize, src: usize) {
+        ctrl.stage(
+            WorkRequest::write(
+                self.regs.addr(src),
+                self.regs.mr().lkey,
+                8,
+                self.regs.addr(dst),
+                self.regs.mr().rkey,
+            )
+            .signaled(),
+        );
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+    }
+
+    /// `mov Rdst, [Rsrc + off]` — indirect/indexed load. `off = 0` is the
+    /// pure indirect mode of Table 7.
+    pub fn mov_load(
+        &self,
+        ctrl: &mut ChainBuilder,
+        patched: &mut ChainBuilder,
+        dst: usize,
+        src: usize,
+        off: u64,
+    ) {
+        assert!(patched.queue().managed, "patched queue must be managed");
+        // Second stage: WRITE([Rsrc + off] -> Rdst); its local_addr is
+        // patched at run time.
+        let mover = patched.stage(
+            WorkRequest::write(
+                0, // patched
+                self.data_mr.lkey,
+                8,
+                self.regs.addr(dst),
+                self.regs.mr().rkey,
+            )
+            .signaled(),
+        );
+        // First stage: copy Rsrc's value into the mover's source-address
+        // field.
+        ctrl.stage(
+            WorkRequest::write(
+                self.regs.addr(src),
+                self.regs.mr().lkey,
+                8,
+                mover.addr(WqeField::LocalAddr),
+                mover.queue.ring.rkey,
+            )
+            .signaled(),
+        );
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        // Indexed mode: add the offset to the patched address (Table 7's
+        // extra ADD).
+        if off != 0 {
+            ctrl.stage(
+                WorkRequest::fetch_add(
+                    mover.addr(WqeField::LocalAddr),
+                    mover.queue.ring.rkey,
+                    off,
+                    0,
+                    0,
+                )
+                .signaled(),
+            );
+            ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        }
+        // Release the mover under doorbell ordering, then wait for it so
+        // program order is preserved for the next mov.
+        ctrl.stage(WorkRequest::enable(mover.queue.sq, mover.index + 1));
+        ctrl.stage(WorkRequest::wait(patched.cq(), patched.next_wait_count()));
+    }
+
+    /// `mov [Rdst + off], Rsrc` — indirect/indexed store.
+    pub fn mov_store(
+        &self,
+        ctrl: &mut ChainBuilder,
+        patched: &mut ChainBuilder,
+        dst: usize,
+        src: usize,
+        off: u64,
+    ) {
+        assert!(patched.queue().managed, "patched queue must be managed");
+        let mover = patched.stage(
+            WorkRequest::write(
+                self.regs.addr(src),
+                self.regs.mr().lkey,
+                8,
+                0, // patched
+                self.data_mr.rkey,
+            )
+            .signaled(),
+        );
+        ctrl.stage(
+            WorkRequest::write(
+                self.regs.addr(dst),
+                self.regs.mr().lkey,
+                8,
+                mover.addr(WqeField::RemoteAddr),
+                mover.queue.ring.rkey,
+            )
+            .signaled(),
+        );
+        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        if off != 0 {
+            ctrl.stage(
+                WorkRequest::fetch_add(
+                    mover.addr(WqeField::RemoteAddr),
+                    mover.queue.ring.rkey,
+                    off,
+                    0,
+                    0,
+                )
+                .signaled(),
+            );
+            ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        }
+        ctrl.stage(WorkRequest::enable(mover.queue.sq, mover.index + 1));
+        ctrl.stage(WorkRequest::wait(patched.cq(), patched.next_wait_count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ChainQueue;
+    use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
+    use rnic_sim::ids::{NodeId, ProcessId};
+    use rnic_sim::mem::Access;
+
+    struct Rig {
+        sim: Simulator,
+        node: NodeId,
+        ctrl: ChainQueue,
+        patched: ChainQueue,
+        pool: ConstPool,
+        unit: MovUnit,
+        data: u64,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Simulator::new(SimConfig::default());
+        let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
+        let ctrl = ChainQueue::create(&mut sim, node, false, 128, None, ProcessId(0)).unwrap();
+        let patched = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0)).unwrap();
+        let mut pool = ConstPool::create(&mut sim, node, 4096, ProcessId(0)).unwrap();
+        let regs = RegisterFile::create(&mut sim, &mut pool, 8).unwrap();
+        let data = sim.alloc(node, 256, 8).unwrap();
+        let dmr = sim.register_mr(node, data, 256, Access::all()).unwrap();
+        let unit = MovUnit::new(regs, dmr);
+        Rig {
+            sim,
+            node,
+            ctrl,
+            patched,
+            pool,
+            unit,
+            data,
+        }
+    }
+
+    #[test]
+    fn register_file_layout() {
+        let mut r = rig();
+        assert_eq!(r.unit.regs.len(), 8);
+        assert!(!r.unit.regs.is_empty());
+        assert_eq!(r.unit.regs.addr(1) - r.unit.regs.addr(0), 8);
+        r.unit.regs.write(&mut r.sim, r.node, 3, 77).unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 3).unwrap(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn register_oob_panics() {
+        let r = rig();
+        r.unit.regs.addr(8);
+    }
+
+    #[test]
+    fn mov_imm_writes_constant() {
+        let mut r = rig();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        r.unit
+            .mov_imm(&mut r.sim, &mut ctrl, &mut r.pool, 0, 0xFEED)
+            .unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 0xFEED);
+    }
+
+    #[test]
+    fn mov_reg_copies() {
+        let mut r = rig();
+        r.unit.regs.write(&mut r.sim, r.node, 1, 42).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        r.unit.mov_reg(&mut ctrl, 2, 1);
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 2).unwrap(), 42);
+    }
+
+    #[test]
+    fn mov_indirect_load_dereferences_pointer() {
+        let mut r = rig();
+        // data[2] = 0xABCD; R1 = &data[2]; mov R0, [R1].
+        r.sim.mem_write_u64(r.node, r.data + 16, 0xABCD).unwrap();
+        r.unit.regs.write(&mut r.sim, r.node, 1, r.data + 16).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut patched = ChainBuilder::new(&r.sim, r.patched);
+        r.unit.mov_load(&mut ctrl, &mut patched, 0, 1, 0);
+        patched.post(&mut r.sim).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn mov_indexed_load_applies_offset() {
+        let mut r = rig();
+        // data[3] = 7; R1 = &data[0]; mov R0, [R1 + 24].
+        r.sim.mem_write_u64(r.node, r.data + 24, 7).unwrap();
+        r.unit.regs.write(&mut r.sim, r.node, 1, r.data).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut patched = ChainBuilder::new(&r.sim, r.patched);
+        r.unit.mov_load(&mut ctrl, &mut patched, 0, 1, 24);
+        patched.post(&mut r.sim).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn mov_indirect_store_writes_through_pointer() {
+        let mut r = rig();
+        // R0 = 0x99; R1 = &data[5]; mov [R1], R0.
+        r.unit.regs.write(&mut r.sim, r.node, 0, 0x99).unwrap();
+        r.unit.regs.write(&mut r.sim, r.node, 1, r.data + 40).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut patched = ChainBuilder::new(&r.sim, r.patched);
+        r.unit.mov_store(&mut ctrl, &mut patched, 1, 0, 0);
+        patched.post(&mut r.sim).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.sim.mem_read_u64(r.node, r.data + 40).unwrap(), 0x99);
+    }
+
+    #[test]
+    fn mov_sequence_pointer_chase() {
+        // A two-hop pointer chase composed of movs, all on the NIC:
+        // data[0] holds &data[8]; data[8] holds 0x1234.
+        // R1 = &data[0]; mov R2, [R1]; mov R3, [R2].
+        let mut r = rig();
+        r.sim.mem_write_u64(r.node, r.data, r.data + 64).unwrap();
+        r.sim.mem_write_u64(r.node, r.data + 64, 0x1234).unwrap();
+        r.unit.regs.write(&mut r.sim, r.node, 1, r.data).unwrap();
+        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
+        let mut patched = ChainBuilder::new(&r.sim, r.patched);
+        r.unit.mov_load(&mut ctrl, &mut patched, 2, 1, 0);
+        r.unit.mov_load(&mut ctrl, &mut patched, 3, 2, 0);
+        patched.post(&mut r.sim).unwrap();
+        ctrl.post(&mut r.sim).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 2).unwrap(), r.data + 64);
+        assert_eq!(r.unit.regs.read(&r.sim, r.node, 3).unwrap(), 0x1234);
+    }
+}

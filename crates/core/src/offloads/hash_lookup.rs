@@ -1,0 +1,498 @@
+//! Hash-table `get` offload (paper §5.2, Fig 9).
+//!
+//! The client computes its key's bucket address(es) and SENDs
+//! `[bucket_addr(8B)... , key(6B)]`. On the server, per bucket:
+//!
+//! 1. the trigger RECV scatters the bucket address into a READ's
+//!    remote-address field and the key into a CAS's compare field;
+//! 2. the READ fetches the bucket, scattering the stored value pointer
+//!    into the response WQE's source-address field and the stored key
+//!    into the response WQE's `id` bits (one READ, two patch points — a
+//!    local scatter list);
+//! 3. the CAS compares `header(NOOP, stored_key)` against
+//!    `header(NOOP, x)` and, on a match, transmutes the response NOOP
+//!    into a WRITE;
+//! 4. the (possibly transmuted) response WQE executes: the value flies
+//!    back to the client in the same network round trip.
+//!
+//! Buckets are 16 bytes: `[value_ptr: u64][key: 48 bits][16 bits pad]`.
+//!
+//! Variants (Fig 11): with two candidate buckets (hopscotch H=2), probes
+//! run **sequentially** on one chain queue or in **parallel** on two
+//! queues pinned to different processing units.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+use rnic_sim::verbs::Opcode;
+use rnic_sim::wqe::{Sge, WorkRequest};
+
+use crate::builder::ChainBuilder;
+use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
+use crate::program::{ChainQueue, ConstPool};
+use crate::offloads::rpc::TriggerPoint;
+
+/// Size of one bucket in bytes.
+pub const BUCKET_SIZE: u64 = 16;
+/// Offset of the value pointer within a bucket.
+pub const BUCKET_OFF_PTR: u64 = 0;
+/// Offset of the 48-bit key within a bucket.
+pub const BUCKET_OFF_KEY: u64 = 8;
+
+/// Host-side bucket encoding helper.
+pub fn encode_bucket(value_ptr: u64, key: u64) -> [u8; BUCKET_SIZE as usize] {
+    let mut b = [0u8; BUCKET_SIZE as usize];
+    b[0..8].copy_from_slice(&value_ptr.to_le_bytes());
+    b[8..14].copy_from_slice(&operand48(key).to_le_bytes()[..6]);
+    b
+}
+
+/// Probe scheduling for multi-bucket lookups (Fig 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashGetVariant {
+    /// One candidate bucket (no-collision fast path of Fig 10).
+    Single,
+    /// Two buckets probed back-to-back on one chain queue.
+    Sequential,
+    /// Two buckets probed concurrently on chain queues pinned to
+    /// different processing units.
+    Parallel,
+}
+
+impl HashGetVariant {
+    /// Number of candidate buckets this variant probes.
+    pub fn buckets(self) -> usize {
+        match self {
+            HashGetVariant::Single => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// Configuration of the get offload.
+#[derive(Clone, Copy, Debug)]
+pub struct HashGetConfig {
+    /// rkey of the hash-table region (bucket READs).
+    pub table_rkey: u32,
+    /// lkey of the values region (response gather).
+    pub value_lkey: u32,
+    /// Value size returned to the client.
+    pub value_len: u32,
+    /// Client-side response buffer.
+    pub client_resp_addr: u64,
+    /// Client rkey for the response buffer.
+    pub client_rkey: u32,
+    /// Probe variant.
+    pub variant: HashGetVariant,
+    /// NIC port the offload's queues bind to (Table 4 sweeps dual-port).
+    pub port: usize,
+}
+
+/// The server-side get offload. One [`HashGetOffload::arm`] call stages
+/// the chain for one future request; requests consume armed instances in
+/// order.
+pub struct HashGetOffload {
+    /// Client-facing trigger endpoint (responses ride its managed SQ).
+    pub tp: TriggerPoint,
+    cfg: HashGetConfig,
+    /// Bucket-probe chain queues (1 for Single/Sequential, 2 for
+    /// Parallel).
+    chains: Vec<ChainQueue>,
+    /// Unmanaged control queues (one per chain) plus a merge queue.
+    ctrls: Vec<ChainQueue>,
+    merge: ChainQueue,
+    armed: u64,
+    /// recv CQ completion count at creation: instance k's trigger WAIT
+    /// uses `trigger_base + k + 1` (absolute, monotonic).
+    trigger_base: u64,
+    node: NodeId,
+}
+
+impl HashGetOffload {
+    /// Create the offload's queues on `node`. The caller connects a
+    /// client QP to `self.tp.qp`.
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        cfg: HashGetConfig,
+    ) -> Result<HashGetOffload> {
+        let tp = TriggerPoint::create_on_port(sim, node, owner, Some(0), cfg.port)?;
+        let nchains = match cfg.variant {
+            HashGetVariant::Parallel => 2,
+            _ => 1,
+        };
+        let mut chains = Vec::new();
+        let mut ctrls = Vec::new();
+        for i in 0..nchains {
+            // Parallel probes ride different PUs (§3.5 "Parallelism").
+            let pu = match cfg.variant {
+                HashGetVariant::Parallel => Some(i + 1),
+                _ => None,
+            };
+            chains.push(ChainQueue::create_on_port(
+                sim, node, true, 1024, pu, owner, cfg.port,
+            )?);
+            ctrls.push(ChainQueue::create_on_port(
+                sim, node, false, 2048, pu, owner, cfg.port,
+            )?);
+        }
+        let merge =
+            ChainQueue::create_on_port(sim, node, false, 2048, Some(0), owner, cfg.port)?;
+        let trigger_base = sim.cq_total(tp.recv_cq);
+        Ok(HashGetOffload {
+            tp,
+            cfg,
+            chains,
+            ctrls,
+            merge,
+            armed: 0,
+            trigger_base,
+            node,
+        })
+    }
+
+    /// Stage the chain for one future get request. Instances trigger in
+    /// arming order, one per client SEND.
+    pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
+        let trigger_count = self.trigger_base + self.armed + 1;
+        let nbuckets = self.cfg.variant.buckets();
+        let seq_two = self.cfg.variant == HashGetVariant::Sequential;
+        let probes = if seq_two { 2 } else { nbuckets.min(self.chains.len()) };
+
+        // Response WQEs live on the trigger QP's managed SQ.
+        let mut resp_b = ChainBuilder::new(sim, ChainQueue {
+            qp: self.tp.qp,
+            peer: self.tp.qp, // unused
+            sq: sim.sq_of(self.tp.qp),
+            cq: self.tp.send_cq,
+            ring: self.tp.ring,
+            managed: true,
+            depth: 1024,
+            node: self.node,
+        });
+
+        let mut scatter: Vec<(u64, u32, u32)> = Vec::new();
+        let mut merge_b = ChainBuilder::new(sim, self.merge);
+        let mut chain_done_waits: Vec<(rnic_sim::ids::CqId, u64)> = Vec::new();
+        let mut resp_handles = Vec::new();
+
+        for p in 0..probes {
+            let chain_q = if seq_two {
+                self.chains[0]
+            } else {
+                self.chains[p % self.chains.len()]
+            };
+            let ctrl_q = if seq_two {
+                self.ctrls[0]
+            } else {
+                self.ctrls[p % self.ctrls.len()]
+            };
+            let mut chain_b = ChainBuilder::new(sim, chain_q);
+            let mut ctrl_b = ChainBuilder::new(sim, ctrl_q);
+            // Every WQE on the probe chain is signaled, so its absolute
+            // CQE counts equal its posted count — robust even when many
+            // instances are armed before any runs (pipelined arming).
+            let chain_base = sim.sq_posted(chain_q.qp);
+
+            // Response placeholder: NOOP carrying the WRITE_IMM response.
+            // Its source address and id are patched by the bucket READ.
+            let mut resp = WorkRequest::write_imm(
+                0, // patched: value pointer from the bucket
+                self.cfg.value_lkey,
+                self.cfg.value_len,
+                self.cfg.client_resp_addr,
+                self.cfg.client_rkey,
+                p as u32,
+            )
+            .signaled();
+            resp.wqe.opcode = Opcode::Noop;
+            let resp_staged = resp_b.stage(resp);
+            resp_handles.push(resp_staged);
+
+            // Bucket READ: one READ, two local scatter targets.
+            let table = [
+                Sge {
+                    addr: resp_staged.addr(WqeField::LocalAddr),
+                    lkey: self.tp.ring.lkey,
+                    len: 8,
+                },
+                Sge {
+                    addr: resp_staged.addr(WqeField::Id),
+                    lkey: self.tp.ring.lkey,
+                    len: 6,
+                },
+            ];
+            let mut tbytes = Vec::new();
+            for e in &table {
+                tbytes.extend_from_slice(&e.encode());
+            }
+            let table_addr = pool.push_bytes(sim, &tbytes)?;
+            let read = chain_b.stage(
+                WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, self.cfg.table_rkey)
+                    .signaled(),
+            );
+
+            // The conditional CAS: compare patched with the client's key.
+            let mut cas = WorkRequest::cas(
+                resp_staged.addr(WqeField::Header),
+                self.tp.ring.rkey,
+                cond_compare(0), // low 6 bytes of the compare patched with x
+                cond_swap(Opcode::WriteImm, 0),
+                0,
+                0,
+            )
+            .signaled();
+            cas.wqe.operand = cond_compare(0);
+            let cas_staged = chain_b.stage(cas);
+
+            // RECV scatter: bucket address -> READ.remote_addr,
+            // key -> CAS.operand id bits.
+            scatter.push((read.addr(WqeField::RemoteAddr), chain_q.ring.lkey, 8));
+            scatter.push((cas_staged.addr(WqeField::Operand) + 2, chain_q.ring.lkey, 6));
+
+            // Control chain: trigger -> READ -> CAS under doorbell order.
+            ctrl_b.stage(WorkRequest::wait(self.tp.recv_cq, trigger_count));
+            ctrl_b.stage(WorkRequest::enable(chain_q.sq, read.index + 1));
+            ctrl_b.stage(WorkRequest::wait(chain_q.cq, chain_base + 1));
+            ctrl_b.stage(WorkRequest::enable(chain_q.sq, cas_staged.index + 1));
+            chain_done_waits.push((chain_q.cq, chain_base + 2));
+
+            chain_b.post(sim)?;
+            ctrl_b.post(sim)?;
+        }
+
+        // Merge: release the response WQEs only after every probe's CAS
+        // completed (prevents a fast probe from releasing a slow probe's
+        // untransmuted response).
+        for (cq, count) in chain_done_waits {
+            merge_b.stage(WorkRequest::wait(cq, count));
+        }
+        let last_resp = resp_handles.last().expect("at least one probe");
+        merge_b.stage(WorkRequest::enable(
+            sim.sq_of(self.tp.qp),
+            last_resp.index + 1,
+        ));
+        merge_b.post(sim)?;
+        resp_b.post(sim)?;
+
+        // The trigger RECV for this instance.
+        self.tp.post_trigger_recv(sim, pool, &scatter)?;
+        self.armed += 1;
+        Ok(())
+    }
+
+    /// Client payload for a get: `[bucket_addr ...][key 6B]` per probe —
+    /// the scatter entries are laid out probe-major, so the payload is
+    /// `[addr_0, key, addr_1, key]` for two probes.
+    pub fn client_payload(&self, key: u64, bucket_addrs: &[u64]) -> Vec<u8> {
+        let probes = if self.cfg.variant == HashGetVariant::Single { 1 } else { 2 };
+        assert_eq!(bucket_addrs.len(), probes, "one bucket address per probe");
+        let mut p = Vec::new();
+        for &addr in bucket_addrs {
+            p.extend_from_slice(&addr.to_le_bytes());
+            p.extend_from_slice(&operand48(key).to_le_bytes()[..6]);
+        }
+        p
+    }
+
+    /// Number of armed (not necessarily consumed) instances.
+    pub fn armed(&self) -> u64 {
+        self.armed
+    }
+
+    /// The offload configuration.
+    pub fn config(&self) -> HashGetConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+    use rnic_sim::mem::Access;
+    use rnic_sim::qp::QpConfig;
+
+    struct Rig {
+        sim: Simulator,
+        client: NodeId,
+        server: NodeId,
+        table: u64,
+        values: u64,
+        value_lkey: u32,
+        table_rkey: u32,
+        resp: u64,
+        resp_rkey: u32,
+        cqp: rnic_sim::ids::QpId,
+        crecv_cq: rnic_sim::ids::CqId,
+        csrc: u64,
+        csrc_lkey: u32,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Simulator::new(SimConfig::default());
+        let client = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let server = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(client, server, LinkConfig::back_to_back());
+        // Server: 8-bucket table + values.
+        let table = sim.alloc(server, 8 * BUCKET_SIZE, 64).unwrap();
+        let tmr = sim
+            .register_mr(server, table, 8 * BUCKET_SIZE, Access::all())
+            .unwrap();
+        let values = sim.alloc(server, 8 * 64, 64).unwrap();
+        let vmr = sim.register_mr(server, values, 8 * 64, Access::all()).unwrap();
+        // Client: response buffer + send buffer.
+        let resp = sim.alloc(client, 64, 8).unwrap();
+        let rmr = sim.register_mr(client, resp, 64, Access::all()).unwrap();
+        let csrc = sim.alloc(client, 64, 8).unwrap();
+        let smr = sim.register_mr(client, csrc, 64, Access::all()).unwrap();
+        let ccq = sim.create_cq(client, 64).unwrap();
+        let crecv_cq = sim.create_cq(client, 64).unwrap();
+        let cqp = sim
+            .create_qp(client, QpConfig::new(ccq).recv_cq(crecv_cq))
+            .unwrap();
+        Rig {
+            sim,
+            client,
+            server,
+            table,
+            values,
+            value_lkey: vmr.lkey,
+            table_rkey: tmr.rkey,
+            resp,
+            resp_rkey: rmr.rkey,
+            cqp,
+            crecv_cq,
+            csrc,
+            csrc_lkey: smr.lkey,
+        }
+    }
+
+    fn fill_bucket(r: &mut Rig, idx: u64, key: u64, value: u64) {
+        let vaddr = r.values + idx * 64;
+        r.sim.mem_write_u64(r.server, vaddr, value).unwrap();
+        let b = encode_bucket(vaddr, key);
+        r.sim
+            .mem_write(r.server, r.table + idx * BUCKET_SIZE, &b)
+            .unwrap();
+    }
+
+    fn do_get(r: &mut Rig, off: &mut HashGetOffload, pool: &mut ConstPool, key: u64, buckets: &[u64]) -> Option<u64> {
+        off.arm(&mut r.sim, pool).unwrap();
+        // Client posts a RECV for the response completion (WRITE_IMM).
+        r.sim
+            .post_recv(r.cqp, WorkRequest::recv(0, 0, 0))
+            .unwrap();
+        let payload = off.client_payload(key, buckets);
+        r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
+        r.sim
+            .post_send(
+                r.cqp,
+                WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32),
+            )
+            .unwrap();
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        if cqes.is_empty() {
+            None
+        } else {
+            Some(r.sim.mem_read_u64(r.client, r.resp).unwrap())
+        }
+    }
+
+    fn cfg_for(r: &Rig, variant: HashGetVariant) -> HashGetConfig {
+        HashGetConfig {
+            table_rkey: r.table_rkey,
+            value_lkey: r.value_lkey,
+            value_len: 8,
+            client_resp_addr: r.resp,
+            client_rkey: r.resp_rkey,
+            variant,
+            port: 0,
+        }
+    }
+
+    #[test]
+    fn single_bucket_hit_returns_value() {
+        let mut r = rig();
+        fill_bucket(&mut r, 3, 0xFACE, 0x1111_2222);
+        let cfg = cfg_for(&r, HashGetVariant::Single);
+        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
+        let b3 = r.table + 3 * BUCKET_SIZE;
+        let got = do_get(&mut r, &mut off, &mut pool, 0xFACE, &[b3]);
+        assert_eq!(got, Some(0x1111_2222));
+        assert_eq!(off.armed(), 1);
+    }
+
+    #[test]
+    fn single_bucket_miss_returns_nothing() {
+        let mut r = rig();
+        fill_bucket(&mut r, 3, 0xFACE, 0x1111_2222);
+        let cfg = cfg_for(&r, HashGetVariant::Single);
+        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
+        let b3 = r.table + 3 * BUCKET_SIZE;
+        // Wrong key: the CAS fails, the response stays a NOOP, the client
+        // sees no completion.
+        let got = do_get(&mut r, &mut off, &mut pool, 0xBEEF, &[b3]);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn sequential_two_buckets_finds_second() {
+        let mut r = rig();
+        fill_bucket(&mut r, 1, 0xAAAA, 0x11);
+        fill_bucket(&mut r, 5, 0xFACE, 0x5555);
+        let cfg = cfg_for(&r, HashGetVariant::Sequential);
+        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
+        let (b1, b5) = (r.table + BUCKET_SIZE, r.table + 5 * BUCKET_SIZE);
+        let got = do_get(&mut r, &mut off, &mut pool, 0xFACE, &[b1, b5]);
+        assert_eq!(got, Some(0x5555));
+    }
+
+    #[test]
+    fn parallel_two_buckets_finds_first() {
+        let mut r = rig();
+        fill_bucket(&mut r, 2, 0xFACE, 0x7777);
+        fill_bucket(&mut r, 6, 0xBBBB, 0x88);
+        let cfg = cfg_for(&r, HashGetVariant::Parallel);
+        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
+        let (b2, b6) = (r.table + 2 * BUCKET_SIZE, r.table + 6 * BUCKET_SIZE);
+        let got = do_get(&mut r, &mut off, &mut pool, 0xFACE, &[b2, b6]);
+        assert_eq!(got, Some(0x7777));
+    }
+
+    #[test]
+    fn repeated_gets_reuse_the_offload() {
+        let mut r = rig();
+        fill_bucket(&mut r, 0, 111, 0xA0);
+        fill_bucket(&mut r, 1, 222, 0xB0);
+        let cfg = cfg_for(&r, HashGetVariant::Single);
+        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let (b0, b1) = (r.table, r.table + BUCKET_SIZE);
+        let got1 = do_get(&mut r, &mut off, &mut pool, 111, &[b0]);
+        assert_eq!(got1, Some(0xA0));
+        let got2 = do_get(&mut r, &mut off, &mut pool, 222, &[b1]);
+        assert_eq!(got2, Some(0xB0));
+        assert_eq!(off.armed(), 2);
+    }
+
+    #[test]
+    fn bucket_encoding_layout() {
+        let b = encode_bucket(0xDEAD_BEEF, 0x1234_5678_9ABC);
+        assert_eq!(u64::from_le_bytes(b[0..8].try_into().unwrap()), 0xDEAD_BEEF);
+        let mut k = [0u8; 8];
+        k[..6].copy_from_slice(&b[8..14]);
+        assert_eq!(u64::from_le_bytes(k), 0x1234_5678_9ABC);
+    }
+}

@@ -1,0 +1,532 @@
+//! Linked-list traversal offload (paper §5.3, Fig 12).
+//!
+//! List nodes are `[next: u64][key: 48 bits + pad][value: value_len]`.
+//! The client sends `[N0(8B)][x(6B)]` — the head pointer and the wanted
+//! key. Per unrolled iteration the chain:
+//!
+//! 1. READs the current node, scattering `next` into the *next*
+//!    iteration's READ remote-address field, `key` into the response
+//!    WQE's id bits, and the value into a per-iteration staging buffer;
+//! 2. WRITEs the key operand into the iteration's CAS compare field (the
+//!    paper's R3 — it notes this write can be folded into the RECV
+//!    scatter for lists short enough to fit the 16-SGE limit);
+//! 3. CASes the response header: on a key match the response NOOP
+//!    becomes a WRITE_IMM carrying the staged value back to the client;
+//! 4. optionally (Fig 13's `+break` variant) a second conditional
+//!    transmutes a break NOOP whose WRITE suppresses the response's
+//!    completion flag, starving the next iteration's WAIT — the loop
+//!    exits early instead of walking the remaining nodes.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+use rnic_sim::verbs::Opcode;
+use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED};
+
+use crate::builder::ChainBuilder;
+use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
+use crate::offloads::rpc::TriggerPoint;
+use crate::program::{ChainQueue, ConstPool};
+
+/// Offset of the next pointer in a node.
+pub const NODE_OFF_NEXT: u64 = 0;
+/// Offset of the key in a node.
+pub const NODE_OFF_KEY: u64 = 8;
+/// Offset of the value in a node.
+pub const NODE_OFF_VALUE: u64 = 16;
+
+/// Node header size (next + key), before the value.
+pub const NODE_HEADER: u64 = 16;
+
+/// Encode a list node.
+pub fn encode_node(next: u64, key: u64, value: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(NODE_HEADER as usize + value.len());
+    b.extend_from_slice(&next.to_le_bytes());
+    b.extend_from_slice(&operand48(key).to_le_bytes()[..6]);
+    b.extend_from_slice(&[0u8; 2]);
+    b.extend_from_slice(value);
+    b
+}
+
+/// Configuration for the list-walk offload.
+#[derive(Clone, Copy, Debug)]
+pub struct ListWalkConfig {
+    /// rkey of the region holding the list nodes.
+    pub list_rkey: u32,
+    /// Value bytes per node (returned to the client on a match).
+    pub value_len: u32,
+    /// Client response buffer.
+    pub client_resp_addr: u64,
+    /// Client rkey.
+    pub client_rkey: u32,
+    /// Maximum nodes walked (the unroll factor; the paper uses 8).
+    pub max_nodes: usize,
+    /// Compile the Fig 13 `+break` variant.
+    pub break_on_match: bool,
+}
+
+/// The server-side list-walk offload.
+pub struct ListWalkOffload {
+    /// Client-facing trigger endpoint.
+    pub tp: TriggerPoint,
+    cfg: ListWalkConfig,
+    chain: ChainQueue,
+    ctrl: ChainQueue,
+    /// Loopback queue holding break placeholders (their WRITEs target the
+    /// *server's* response ring, so they cannot ride the client-facing
+    /// QP, whose one-sided verbs address client memory).
+    brk_q: Option<ChainQueue>,
+    armed: u64,
+    /// recv CQ completion count at creation (see hash_lookup).
+    trigger_base: u64,
+    node: NodeId,
+}
+
+impl ListWalkOffload {
+    /// Create the offload's queues.
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        cfg: ListWalkConfig,
+    ) -> Result<ListWalkOffload> {
+        assert!(cfg.max_nodes >= 1);
+        let tp = TriggerPoint::create(sim, node, owner, Some(0))?;
+        let chain = ChainQueue::create(sim, node, true, 2048, None, owner)?;
+        let ctrl = ChainQueue::create(sim, node, false, 4096, None, owner)?;
+        let brk_q = if cfg.break_on_match {
+            Some(ChainQueue::create(sim, node, true, 2048, None, owner)?)
+        } else {
+            None
+        };
+        let trigger_base = sim.cq_total(tp.recv_cq);
+        Ok(ListWalkOffload {
+            tp,
+            cfg,
+            chain,
+            ctrl,
+            brk_q,
+            armed: 0,
+            trigger_base,
+            node,
+        })
+    }
+
+    /// Stage one walk instance. Returns the number of WRs staged (the
+    /// paper reports ~50 WRs without break vs ~30 with, Fig 13).
+    pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<usize> {
+        let trigger_count = self.trigger_base + self.armed + 1;
+        let cfg = self.cfg;
+        let pool_mr = pool.mr();
+        let mut wr_count = 0usize;
+
+        let mut chain_b = ChainBuilder::new(sim, self.chain);
+        let mut ctrl_b = ChainBuilder::new(sim, self.ctrl);
+        let mut resp_b = ChainBuilder::new(
+            sim,
+            ChainQueue {
+                qp: self.tp.qp,
+                peer: self.tp.qp,
+                sq: sim.sq_of(self.tp.qp),
+                cq: self.tp.send_cq,
+                ring: self.tp.ring,
+                managed: true,
+                depth: 1024,
+                node: self.node,
+            },
+        );
+        // All chain-queue WQEs are signaled: absolute CQE count == posted.
+        let chain_base = sim.sq_posted(self.chain.qp);
+        // With breaks, suppressed completions make posted != CQE count, so
+        // break offloads are single-shot: gate on the live CQ totals.
+        let resp_cqe_base = sim.cq_total(self.tp.send_cq);
+        let brk_base = self.brk_q.map(|q| sim.sq_posted(q.qp)).unwrap_or(0);
+        let mut brk_b = self.brk_q.map(|q| ChainBuilder::new(sim, q));
+
+        // The client's key is scattered once into a pool cell; each
+        // iteration's R3 WRITE copies it into that iteration's CAS.
+        let x_cell = pool.reserve(sim, 8)?;
+        // Per-iteration value staging buffers.
+        let mut staging = Vec::new();
+        for _ in 0..cfg.max_nodes {
+            staging.push(pool.reserve(sim, cfg.value_len as u64)?);
+        }
+        // Scratch sinks for the last iteration's next pointer and pads.
+        let scratch = pool.reserve(sim, 16)?;
+
+        // Pre-compute chain slot indices: per iteration the chain queue
+        // holds [READ, CAS] (+ [BREAK] before the response when breaking).
+        // Responses (and break targets) live on the trigger QP's SQ.
+        let per_iter_chain = 2;
+        let read_idx = |i: usize| chain_base + (i * per_iter_chain) as u64;
+
+        let mut resp_handles = Vec::new();
+        let mut break_handles = Vec::new();
+
+        // Stage responses (and break placeholders) first so READ scatter
+        // tables can reference their fields.
+        for i in 0..cfg.max_nodes {
+            let mut resp = WorkRequest::write_imm(
+                staging[i],
+                pool_mr.lkey,
+                cfg.value_len,
+                cfg.client_resp_addr,
+                cfg.client_rkey,
+                i as u32,
+            );
+            resp.wqe.flags |= FLAG_SIGNALED;
+            resp.wqe.opcode = Opcode::Noop;
+            let resp_staged = resp_b.stage(resp);
+            resp_handles.push(resp_staged);
+            wr_count += 1;
+
+            if cfg.break_on_match {
+                // Break placeholder: NOOP -> WRITE(12B) onto the response
+                // slot, turning it into an *unsignaled* WRITE_IMM. Lives
+                // on a server loopback queue so its WRITE addresses
+                // server memory.
+                let resp_slot = self.tp.ring.addr
+                    + (resp_staged.index % 1024) * rnic_sim::wqe::WQE_SIZE;
+                let mut image = Vec::with_capacity(12);
+                image.extend_from_slice(&header_word(Opcode::WriteImm, 0).to_le_bytes());
+                image.extend_from_slice(&0u32.to_le_bytes());
+                let image_addr = pool.push_bytes(sim, &image)?;
+                let mut brk =
+                    WorkRequest::write(image_addr, pool_mr.lkey, 12, resp_slot, self.tp.ring.rkey)
+                        .signaled();
+                brk.wqe.opcode = Opcode::Noop;
+                let brk_staged = brk_b.as_mut().expect("break queue").stage(brk);
+                break_handles.push(brk_staged);
+                wr_count += 1;
+            }
+        }
+
+        // Now the per-iteration chain.
+        for i in 0..cfg.max_nodes {
+            let resp_staged = resp_handles[i];
+            // READ scatter: next -> next iteration's READ.remote_addr (or
+            // scratch for the last), key(6B) -> response id, pad(2B) ->
+            // scratch, value -> staging.
+            let next_target = if i + 1 < cfg.max_nodes {
+                self.chain.slot_addr(read_idx(i + 1)) + WqeField::RemoteAddr.offset()
+            } else {
+                scratch
+            };
+            let next_lkey = if i + 1 < cfg.max_nodes {
+                self.chain.ring.lkey
+            } else {
+                pool_mr.lkey
+            };
+            // The key lands in the id bits of whatever WQE the CAS will
+            // test: the break placeholder when breaking, the response
+            // otherwise.
+            let id_target = if cfg.break_on_match {
+                break_handles[i]
+            } else {
+                resp_staged
+            };
+            let entries = [
+                Sge { addr: next_target, lkey: next_lkey, len: 8 },
+                Sge {
+                    addr: id_target.addr(WqeField::Id),
+                    lkey: id_target.queue.ring.lkey,
+                    len: 6,
+                },
+                Sge { addr: scratch + 8, lkey: pool_mr.lkey, len: 2 },
+                Sge { addr: staging[i], lkey: pool_mr.lkey, len: cfg.value_len },
+            ];
+            let mut tbytes = Vec::new();
+            for e in &entries {
+                tbytes.extend_from_slice(&e.encode());
+            }
+            let table_addr = pool.push_bytes(sim, &tbytes)?;
+            let read = chain_b.stage(
+                WorkRequest::read_sgl(table_addr, 4, 0 /* patched */, cfg.list_rkey).signaled(),
+            );
+            debug_assert_eq!(read.index, read_idx(i));
+            wr_count += 1;
+
+            // The trigger gate must precede anything that consumes the
+            // scattered arguments (x_cell is only valid after the RECV).
+            if i == 0 {
+                ctrl_b.stage(WorkRequest::wait(self.tp.recv_cq, trigger_count));
+                wr_count += 1;
+            }
+
+            // R3: copy the key operand into the CAS compare field (paper
+            // Fig 12's WRITE; x lives in a pool cell filled by the RECV).
+            let cas_idx = read.index + 1;
+            let cas_compare_addr =
+                self.chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
+            ctrl_b.stage(
+                WorkRequest::write(x_cell, pool_mr.lkey, 6, cas_compare_addr, self.chain.ring.rkey)
+                    .signaled(),
+            );
+            wr_count += 1;
+
+            // The conditional: transmute either the break NOOP (break
+            // variant) or the response NOOP directly.
+            let (cas_target, cas_swap_op) = if cfg.break_on_match {
+                (break_handles[i], Opcode::Write)
+            } else {
+                (resp_handles[i], Opcode::WriteImm)
+            };
+            let mut cas = WorkRequest::cas(
+                cas_target.addr(WqeField::Header),
+                cas_target.queue.ring.rkey,
+                cond_compare(0), // patched with x
+                cond_swap(cas_swap_op, 0),
+                0,
+                0,
+            )
+            .signaled();
+            cas.wqe.operand = cond_compare(0);
+            let cas_staged = chain_b.stage(cas);
+            debug_assert_eq!(cas_staged.index, cas_idx);
+            wr_count += 1;
+
+            // Release the READ after (a) trigger/previous iteration and
+            // (b) the R3 write completed. The R3 write is on the control
+            // queue itself (in order), so gating on our own CQ works.
+            ctrl_b.stage(WorkRequest::wait(ctrl_b.cq(), ctrl_b.next_wait_count()));
+            ctrl_b.stage(WorkRequest::enable(self.chain.sq, read.index + 1));
+            ctrl_b.stage(WorkRequest::wait(
+                self.chain.cq,
+                chain_base + (i * per_iter_chain) as u64 + 1,
+            ));
+            ctrl_b.stage(WorkRequest::enable(self.chain.sq, cas_staged.index + 1));
+            ctrl_b.stage(WorkRequest::wait(
+                self.chain.cq,
+                chain_base + (i * per_iter_chain) as u64 + 2,
+            ));
+            wr_count += 5;
+
+            if cfg.break_on_match {
+                // Release the break WQE; wait for it; release the
+                // response; gate the next iteration on the response's
+                // completion (suppressed by a taken break).
+                let brk = break_handles[i];
+                let brk_sq = self.brk_q.expect("break queue").sq;
+                let brk_cq = self.brk_q.expect("break queue").cq;
+                ctrl_b.stage(WorkRequest::enable(brk_sq, brk.index + 1));
+                ctrl_b.stage(WorkRequest::wait(brk_cq, brk_base + i as u64 + 1));
+                ctrl_b.stage(WorkRequest::enable(
+                    sim.sq_of(self.tp.qp),
+                    resp_handles[i].index + 1,
+                ));
+                ctrl_b.stage(WorkRequest::wait(
+                    self.tp.send_cq,
+                    resp_cqe_base + i as u64 + 1,
+                ));
+                wr_count += 4;
+            } else {
+                // Plain variant: release the response; all iterations
+                // always run (Fig 5 semantics).
+                ctrl_b.stage(WorkRequest::enable(
+                    sim.sq_of(self.tp.qp),
+                    resp_handles[i].index + 1,
+                ));
+                wr_count += 1;
+            }
+        }
+
+        chain_b.post(sim)?;
+        resp_b.post(sim)?;
+        if let Some(b) = brk_b {
+            b.post(sim)?;
+        }
+        ctrl_b.post(sim)?;
+
+        // Trigger RECV: N0 -> first READ's remote address, x -> x_cell.
+        let scatter = [
+            (
+                self.chain.slot_addr(read_idx(0)) + WqeField::RemoteAddr.offset(),
+                self.chain.ring.lkey,
+                8u32,
+            ),
+            (x_cell, pool_mr.lkey, 6u32),
+        ];
+        self.tp.post_trigger_recv(sim, pool, &scatter)?;
+        self.armed += 1;
+        Ok(wr_count)
+    }
+
+    /// Client payload: `[N0(8B)][x(6B)]`.
+    pub fn client_payload(&self, head: u64, key: u64) -> Vec<u8> {
+        let mut p = Vec::with_capacity(14);
+        p.extend_from_slice(&head.to_le_bytes());
+        p.extend_from_slice(&operand48(key).to_le_bytes()[..6]);
+        p
+    }
+
+    /// Instances armed so far.
+    pub fn armed(&self) -> u64 {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+    use rnic_sim::mem::Access;
+    use rnic_sim::qp::QpConfig;
+
+    struct Rig {
+        sim: Simulator,
+        client: NodeId,
+        server: NodeId,
+        nodes: u64,
+        list_rkey: u32,
+        resp: u64,
+        resp_rkey: u32,
+        cqp: rnic_sim::ids::QpId,
+        crecv_cq: rnic_sim::ids::CqId,
+        csrc: u64,
+        csrc_lkey: u32,
+    }
+
+    const VAL_LEN: u32 = 64;
+    const NODE_SIZE: u64 = NODE_HEADER + VAL_LEN as u64;
+
+    fn rig(list_keys: &[u64]) -> Rig {
+        let mut sim = Simulator::new(SimConfig::default());
+        let client = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let server = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(client, server, LinkConfig::back_to_back());
+        // Build the list: node i holds key list_keys[i], value filled
+        // with byte (i + 1).
+        let n = list_keys.len() as u64;
+        let nodes = sim.alloc(server, n * NODE_SIZE, 64).unwrap();
+        let lmr = sim.register_mr(server, nodes, n * NODE_SIZE, Access::all()).unwrap();
+        for (i, &k) in list_keys.iter().enumerate() {
+            let addr = nodes + i as u64 * NODE_SIZE;
+            let next = if (i as u64) + 1 < n { addr + NODE_SIZE } else { 0 };
+            let value = vec![(i + 1) as u8; VAL_LEN as usize];
+            let bytes = encode_node(next, k, &value);
+            sim.mem_write(server, addr, &bytes).unwrap();
+        }
+        let resp = sim.alloc(client, VAL_LEN as u64, 8).unwrap();
+        let rmr = sim.register_mr(client, resp, VAL_LEN as u64, Access::all()).unwrap();
+        let csrc = sim.alloc(client, 64, 8).unwrap();
+        let smr = sim.register_mr(client, csrc, 64, Access::all()).unwrap();
+        let ccq = sim.create_cq(client, 64).unwrap();
+        let crecv_cq = sim.create_cq(client, 64).unwrap();
+        let cqp = sim.create_qp(client, QpConfig::new(ccq).recv_cq(crecv_cq)).unwrap();
+        Rig {
+            sim,
+            client,
+            server,
+            nodes,
+            list_rkey: lmr.rkey,
+            resp,
+            resp_rkey: rmr.rkey,
+            cqp,
+            crecv_cq,
+            csrc,
+            csrc_lkey: smr.lkey,
+        }
+    }
+
+    fn walk(r: &mut Rig, off: &mut ListWalkOffload, pool: &mut ConstPool, key: u64) -> Option<u8> {
+        off.arm(&mut r.sim, pool).unwrap();
+        r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+        let payload = off.client_payload(r.nodes, key);
+        r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
+        r.sim
+            .post_send(r.cqp, WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32))
+            .unwrap();
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        if cqes.is_empty() {
+            None
+        } else {
+            Some(r.sim.mem_read(r.client, r.resp, 1).unwrap()[0])
+        }
+    }
+
+    fn cfg(r: &Rig, max_nodes: usize, brk: bool) -> ListWalkConfig {
+        ListWalkConfig {
+            list_rkey: r.list_rkey,
+            value_len: VAL_LEN,
+            client_resp_addr: r.resp,
+            client_rkey: r.resp_rkey,
+            max_nodes,
+            break_on_match: brk,
+        }
+    }
+
+    #[test]
+    fn walk_finds_first_node() {
+        let mut r = rig(&[10, 11, 12, 13]);
+        let c = cfg(&r, 4, false);
+        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        assert_eq!(walk(&mut r, &mut off, &mut pool, 10), Some(1));
+    }
+
+    #[test]
+    fn walk_finds_deep_node() {
+        let mut r = rig(&[10, 11, 12, 13]);
+        let c = cfg(&r, 4, false);
+        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        assert_eq!(walk(&mut r, &mut off, &mut pool, 13), Some(4));
+    }
+
+    #[test]
+    fn walk_miss_returns_nothing() {
+        let mut r = rig(&[10, 11, 12, 13]);
+        let c = cfg(&r, 4, false);
+        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        assert_eq!(walk(&mut r, &mut off, &mut pool, 99), None);
+    }
+
+    #[test]
+    fn break_variant_finds_and_stops_early() {
+        let mut r = rig(&[20, 21, 22, 23, 24, 25, 26, 27]);
+        let c = cfg(&r, 8, true);
+        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 19, ProcessId(0)).unwrap();
+        assert_eq!(walk(&mut r, &mut off, &mut pool, 21), Some(2));
+        // Early exit: only iterations 0 and 1 executed their responses;
+        // iterations 2..8 never ran.
+        assert_eq!(r.sim.wq_executed(r.sim.sq_of(off.tp.qp)), 2);
+    }
+
+    #[test]
+    fn no_break_walks_everything() {
+        let mut r = rig(&[20, 21, 22, 23]);
+        let c = cfg(&r, 4, false);
+        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let wrs = off.arm(&mut r.sim, &mut pool).unwrap();
+        assert!(wrs > 30, "the paper's no-break variant uses ~50 WRs, got {wrs}");
+        // All 8 chain WQEs (4 READs + 4 CASes) execute even though key
+        // matches the first node.
+        r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+        let payload = off.client_payload(r.nodes, 20);
+        r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
+        r.sim
+            .post_send(r.cqp, WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32))
+            .unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.sim.wq_executed(r.sim.sq_of(off.tp.qp)), 4);
+    }
+
+    #[test]
+    fn node_encoding_layout() {
+        let n = encode_node(0x1000, 0xABCD, &[7; 4]);
+        assert_eq!(u64::from_le_bytes(n[0..8].try_into().unwrap()), 0x1000);
+        let mut k = [0u8; 8];
+        k[..6].copy_from_slice(&n[8..14]);
+        assert_eq!(u64::from_le_bytes(k), 0xABCD);
+        assert_eq!(&n[16..20], &[7; 4]);
+    }
+}

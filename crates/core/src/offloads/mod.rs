@@ -1,0 +1,13 @@
+//! Offload programs built from the RedN constructs (paper §5).
+//!
+//! * [`rpc`] — the SEND-triggered pre-posted handler pattern of Fig 3:
+//!   a RECV scatters client arguments straight into posted WQEs; a WAIT
+//!   on the receive CQ fires the chain.
+//! * [`hash_lookup`] — key-value `get` offload over a bucketed hash table
+//!   (Fig 9), in sequential and PU-parallel variants (Fig 11).
+//! * [`list`] — linked-list traversal (Fig 12), with and without `break`
+//!   (Fig 13).
+
+pub mod hash_lookup;
+pub mod list;
+pub mod rpc;

@@ -1,0 +1,176 @@
+//! SEND-triggered RPC offload plumbing (paper Fig 3).
+//!
+//! The server pre-posts a chain that starts with a WAIT on its receive
+//! CQ. A client SEND consumes a pre-posted RECV whose scatter list aims
+//! *into the posted WQEs* — injecting the RPC arguments directly into the
+//! offload program — and its receive completion releases the WAIT: the
+//! NIC executes the handler with zero CPU involvement.
+//!
+//! Note the security property the paper highlights (§3.5 "Security"):
+//! the client only ever issues two-sided SENDs — it needs *no* rkeys to
+//! the server's memory, unlike one-sided designs such as FaRM.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId};
+use rnic_sim::mem::MemoryRegion;
+use rnic_sim::qp::QpConfig;
+use rnic_sim::sim::Simulator;
+use rnic_sim::wqe::{Sge, WorkRequest, SGE_SIZE};
+
+use crate::program::ConstPool;
+
+/// A server-side trigger endpoint: the client-facing QP whose receive CQ
+/// fires offloaded chains, and whose *managed* send queue carries the
+/// patched response WQEs.
+#[derive(Clone, Copy, Debug)]
+pub struct TriggerPoint {
+    /// Client-facing QP (connect the client's QP to this).
+    pub qp: QpId,
+    /// Receive CQ — the WAIT target that fires chains.
+    pub recv_cq: CqId,
+    /// Send CQ of the response queue.
+    pub send_cq: CqId,
+    /// The response ring region (response WQEs get transmuted in place).
+    pub ring: MemoryRegion,
+    /// Node the endpoint lives on.
+    pub node: NodeId,
+}
+
+impl TriggerPoint {
+    /// Create the endpoint. The send queue is managed: response WQEs are
+    /// NOOPs transmuted by the offload program, so they must not be
+    /// prefetched.
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        pu: Option<usize>,
+    ) -> Result<TriggerPoint> {
+        TriggerPoint::create_on_port(sim, node, owner, pu, 0)
+    }
+
+    /// As [`TriggerPoint::create`], bound to a specific NIC port.
+    pub fn create_on_port(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        pu: Option<usize>,
+        port: usize,
+    ) -> Result<TriggerPoint> {
+        let recv_cq = sim.create_cq(node, 16384)?;
+        let send_cq = sim.create_cq(node, 16384)?;
+        let mut cfg = QpConfig::new(send_cq)
+            .recv_cq(recv_cq)
+            .sq_depth(1024)
+            .rq_depth(1024)
+            .on_port(port)
+            .managed();
+        if let Some(pu) = pu {
+            cfg = cfg.on_pu(pu);
+        }
+        let qp = sim.create_qp_owned(node, cfg, owner)?;
+        let ring = sim.register_sq_ring(qp, owner)?;
+        Ok(TriggerPoint {
+            qp,
+            recv_cq,
+            send_cq,
+            ring,
+            node,
+        })
+    }
+
+    /// Post a trigger RECV whose scatter list injects the incoming
+    /// payload into the given `(addr, lkey, len)` targets, in order.
+    /// Builds the SGE table in the constant pool. Returns the RECV index.
+    ///
+    /// At most 16 entries — the ConnectX limit the paper leans on (§5.3).
+    pub fn post_trigger_recv(
+        &self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        scatter: &[(u64, u32, u32)],
+    ) -> Result<u64> {
+        assert!(scatter.len() <= 16, "RECVs can only perform 16 scatters");
+        let mut table = Vec::with_capacity(scatter.len() * SGE_SIZE as usize);
+        for &(addr, lkey, len) in scatter {
+            table.extend_from_slice(
+                &Sge {
+                    addr,
+                    lkey,
+                    len,
+                }
+                .encode(),
+            );
+        }
+        let table_addr = pool.push_bytes(sim, &table)?;
+        sim.post_recv(
+            self.qp,
+            WorkRequest::recv_sgl(table_addr, scatter.len() as u32),
+        )
+    }
+
+    /// The WAIT threshold that corresponds to "the next `n`-th trigger
+    /// from now" on the receive CQ.
+    pub fn wait_count_after(&self, sim: &Simulator, n: u64) -> u64 {
+        sim.cq_total(self.recv_cq) + n
+    }
+}
+
+/// Client-side helper: build the trigger SEND for a payload staged at
+/// `(addr, lkey)`.
+pub fn trigger_send(addr: u64, lkey: u32, len: u32) -> WorkRequest {
+    WorkRequest::send(addr, lkey, len).signaled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+    use rnic_sim::mem::Access;
+
+    #[test]
+    fn trigger_scatter_injects_arguments() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let c = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(c, s, LinkConfig::back_to_back());
+
+        let tp = TriggerPoint::create(&mut sim, s, ProcessId(0), None).unwrap();
+        let ccq = sim.create_cq(c, 16).unwrap();
+        let cqp = sim.create_qp(c, QpConfig::new(ccq)).unwrap();
+        sim.connect_qps(cqp, tp.qp).unwrap();
+
+        let mut pool = ConstPool::create(&mut sim, s, 4096, ProcessId(0)).unwrap();
+        // Two argument cells on the server.
+        let a1 = pool.reserve(&mut sim, 8).unwrap();
+        let a2 = pool.reserve(&mut sim, 8).unwrap();
+        let mr = pool.mr();
+        tp.post_trigger_recv(&mut sim, &mut pool, &[(a1, mr.lkey, 8), (a2, mr.lkey, 6)])
+            .unwrap();
+
+        // Client sends 14 bytes: [u64][48-bit].
+        let src = sim.alloc(c, 16, 8).unwrap();
+        let smr = sim.register_mr(c, src, 16, Access::all()).unwrap();
+        sim.mem_write(c, src, &0xAABB_CCDDu64.to_le_bytes()).unwrap();
+        sim.mem_write(c, src + 8, &0x1122_3344_5566u64.to_le_bytes()[..6])
+            .unwrap();
+        sim.post_send(cqp, trigger_send(src, smr.lkey, 14)).unwrap();
+        sim.run().unwrap();
+
+        assert_eq!(sim.mem_read_u64(s, a1).unwrap(), 0xAABB_CCDD);
+        assert_eq!(sim.mem_read_u64(s, a2).unwrap(), 0x1122_3344_5566);
+        assert_eq!(sim.cq_total(tp.recv_cq), 1);
+        assert_eq!(tp.wait_count_after(&sim, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 scatters")]
+    fn scatter_limit_enforced() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        let tp = TriggerPoint::create(&mut sim, s, ProcessId(0), None).unwrap();
+        let mut pool = ConstPool::create(&mut sim, s, 4096, ProcessId(0)).unwrap();
+        let entries = vec![(0x1_0000u64, 0u32, 1u32); 17];
+        let _ = tp.post_trigger_recv(&mut sim, &mut pool, &entries);
+    }
+}

@@ -1,0 +1,256 @@
+//! Offload program resources: chain queues and constant pools.
+//!
+//! A RedN offload on a server consists of (§3.5 "Offload setup"):
+//!
+//! * one or more **chain queues** — loopback-connected QPs on the server
+//!   whose send queues hold the offloaded WR chains. Queues whose WQEs get
+//!   modified in place run in *managed* mode (no prefetch). The rings are
+//!   registered for RDMA access (the "code region") so chains can patch
+//!   each other;
+//! * a **constant pool** — a registered scratch region holding immediates,
+//!   pristine WQE images for self-restoring loops, and response
+//!   templates (the "data region" is application memory, e.g. the
+//!   key-value store's tables);
+//! * a client-facing **trigger** QP (see [`crate::offloads::rpc`]).
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId, WqId};
+use rnic_sim::mem::{Access, MemoryRegion};
+use rnic_sim::qp::QpConfig;
+use rnic_sim::sim::Simulator;
+use rnic_sim::wqe::WQE_SIZE;
+
+use crate::encode::WqeField;
+
+/// A loopback chain queue: the home of an offloaded WR chain.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainQueue {
+    /// QP whose send queue holds the chain.
+    pub qp: QpId,
+    /// The loopback peer QP (its node's memory is the chain's "remote").
+    pub peer: QpId,
+    /// The send queue id (ENABLE verbs target this).
+    pub sq: WqId,
+    /// Completion queue receiving the chain's signaled completions.
+    pub cq: CqId,
+    /// The ring registered as a code region (for self-modification).
+    pub ring: MemoryRegion,
+    /// Whether the queue is managed (fetch gated by ENABLE).
+    pub managed: bool,
+    /// Ring depth in WQE slots.
+    pub depth: u32,
+    /// Node the queue lives on.
+    pub node: NodeId,
+}
+
+impl ChainQueue {
+    /// Create a chain queue on `node`: a QP pair connected in loopback,
+    /// with the send-queue ring registered for RDMA access.
+    ///
+    /// `pu` optionally pins the queue to a processing unit — RedN places
+    /// independent chains on different PUs to parallelize (§3.5, Fig 11).
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        managed: bool,
+        depth: u32,
+        pu: Option<usize>,
+        owner: ProcessId,
+    ) -> Result<ChainQueue> {
+        ChainQueue::create_on_port(sim, node, managed, depth, pu, owner, 0)
+    }
+
+    /// As [`ChainQueue::create`], on a specific NIC port (Table 4's
+    /// dual-port configuration places chains on both ports).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_on_port(
+        sim: &mut Simulator,
+        node: NodeId,
+        managed: bool,
+        depth: u32,
+        pu: Option<usize>,
+        owner: ProcessId,
+        port: usize,
+    ) -> Result<ChainQueue> {
+        let cq = sim.create_cq(node, (depth as usize * 4).max(64) as u32)?;
+        let mut cfg = QpConfig::new(cq).sq_depth(depth).rq_depth(8).on_port(port);
+        if managed {
+            cfg = cfg.managed();
+        }
+        if let Some(pu) = pu {
+            cfg = cfg.on_pu(pu);
+        }
+        let qp = sim.create_qp_owned(node, cfg, owner)?;
+        // The loopback peer only terminates the connection; it needs no
+        // meaningful queues of its own.
+        let peer = sim.create_qp_owned(
+            node,
+            QpConfig::new(cq).sq_depth(8).rq_depth(8).on_port(port),
+            owner,
+        )?;
+        sim.connect_qps(qp, peer)?;
+        let ring = sim.register_sq_ring(qp, owner)?;
+        Ok(ChainQueue {
+            qp,
+            peer,
+            sq: sim.sq_of(qp),
+            cq,
+            ring,
+            managed,
+            depth,
+            node,
+        })
+    }
+
+    /// Address of the slot WQE index `idx` occupies.
+    pub fn slot_addr(&self, idx: u64) -> u64 {
+        self.ring.addr + (idx % self.depth as u64) * WQE_SIZE
+    }
+
+    /// Address of `field` of the WQE at index `idx` — the patch points
+    /// self-modifying verbs aim at.
+    pub fn field_addr(&self, idx: u64, field: WqeField) -> u64 {
+        self.slot_addr(idx) + field.offset()
+    }
+}
+
+/// A registered scratch region for constants, with bump allocation.
+pub struct ConstPool {
+    /// Node the pool lives on.
+    pub node: NodeId,
+    base: u64,
+    cap: u64,
+    used: u64,
+    mr: MemoryRegion,
+}
+
+impl ConstPool {
+    /// Allocate and register a pool of `cap` bytes.
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        cap: u64,
+        owner: ProcessId,
+    ) -> Result<ConstPool> {
+        let base = sim.alloc(node, cap, 64)?;
+        let mr = sim.register_mr_owned(node, base, cap, Access::all(), owner)?;
+        Ok(ConstPool {
+            node,
+            base,
+            cap,
+            used: 0,
+            mr,
+        })
+    }
+
+    /// The pool's memory region (keys for chain verbs).
+    pub fn mr(&self) -> MemoryRegion {
+        self.mr
+    }
+
+    /// Stash raw bytes; returns their address.
+    pub fn push_bytes(&mut self, sim: &mut Simulator, bytes: &[u8]) -> Result<u64> {
+        // Keep everything 8-byte aligned: atomics and header words require
+        // it, and alignment costs almost nothing here.
+        let aligned = (self.used + 7) & !7;
+        let addr = self.base + aligned;
+        assert!(
+            aligned + bytes.len() as u64 <= self.cap,
+            "constant pool exhausted ({} + {} > {})",
+            aligned,
+            bytes.len(),
+            self.cap
+        );
+        sim.mem_write(self.node, addr, bytes)?;
+        self.used = aligned + bytes.len() as u64;
+        Ok(addr)
+    }
+
+    /// Stash a u64 constant; returns its address.
+    pub fn push_u64(&mut self, sim: &mut Simulator, v: u64) -> Result<u64> {
+        self.push_bytes(sim, &v.to_le_bytes())
+    }
+
+    /// Reserve zeroed space (e.g. a register or a scratch word).
+    pub fn reserve(&mut self, sim: &mut Simulator, len: u64) -> Result<u64> {
+        self.push_bytes(sim, &vec![0u8; len as usize])
+    }
+
+    /// Bytes used so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
+    use rnic_sim::wqe::WorkRequest;
+
+    fn sim_one() -> (Simulator, NodeId) {
+        let mut sim = Simulator::new(SimConfig::default());
+        let n = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        (sim, n)
+    }
+
+    #[test]
+    fn chain_queue_is_loopback_and_registered() {
+        let (mut sim, n) = sim_one();
+        let q = ChainQueue::create(&mut sim, n, true, 32, None, ProcessId(0)).unwrap();
+        assert_eq!(q.node, n);
+        assert!(q.managed);
+        // The ring region covers all slots.
+        assert_eq!(q.ring.len, 32 * WQE_SIZE);
+        assert_eq!(q.slot_addr(0), q.ring.addr);
+        assert_eq!(q.slot_addr(32), q.ring.addr); // wraps
+        assert_eq!(
+            q.field_addr(1, WqeField::Header),
+            q.ring.addr + WQE_SIZE
+        );
+        // A verb posted through the chain QP can write the server's own
+        // memory (loopback).
+        let buf = sim.alloc(n, 16, 8).unwrap();
+        let mr = sim.register_mr(n, buf, 16, Access::all()).unwrap();
+        sim.mem_write_u64(n, buf, 0x42).unwrap();
+        // Unmanaged queue for a direct test.
+        let q2 = ChainQueue::create(&mut sim, n, false, 8, None, ProcessId(0)).unwrap();
+        sim.post_send(
+            q2.qp,
+            WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey),
+        )
+        .unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.mem_read_u64(n, buf + 8).unwrap(), 0x42);
+    }
+
+    #[test]
+    fn chain_queue_pu_pinning() {
+        let (mut sim, n) = sim_one();
+        let q1 = ChainQueue::create(&mut sim, n, false, 8, Some(3), ProcessId(0)).unwrap();
+        let q2 = ChainQueue::create(&mut sim, n, false, 8, Some(5), ProcessId(0)).unwrap();
+        assert_ne!(q1.sq, q2.sq);
+    }
+
+    #[test]
+    fn const_pool_alignment_and_round_trip() {
+        let (mut sim, n) = sim_one();
+        let mut pool = ConstPool::create(&mut sim, n, 256, ProcessId(0)).unwrap();
+        let a = pool.push_bytes(&mut sim, &[1, 2, 3]).unwrap();
+        let b = pool.push_u64(&mut sim, 0xDEAD).unwrap();
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+        assert_eq!(sim.mem_read_u64(n, b).unwrap(), 0xDEAD);
+        let c = pool.reserve(&mut sim, 16).unwrap();
+        assert_eq!(sim.mem_read_u64(n, c).unwrap(), 0);
+        assert!(pool.used() >= 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant pool exhausted")]
+    fn const_pool_overflow_panics() {
+        let (mut sim, n) = sim_one();
+        let mut pool = ConstPool::create(&mut sim, n, 16, ProcessId(0)).unwrap();
+        pool.push_bytes(&mut sim, &[0; 24]).unwrap();
+    }
+}

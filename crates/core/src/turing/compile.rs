@@ -1,0 +1,371 @@
+//! Compiling Turing machines to self-modifying RDMA rings.
+//!
+//! One WQ-recycling round (see
+//! [`RecycledLoopBuilder`](crate::constructs::loops::RecycledLoopBuilder))
+//! executes one TM step. The dynamic machine configuration lives in
+//! registered host memory:
+//!
+//! * `head_reg` — the *absolute address* of the cell under the head
+//!   (moves are fetch-and-adds of ±8);
+//! * `sreg` — the combined configuration register: bytes 0..3 hold the
+//!   state, bytes 3..6 the symbol just read. Its low 6 bytes are exactly
+//!   a 48-bit conditional operand, so **one** CAS dispatches on
+//!   `(state, symbol)` at once;
+//! * the tape — one 8-byte cell per position, symbol in the low bytes;
+//! * `halt_flag` — set to 1 by halting rules, for host observation.
+//!
+//! Per round the ring: patches the READ with `head_reg` and reads the
+//! cell into `sreg`; injects `sreg` into every rule's trigger WQE;
+//! CASes each trigger against its rule's `(state, symbol)` constant
+//! (NOOP→WRITE on the unique match); the matched trigger copies its
+//! rule's prebuilt *action image* over a generic 5-slot action region
+//! (write symbol / set state / move head / halt / raise flag); the action
+//! executes; the ring restores its code from pristine images and
+//! re-enables itself. A halting image's fourth slot overwrites the tail
+//! ENABLE's header with a NOOP — the ring never re-arms and the
+//! simulation's event queue simply drains.
+//!
+//! Every overwritten WQE keeps the signaled-ness of its placeholder, so
+//! the per-round completion count is rule-independent — the WAIT
+//! thresholds stay exact.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+use rnic_sim::verbs::Opcode;
+use rnic_sim::wqe::{header_word, WorkRequest, FLAG_SIGNALED, WQE_SIZE};
+
+use crate::constructs::loops::{RecycledLoop, RecycledLoopBuilder};
+use crate::encode::{cond_compare, cond_swap, WqeField};
+use crate::program::{ChainQueue, ConstPool};
+use crate::turing::machine::{Move, TuringMachine};
+
+/// Bytes per tape cell.
+pub const CELL_SIZE: u64 = 8;
+/// Number of generic action slots per step.
+const ACTION_SLOTS: usize = 5;
+
+/// A Turing machine compiled to an RDMA ring, already armed.
+pub struct CompiledTm {
+    /// The recycled ring executing the machine.
+    pub lp: RecycledLoop,
+    /// Node it runs on.
+    pub node: NodeId,
+    /// Tape base address.
+    pub tape_addr: u64,
+    /// Tape length in cells.
+    pub tape_len: usize,
+    /// Head register (absolute cell address).
+    pub head_reg: u64,
+    /// Combined state/symbol register.
+    pub sreg: u64,
+    /// Halt flag cell.
+    pub halt_flag: u64,
+}
+
+impl CompiledTm {
+    /// Compile `tm` with the given initial `tape` and `head`, arming the
+    /// ring. After this call, `sim.run()` executes the machine to
+    /// halting (or until the event budget trips, for non-halting
+    /// machines — use `run_until`).
+    pub fn compile(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        tm: &TuringMachine,
+        tape: &[u32],
+        head: usize,
+    ) -> Result<CompiledTm> {
+        tm.validate().expect("machine must be valid");
+        assert!(!tape.is_empty() && head < tape.len());
+        let nrules = tm.rules.len();
+        // Ring: 16 + 3R body + (R + 5) restores + 6 WAIT fix-ups + 2 tail.
+        let need = 29 + 4 * nrules;
+        let depth = (need as u32).next_power_of_two().max(64);
+
+        let mut pool = ConstPool::create(sim, node, 1 << 17, owner)?;
+        let pool_mr = pool.mr();
+
+        // Machine memory.
+        let tape_addr = pool.reserve(sim, tape.len() as u64 * CELL_SIZE)?;
+        for (i, &s) in tape.iter().enumerate() {
+            sim.mem_write_u64(node, tape_addr + i as u64 * CELL_SIZE, s as u64)?;
+        }
+        let head_reg = pool.push_u64(sim, tape_addr + head as u64 * CELL_SIZE)?;
+        let sreg = pool.push_u64(sim, tm.start as u64)?; // symbol filled per step
+        let halt_flag = pool.reserve(sim, 8)?;
+        let one_cell = pool.push_u64(sim, 1)?;
+        let noop_header = pool.push_u64(sim, header_word(Opcode::Noop, 0))?;
+
+        // Per-rule constants: written symbol and next state (3 bytes
+        // each, padded to 8).
+        let mut sym_cells = Vec::new();
+        let mut state_cells = Vec::new();
+        for r in &tm.rules {
+            sym_cells.push(pool.push_u64(sim, r.write as u64)?);
+            state_cells.push(pool.push_u64(sim, r.next as u64)?);
+        }
+
+        let queue = ChainQueue::create(sim, node, true, depth, None, owner)?;
+        let mut lb = RecycledLoopBuilder::new(sim, queue);
+
+        // --- Step prologue: read the cell under the head ---------------
+        // The READ lands two slots ahead (after the WAIT).
+        let read_slot = lb.len() + 2;
+        let read_raddr = lb.slot_field_addr(read_slot, WqeField::RemoteAddr);
+        lb.stage(
+            WorkRequest::write(head_reg, pool_mr.lkey, 8, read_raddr, queue.ring.rkey).signaled(),
+        );
+        lb.stage_wait_all();
+        let staged_read = lb.stage(
+            WorkRequest::read(sreg + 3, pool_mr.lkey, 3, 0 /* patched */, pool_mr.rkey).signaled(),
+        );
+        debug_assert_eq!(staged_read, read_slot);
+        lb.stage_wait_all();
+
+        // --- Rule dispatch ---------------------------------------------
+        // Trigger slots come after: injections (R), a WAIT, CASes (R), a
+        // WAIT — so trigger r sits at len + 2R + 2 + r when staging the
+        // first injection.
+        let first_trigger_slot = lb.len() + 2 * nrules + 2;
+
+        // Inject sreg (state|symbol) into every trigger's id bits.
+        for r in 0..nrules {
+            let trig_id = lb.slot_field_addr(first_trigger_slot + r, WqeField::Id);
+            lb.stage(
+                WorkRequest::write(sreg, pool_mr.lkey, 6, trig_id, queue.ring.rkey).signaled(),
+            );
+        }
+        lb.stage_wait_all();
+
+        // One CAS per rule: (state, symbol) packed into 48 bits.
+        for (r, rule) in tm.rules.iter().enumerate() {
+            let cond = rule.state as u64 | ((rule.read as u64) << 24);
+            let trig_header = lb.slot_field_addr(first_trigger_slot + r, WqeField::Header);
+            lb.stage(
+                WorkRequest::cas(
+                    trig_header,
+                    queue.ring.rkey,
+                    cond_compare(cond),
+                    cond_swap(Opcode::Write, cond),
+                    0,
+                    0,
+                )
+                .signaled(),
+            );
+        }
+        lb.stage_wait_all();
+        debug_assert_eq!(lb.len(), first_trigger_slot);
+
+        // Trigger placeholders: NOOP -> WRITE(action image -> action
+        // region). Action slots live after [triggers, WAIT, patch, WAIT].
+        let action_slot0 = first_trigger_slot + nrules + 3;
+        let action_region_addr = queue.slot_addr(action_slot0 as u64);
+
+        // Build each rule's action image: 5 WQEs worth of bytes.
+        let mut image_addrs = Vec::new();
+        for (r, rule) in tm.rules.iter().enumerate() {
+            let mut image = Vec::with_capacity(ACTION_SLOTS * WQE_SIZE as usize);
+            // A0: write the new symbol to tape[head] (remote patched in
+            // every round by the W_patch below — the image leaves 0).
+            let mut w_sym =
+                WorkRequest::write(sym_cells[r], pool_mr.lkey, 3, 0, pool_mr.rkey).signaled();
+            w_sym.wqe.flags |= FLAG_SIGNALED;
+            image.extend_from_slice(&w_sym.wqe.encode());
+            // A1: set the next state (low 3 bytes of sreg).
+            let w_state =
+                WorkRequest::write(state_cells[r], pool_mr.lkey, 3, sreg, pool_mr.rkey).signaled();
+            image.extend_from_slice(&w_state.wqe.encode());
+            // A2: move the head.
+            let delta: u64 = match rule.mv {
+                Move::Left => (CELL_SIZE as i64).wrapping_neg() as u64,
+                Move::Right => CELL_SIZE,
+                Move::Stay => 0,
+            };
+            let f_head =
+                WorkRequest::fetch_add(head_reg, pool_mr.rkey, delta, 0, 0).signaled();
+            image.extend_from_slice(&f_head.wqe.encode());
+            // A3/A4: halting rules kill the tail ENABLE and raise the
+            // flag; others pad with signaled NOOPs.
+            if rule.next == tm.halt {
+                let kill = WorkRequest::write(
+                    noop_header,
+                    pool_mr.lkey,
+                    8,
+                    0, // patched below once the tail address is known
+                    queue.ring.rkey,
+                )
+                .signaled();
+                image.extend_from_slice(&kill.wqe.encode());
+                let flag =
+                    WorkRequest::write(one_cell, pool_mr.lkey, 8, halt_flag, pool_mr.rkey)
+                        .signaled();
+                image.extend_from_slice(&flag.wqe.encode());
+            } else {
+                image.extend_from_slice(&WorkRequest::noop().signaled().wqe.encode());
+                image.extend_from_slice(&WorkRequest::noop().signaled().wqe.encode());
+            }
+            image_addrs.push(pool.push_bytes(sim, &image)?);
+        }
+
+        for r in 0..nrules {
+            let mut trig = WorkRequest::write(
+                image_addrs[r],
+                pool_mr.lkey,
+                (ACTION_SLOTS as u64 * WQE_SIZE) as u32,
+                action_region_addr,
+                queue.ring.rkey,
+            )
+            .signaled();
+            trig.wqe.opcode = Opcode::Noop;
+            let slot = lb.stage(trig);
+            debug_assert_eq!(slot, first_trigger_slot + r);
+            lb.mark_restore(slot);
+        }
+        lb.stage_wait_all();
+
+        // Patch the symbol-write's destination with the current head.
+        let a0_raddr = lb.slot_field_addr(action_slot0, WqeField::RemoteAddr);
+        lb.stage(
+            WorkRequest::write(head_reg, pool_mr.lkey, 8, a0_raddr, queue.ring.rkey).signaled(),
+        );
+        lb.stage_wait_all();
+
+        // The generic action region: signaled NOOP placeholders,
+        // restored every round.
+        debug_assert_eq!(lb.len(), action_slot0);
+        for _ in 0..ACTION_SLOTS {
+            let slot = lb.stage(WorkRequest::noop().signaled());
+            lb.mark_restore(slot);
+        }
+
+        // The tail ENABLE lands at slot depth-1; halting images must aim
+        // their kill-WRITE there. Patch the images now that we know it.
+        let tail_enable_header = queue.slot_addr(depth as u64 - 1) + WqeField::Header.offset();
+        for (r, rule) in tm.rules.iter().enumerate() {
+            if rule.next == tm.halt {
+                // The kill WRITE is image WQE A3: offset 3*WQE_SIZE,
+                // remote_addr field.
+                let addr = image_addrs[r] + 3 * WQE_SIZE + WqeField::RemoteAddr.offset();
+                sim.mem_write(node, addr, &tail_enable_header.to_le_bytes())?;
+            }
+        }
+
+        let lp = lb.finish(sim, &mut pool)?;
+        Ok(CompiledTm {
+            lp,
+            node,
+            tape_addr,
+            tape_len: tape.len(),
+            head_reg,
+            sreg,
+            halt_flag,
+        })
+    }
+
+    /// Read the tape back.
+    pub fn read_tape(&self, sim: &Simulator) -> Result<Vec<u32>> {
+        (0..self.tape_len)
+            .map(|i| {
+                sim.mem_read_u64(self.node, self.tape_addr + i as u64 * CELL_SIZE)
+                    .map(|v| v as u32)
+            })
+            .collect()
+    }
+
+    /// Whether a halting rule fired.
+    pub fn halted(&self, sim: &Simulator) -> Result<bool> {
+        Ok(sim.mem_read_u64(self.node, self.halt_flag)? == 1)
+    }
+
+    /// Current state (low 3 bytes of sreg).
+    pub fn state(&self, sim: &Simulator) -> Result<u32> {
+        Ok((sim.mem_read_u64(self.node, self.sreg)? & 0xFF_FFFF) as u32)
+    }
+
+    /// Current head index.
+    pub fn head_index(&self, sim: &Simulator) -> Result<usize> {
+        let addr = sim.mem_read_u64(self.node, self.head_reg)?;
+        Ok(((addr - self.tape_addr) / CELL_SIZE) as usize)
+    }
+
+    /// TM steps executed so far (ring rounds).
+    pub fn steps(&self, sim: &Simulator) -> u64 {
+        self.lp.rounds(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
+    use rnic_sim::time::Time;
+
+    fn setup() -> (Simulator, NodeId) {
+        let mut sim = Simulator::new(SimConfig::default());
+        let node = sim.add_node("nic-tm", HostConfig::default(), NicConfig::connectx5());
+        (sim, node)
+    }
+
+    #[test]
+    fn busy_beaver_runs_on_the_nic() {
+        let (mut sim, node) = setup();
+        let tm = TuringMachine::busy_beaver_2();
+        let tape = vec![0u32; 9];
+        let compiled =
+            CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 4).unwrap();
+        sim.run().unwrap(); // runs until the machine halts and events drain
+        assert!(compiled.halted(&sim).unwrap());
+        let reference = tm.run(&tape, 4, 1000);
+        assert_eq!(compiled.read_tape(&sim).unwrap(), reference.tape);
+        assert_eq!(compiled.state(&sim).unwrap(), tm.halt);
+        assert_eq!(compiled.head_index(&sim).unwrap(), reference.head);
+        // The round that fires the halting rule is the final TM step.
+        assert_eq!(compiled.steps(&sim), reference.steps);
+    }
+
+    #[test]
+    fn binary_increment_matches_reference() {
+        for value in [0u32, 1, 2, 3, 7, 12] {
+            let (mut sim, node) = setup();
+            let tm = TuringMachine::binary_increment();
+            // LSB-first binary with headroom.
+            let tape: Vec<u32> = (0..8).map(|i| (value >> i) & 1).collect();
+            let compiled =
+                CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 0).unwrap();
+            sim.run().unwrap();
+            assert!(compiled.halted(&sim).unwrap(), "value {value}");
+            let reference = tm.run(&tape, 0, 1000);
+            assert_eq!(
+                compiled.read_tape(&sim).unwrap(),
+                reference.tape,
+                "value {value}"
+            );
+            // Decode: the tape now holds value + 1.
+            let got: u32 = compiled
+                .read_tape(&sim)
+                .unwrap()
+                .iter()
+                .enumerate()
+                .map(|(i, b)| b << i)
+                .sum();
+            assert_eq!(got, value + 1);
+        }
+    }
+
+    #[test]
+    fn spinner_never_halts_t3_nontermination() {
+        // Requirement T3 (§3.2): unbounded execution with no CPU. The
+        // spinner flips one cell forever; we stop the simulation by time.
+        let (mut sim, node) = setup();
+        let tm = TuringMachine::spinner();
+        let compiled =
+            CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &[0, 0], 0).unwrap();
+        sim.run_until(Time::from_ms(2)).unwrap();
+        assert!(!compiled.halted(&sim).unwrap());
+        let steps = compiled.steps(&sim);
+        assert!(steps > 20, "expected many steps, got {steps}");
+        // Still running: events remain pending.
+        assert!(sim.pending_events() > 0);
+    }
+}

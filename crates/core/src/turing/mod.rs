@@ -1,0 +1,22 @@
+//! Turing completeness, by construction (paper Appendix A).
+//!
+//! The paper sketches a proof via `mov`-machine emulation; this module
+//! goes one step further and *compiles arbitrary Turing machines to
+//! self-modifying RDMA rings* that run on the (simulated) NIC with zero
+//! CPU involvement:
+//!
+//! * [`machine`] — TM specifications and a reference interpreter;
+//! * [`compile`] — the TM → RDMA compiler. One WQ-recycling round
+//!   executes one TM step: read the cell under the head, dispatch on
+//!   `(state, symbol)` via one self-modifying CAS per rule, apply the
+//!   matched rule's action image (write symbol, set state, move head),
+//!   restore the ring's code to pristine, and re-enable itself. A halting
+//!   rule transmutes the ring's tail ENABLE into a NOOP — the program
+//!   stops and the simulator's event queue drains.
+//!
+//! Nontermination (requirement T3 in §3.2) is real: feed the compiler a
+//! non-halting machine and the ring recycles forever — the simulator's
+//! event budget is the only thing that stops it.
+
+pub mod compile;
+pub mod machine;

@@ -1,0 +1,193 @@
+//! Performance isolation under CPU contention (paper §5.5, Fig 15).
+//!
+//! Writer clients hammer the Memcached server with `set` RPCs in a closed
+//! loop; a single reader measures `get` latency. Two-sided gets queue
+//! behind the writer storm on the server CPU (context switches + scheduler
+//! quanta inflate the tail); RedN gets ride the NIC and stay flat.
+//!
+//! The server application is pinned to a small core set (the paper
+//! stresses "CPU contention in multi-tenant and cloud settings"): we model
+//! the Memcached+VMA deployment with 4 application cores, so the writer
+//! storm oversubscribes the CPU well before 16 writers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_core::program::ConstPool;
+use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+use rnic_sim::error::Result;
+use rnic_sim::ids::ProcessId;
+use rnic_sim::sim::{ListenMode, Simulator};
+use rnic_sim::time::Time;
+use rnic_sim::wqe::WorkRequest;
+
+use crate::baselines::{encode_request, two_sided_get, ClientEndpoint, TwoSidedMode, REQ_OP_SET};
+use crate::memcached::{redn_get, MemcachedServer};
+use crate::workload::{latency_stats, LatencyStats};
+
+/// Which get path the reader uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReaderPath {
+    /// Two-sided RPC (contends with the writers on the server CPU).
+    TwoSided,
+    /// RedN offload (served by the NIC).
+    RedN,
+}
+
+/// One point of Fig 15.
+#[derive(Clone, Copy, Debug)]
+pub struct IsolationPoint {
+    /// Number of writer clients.
+    pub writers: usize,
+    /// Reader latency statistics.
+    pub stats: LatencyStats,
+}
+
+/// Application cores the Memcached deployment gets (the paper's server
+/// runs Memcached+VMA alongside other tenants; 4 cores makes the 1..16
+/// writer sweep cross the oversubscription knee like Fig 15 does).
+pub const APP_CORES: usize = 4;
+
+/// Run one contention experiment: `writers` closed-loop set clients and
+/// one reader doing `reads` gets via `path`.
+pub fn run_contention(writers: usize, reads: usize, path: ReaderPath) -> Result<IsolationPoint> {
+    let mut sim = Simulator::new(SimConfig::default());
+    let server_host = HostConfig {
+        cores: APP_CORES,
+        ..HostConfig::default()
+    };
+    let c = sim.add_node("clients", HostConfig::default(), NicConfig::connectx5());
+    let s = sim.add_node("server", server_host, NicConfig::connectx5());
+    sim.connect_nodes(c, s, LinkConfig::back_to_back());
+
+    const VALUE_LEN: u32 = 64;
+    let server = MemcachedServer::create(&mut sim, s, 1 << 15, VALUE_LEN, ProcessId(0))?;
+    // Each writer gets a distinct sequential key range; the reader reads
+    // from its own range (pre-populated).
+    const KEYS_PER_CLIENT: u64 = 1000;
+    for w in 0..writers as u64 + 1 {
+        let base = 1 + w * KEYS_PER_CLIENT;
+        for k in base..base + KEYS_PER_CLIENT {
+            server.table.borrow_mut().insert(&mut sim, k, &[1u8; 64])?;
+        }
+    }
+
+    let mut rpc = server.two_sided_frontend(&mut sim, TwoSidedMode::Vma)?;
+    // Server CPU pressure: one VMA worker per connection plus the reader's.
+    sim.set_runnable_threads(s, writers + 1);
+
+    // Writers: closed-loop set clients driven by their response CQEs.
+    for w in 0..writers {
+        let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
+        let server_qp = rpc.add_connection(&mut sim)?;
+        sim.connect_qps(ep.qp, server_qp)?;
+        let base = 1 + (w as u64) * KEYS_PER_CLIENT;
+        let mut cursor = 0u64;
+        let qp = ep.qp;
+        let (req_buf, req_lkey) = (ep.req_buf, ep.req_lkey);
+        let (resp_buf, resp_rkey) = (ep.resp_buf, ep.resp_rkey);
+        let node = ep.node;
+        let send_next = Rc::new(RefCell::new(None::<Box<dyn FnMut(&mut Simulator)>>));
+        let send_next2 = send_next.clone();
+        *send_next.borrow_mut() = Some(Box::new(move |sim: &mut Simulator| {
+            let key = base + (cursor % KEYS_PER_CLIENT);
+            cursor += 1;
+            let req = encode_request(REQ_OP_SET, key, resp_buf, resp_rkey, &[2u8; 64]);
+            let _ = sim.mem_write(node, req_buf, &req);
+            let _ = sim.post_recv(qp, WorkRequest::recv(0, 0, 0));
+            let _ = sim.post_send(qp, WorkRequest::send(req_buf, req_lkey, req.len() as u32));
+        }));
+        // Kick the loop and rearm on every response.
+        let kicker = send_next.clone();
+        sim.after(
+            Time::from_us(w as u64 + 1),
+            Box::new(move |sim| {
+                if let Some(f) = kicker.borrow_mut().as_mut() {
+                    f(sim);
+                }
+            }),
+        );
+        sim.set_cq_listener(
+            ep.recv_cq,
+            ListenMode::Polling,
+            Box::new(move |sim, _cqe| {
+                if let Some(f) = send_next2.borrow_mut().as_mut() {
+                    f(sim);
+                }
+            }),
+        );
+    }
+
+    // The reader.
+    let reader_base = 1 + writers as u64 * KEYS_PER_CLIENT;
+    let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
+    let mut latencies = Vec::with_capacity(reads);
+    match path {
+        ReaderPath::TwoSided => {
+            let server_qp = rpc.add_connection(&mut sim)?;
+            sim.connect_qps(ep.qp, server_qp)?;
+            for i in 0..reads {
+                let key = reader_base + (i as u64 % KEYS_PER_CLIENT);
+                let (lat, found) = two_sided_get(&mut sim, &ep, key)?;
+                assert!(found, "reader key {key} missing");
+                latencies.push(lat);
+            }
+        }
+        ReaderPath::RedN => {
+            let mut off = server.redn_frontend(
+                &mut sim,
+                ep.resp_buf,
+                ep.resp_rkey,
+                HashGetVariant::Parallel,
+            )?;
+            sim.connect_qps(ep.qp, off.tp.qp)?;
+            let mut pool = ConstPool::create(&mut sim, s, 1 << 22, ProcessId(0))?;
+            for i in 0..reads {
+                let key = reader_base + (i as u64 % KEYS_PER_CLIENT);
+                let (lat, found) =
+                    redn_get(&mut sim, &mut off, &mut pool, &ep, &server, key)?;
+                assert!(found, "reader key {key} missing");
+                latencies.push(lat);
+            }
+        }
+    }
+
+    Ok(IsolationPoint {
+        writers,
+        stats: latency_stats(&latencies),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redn_stays_flat_under_contention() {
+        let quiet = run_contention(0, 30, ReaderPath::RedN).unwrap();
+        let storm = run_contention(16, 30, ReaderPath::RedN).unwrap();
+        // The paper: "CPU contention has no impact on the performance of
+        // the RNIC and both the average and 99th percentiles sit below
+        // 7 µs".
+        assert!(storm.stats.p99_us < 10.0, "RedN p99 {}", storm.stats.p99_us);
+        assert!(
+            storm.stats.avg_us < quiet.stats.avg_us * 1.5 + 1.0,
+            "RedN avg moved too much: {} vs {}",
+            storm.stats.avg_us,
+            quiet.stats.avg_us
+        );
+    }
+
+    #[test]
+    fn two_sided_tail_blows_up_under_contention() {
+        let quiet = run_contention(0, 30, ReaderPath::TwoSided).unwrap();
+        let storm = run_contention(16, 30, ReaderPath::TwoSided).unwrap();
+        assert!(
+            storm.stats.p99_us > quiet.stats.p99_us * 3.0,
+            "two-sided p99 should inflate: quiet {} storm {}",
+            quiet.stats.p99_us,
+            storm.stats.p99_us
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # redn-kv — key-value substrate for the RedN reproduction
+//!
+//! The paper's evaluation (§5.2–§5.6) revolves around key-value `get`
+//! offloads and their baselines. This crate provides everything those
+//! experiments need on top of [`rnic_sim`] and [`redn_core`]:
+//!
+//! * [`store`] — a registered value heap and deterministic hashing;
+//! * [`hopscotch`] — the hopscotch-style table of §5.2 (H = 2 candidate
+//!   buckets, 6-bucket neighborhoods for the FaRM-style one-sided reads);
+//! * [`cuckoo`] — the cuckoo table the paper's modified Memcached uses
+//!   (MemC3-style, two candidate buckets with relocation);
+//! * [`baselines`] — the paper's comparison points: **one-sided** lookups
+//!   (FaRM/Pilaf: two READs, no server CPU) and **two-sided** RPC
+//!   (polling / event-driven / VMA socket-stack flavors);
+//! * [`memcached`] — a Memcached-like server assembled from the pieces,
+//!   servable through any of the three frontends;
+//! * [`workload`] — Memtier-like request generators;
+//! * [`isolation`] — the §5.5 contention harness (writer storms vs one
+//!   reader);
+//! * [`failure`] — the §5.6 crash/restart harness (hull-parent survival
+//!   vs vanilla restart+rebuild).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod cuckoo;
+pub mod failure;
+pub mod hopscotch;
+pub mod isolation;
+pub mod memcached;
+pub mod store;
+pub mod workload;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::baselines::{OneSidedClient, TwoSidedMode, TwoSidedServer};
+    pub use crate::cuckoo::CuckooTable;
+    pub use crate::hopscotch::HopscotchTable;
+    pub use crate::memcached::MemcachedServer;
+    pub use crate::store::{hash_key, ValueHeap};
+    pub use crate::workload::Workload;
+}

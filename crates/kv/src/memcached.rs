@@ -1,0 +1,222 @@
+//! A Memcached-like server assembled from the substrate pieces (§5.4).
+//!
+//! The paper modifies Memcached (~700 LoC) to register its cuckoo hash
+//! table and storage with the RNIC — "we also modify the buckets, so that
+//! the addresses to the values are stored in big endian — to match the
+//! format used by the WR attributes" (our simulated WQEs are little-endian
+//! throughout, so the translation is the identity; the *registration* is
+//! the part that matters). `get` requests can then be served by three
+//! interchangeable frontends:
+//!
+//! * the RedN offload ([`redn_core::offloads::hash_lookup`]) — zero CPU;
+//! * the one-sided baseline ([`crate::baselines::OneSidedClient`]);
+//! * the two-sided RPC server ([`crate::baselines::TwoSidedServer`]),
+//!   optionally through the VMA socket-stack cost model.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use redn_core::offloads::hash_lookup::{HashGetConfig, HashGetOffload, HashGetVariant};
+use redn_core::offloads::rpc;
+use redn_core::program::ConstPool;
+use rnic_sim::error::{Error, Result};
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+use rnic_sim::time::Time;
+use rnic_sim::wqe::WorkRequest;
+
+use crate::baselines::{ClientEndpoint, TwoSidedMode, TwoSidedServer};
+use crate::cuckoo::CuckooTable;
+
+/// The Memcached-like store: a cuckoo table plus its registration state.
+pub struct MemcachedServer {
+    /// Server node.
+    pub node: NodeId,
+    /// Owning process (crash-test subject; use the init process or a
+    /// hull parent for crash-resilient offloads).
+    pub owner: ProcessId,
+    /// The table (shared with two-sided listeners).
+    pub table: Rc<RefCell<CuckooTable>>,
+}
+
+impl MemcachedServer {
+    /// Create the store with `nbuckets` buckets of `value_len` values.
+    pub fn create(
+        sim: &mut Simulator,
+        node: NodeId,
+        nbuckets: u64,
+        value_len: u32,
+        owner: ProcessId,
+    ) -> Result<MemcachedServer> {
+        let table = CuckooTable::create(sim, node, nbuckets, value_len, owner)?;
+        Ok(MemcachedServer {
+            node,
+            owner,
+            table: Rc::new(RefCell::new(table)),
+        })
+    }
+
+    /// Insert keys `1..=n` with values tagged by key (population step all
+    /// experiments share).
+    pub fn populate(&self, sim: &mut Simulator, n: u64) -> Result<()> {
+        let value_len = self.table.borrow().heap.slot_len as usize;
+        for k in 1..=n {
+            let v = vec![(k & 0xFF) as u8; value_len];
+            if !self.table.borrow_mut().insert(sim, k, &v)? {
+                return Err(Error::InvalidWr("table full during populate"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stand up the RedN get offload for `client` (its response buffer and
+    /// rkey must come from a [`ClientEndpoint`] on the client node).
+    pub fn redn_frontend(
+        &self,
+        sim: &mut Simulator,
+        client_resp_addr: u64,
+        client_rkey: u32,
+        variant: HashGetVariant,
+    ) -> Result<HashGetOffload> {
+        let (table_rkey, value_lkey, value_len) = {
+            let t = self.table.borrow();
+            (t.mr().rkey, t.heap.mr().lkey, t.heap.slot_len)
+        };
+        HashGetOffload::create(
+            sim,
+            self.node,
+            self.owner,
+            HashGetConfig {
+                table_rkey,
+                value_lkey,
+                value_len,
+                client_resp_addr,
+                client_rkey,
+                variant,
+                port: 0,
+            },
+        )
+    }
+
+    /// Stand up the two-sided RPC frontend.
+    pub fn two_sided_frontend(
+        &self,
+        sim: &mut Simulator,
+        mode: TwoSidedMode,
+    ) -> Result<TwoSidedServer> {
+        TwoSidedServer::install(sim, self.node, self.table.clone(), mode, self.owner)
+    }
+
+    /// Candidate bucket addresses for `key` (clients hash locally).
+    pub fn candidate_addrs(&self, key: u64) -> [u64; 2] {
+        self.table.borrow().candidate_addrs(key)
+    }
+}
+
+/// Synchronous RedN get: arms one instance, triggers it, waits for the
+/// response WRITE_IMM. Returns `(latency, found)`.
+pub fn redn_get(
+    sim: &mut Simulator,
+    off: &mut HashGetOffload,
+    pool: &mut ConstPool,
+    ep: &ClientEndpoint,
+    server: &MemcachedServer,
+    key: u64,
+) -> Result<(Time, bool)> {
+    off.arm(sim, pool)?;
+    sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
+    let cands = server.candidate_addrs(key);
+    let n = off.config().variant.buckets();
+    let payload = off.client_payload(key, &cands[..n]);
+    sim.mem_write(ep.node, ep.req_buf, &payload)?;
+    let start = sim.now();
+    sim.post_send(
+        ep.qp,
+        rpc::trigger_send(ep.req_buf, ep.req_lkey, payload.len() as u32),
+    )?;
+    // A missing key produces no response at all (the CAS fails and the
+    // response WQE stays a NOOP): bound the wait.
+    let deadline = sim.now() + Time::from_us(200);
+    loop {
+        if let Some(_cqe) = sim.poll_cq(ep.recv_cq, 1).pop() {
+            return Ok((sim.now() - start, true));
+        }
+        if sim.now() > deadline || !sim.step()? {
+            return Ok((sim.now() - start, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+
+    fn setup() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(SimConfig::default());
+        let c = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(c, s, LinkConfig::back_to_back());
+        (sim, c, s)
+    }
+
+    #[test]
+    fn redn_get_through_memcached() {
+        let (mut sim, c, s) = setup();
+        let server = MemcachedServer::create(&mut sim, s, 1024, 64, ProcessId(0)).unwrap();
+        server.populate(&mut sim, 100).unwrap();
+        let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        let mut off = server
+            .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+            .unwrap();
+        sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
+
+        for key in [1u64, 50, 100] {
+            let (lat, found) =
+                redn_get(&mut sim, &mut off, &mut pool, &ep, &server, key).unwrap();
+            assert!(found, "key {key}");
+            assert_eq!(
+                sim.mem_read(c, ep.resp_buf, 1).unwrap()[0],
+                (key & 0xFF) as u8
+            );
+            let us = lat.as_us_f64();
+            assert!(us > 2.0 && us < 15.0, "redn get {us}");
+        }
+        // Miss: no response.
+        let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &server, 9999).unwrap();
+        assert!(!found);
+    }
+
+    #[test]
+    fn redn_beats_two_sided_vma_on_latency() {
+        // The Fig 14 headline: RedN < one/two-sided for Memcached gets.
+        let (mut sim, c, s) = setup();
+        let server = MemcachedServer::create(&mut sim, s, 1024, 64, ProcessId(0)).unwrap();
+        server.populate(&mut sim, 64).unwrap();
+        sim.set_runnable_threads(s, 1);
+
+        let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        let mut off = server
+            .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+            .unwrap();
+        sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
+        let (redn_lat, found) =
+            redn_get(&mut sim, &mut off, &mut pool, &ep, &server, 7).unwrap();
+        assert!(found);
+
+        let vma = server
+            .two_sided_frontend(&mut sim, TwoSidedMode::Vma)
+            .unwrap();
+        let ep2 = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        sim.connect_qps(ep2.qp, vma.qp).unwrap();
+        let (vma_lat, found) = crate::baselines::two_sided_get(&mut sim, &ep2, 7).unwrap();
+        assert!(found);
+
+        assert!(
+            redn_lat < vma_lat,
+            "RedN {redn_lat:?} must beat two-sided VMA {vma_lat:?}"
+        );
+    }
+}

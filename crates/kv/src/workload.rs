@@ -1,0 +1,142 @@
+//! Memtier-like workload generation and latency statistics.
+//!
+//! The paper benchmarks Memcached with Memtier (§5.4: "issue 1 million
+//! get operations using different key-value sizes") and, for the
+//! isolation experiment, gives each client "a distinct set of 10K keys
+//! ... accessed by the clients sequentially" (§5.5). Both patterns are
+//! reproduced here with a deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rnic_sim::time::Time;
+
+/// A deterministic request-stream generator.
+pub struct Workload {
+    rng: StdRng,
+    keys: Vec<u64>,
+    cursor: usize,
+    sequential: bool,
+}
+
+impl Workload {
+    /// `nkeys` uniformly random 48-bit keys (deduplicated, never zero).
+    pub fn random(seed: u64, nkeys: usize) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keys = Vec::with_capacity(nkeys);
+        while keys.len() < nkeys {
+            let k = rng.random::<u64>() & 0xFFFF_FFFF_FFFF;
+            if k != 0 && !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        Workload {
+            rng,
+            keys,
+            cursor: 0,
+            sequential: false,
+        }
+    }
+
+    /// A disjoint sequential key range `[base, base + nkeys)` — the §5.5
+    /// per-client pattern.
+    pub fn sequential(base: u64, nkeys: usize) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(base),
+            keys: (base..base + nkeys as u64).collect(),
+            cursor: 0,
+            sequential: true,
+        }
+    }
+
+    /// The key set (for populating the store).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Next key: sequential wrap-around or uniform random.
+    pub fn next_key(&mut self) -> u64 {
+        if self.sequential {
+            let k = self.keys[self.cursor % self.keys.len()];
+            self.cursor += 1;
+            k
+        } else {
+            self.keys[self.rng.random_range(0..self.keys.len())]
+        }
+    }
+}
+
+/// Latency statistics over a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Mean, microseconds.
+    pub avg_us: f64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Maximum, microseconds.
+    pub max_us: f64,
+}
+
+/// Compute statistics from raw latencies.
+pub fn latency_stats(samples: &[Time]) -> LatencyStats {
+    assert!(!samples.is_empty(), "no samples");
+    let mut v: Vec<u64> = samples.iter().map(|t| t.as_ps()).collect();
+    v.sort_unstable();
+    let pick = |p: f64| -> f64 {
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx] as f64 / 1e6
+    };
+    let sum: u64 = v.iter().sum();
+    LatencyStats {
+        count: v.len(),
+        avg_us: sum as f64 / v.len() as f64 / 1e6,
+        p50_us: pick(0.5),
+        p99_us: pick(0.99),
+        max_us: v[v.len() - 1] as f64 / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workload_is_deterministic() {
+        let mut a = Workload::random(7, 100);
+        let mut b = Workload::random(7, 100);
+        for _ in 0..50 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+        assert_eq!(a.keys().len(), 100);
+        assert!(a.keys().iter().all(|&k| k != 0 && k <= 0xFFFF_FFFF_FFFF));
+    }
+
+    #[test]
+    fn sequential_workload_wraps() {
+        let mut w = Workload::sequential(100, 3);
+        assert_eq!(
+            (0..7).map(|_| w.next_key()).collect::<Vec<_>>(),
+            vec![100, 101, 102, 100, 101, 102, 100]
+        );
+    }
+
+    #[test]
+    fn stats_compute_percentiles() {
+        let samples: Vec<Time> = (1..=100).map(Time::from_us).collect();
+        let s = latency_stats(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.avg_us - 50.5).abs() < 0.01);
+        assert!((s.p50_us - 50.0).abs() <= 1.0);
+        assert!((s.p99_us - 99.0).abs() <= 1.0);
+        assert!((s.max_us - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn stats_reject_empty() {
+        latency_stats(&[]);
+    }
+}

@@ -1,0 +1,323 @@
+//! The discrete-event core: a deterministic event queue and FIFO resource
+//! models.
+//!
+//! Determinism is a hard requirement — benchmarks must be reproducible run
+//! to run — so events are ordered by `(time, sequence_number)` with the
+//! sequence number assigned at scheduling time. No wall-clock, no hashing
+//! order, no thread interleaving.
+
+use crate::ids::{NodeId, QpId, WqId};
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Core simulator events. Host-side application logic is expressed through
+/// `Callback` events whose closures live in the simulator's callback slab.
+#[derive(Debug)]
+pub enum EventKind {
+    /// Try to make progress on a send queue (fetch/issue the next WQE).
+    WqAdvance {
+        /// Queue to advance.
+        wq: WqId,
+    },
+    /// A WQE fetch DMA finished; the snapshot is taken when this fires.
+    FetchDone {
+        /// Queue that fetched.
+        wq: WqId,
+        /// Monotonic WQE index fetched.
+        idx: u64,
+        /// Whether it was a serialized managed fetch.
+        managed: bool,
+        /// How many WQEs this DMA covered (prefetch batch).
+        batch: u64,
+    },
+    /// A PU finished issuing a WQE; data-path effects get scheduled.
+    IssueDone {
+        /// Queue that issued.
+        wq: WqId,
+        /// Monotonic WQE index issued.
+        idx: u64,
+    },
+    /// A request message arrives at the responder QP.
+    Arrive {
+        /// Responder QP.
+        qp: QpId,
+        /// Message payload/metadata index in the in-flight table.
+        msg: u64,
+    },
+    /// The initiator observes the completion of a WQE.
+    Complete {
+        /// Initiating queue.
+        wq: WqId,
+        /// Monotonic WQE index.
+        idx: u64,
+        /// In-flight table index carrying status/result.
+        msg: u64,
+    },
+    /// A host-side callback (application logic, timers, workload
+    /// generators, crash injection).
+    Callback {
+        /// Slab key of the boxed closure.
+        key: u64,
+    },
+    /// Deliver queued CQ-listener notifications for a node's CQ.
+    Notify {
+        /// CQ listener slab key.
+        key: u64,
+    },
+}
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Time,
+    /// Scheduling order tie-breaker (earlier-scheduled fires first).
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the next event (earliest time, then earliest scheduled).
+    pub fn pop(&mut self) -> Option<Event> {
+        let e = self.heap.pop();
+        if e.is_some() {
+            self.processed += 1;
+        }
+        e
+    }
+
+    /// Peek at the next event time without popping.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events processed so far (for the runaway-program budget).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+/// A single FIFO server: jobs occupy it back to back.
+///
+/// Used for the serialized per-port resources: the managed-WQE fetch
+/// engine (Table 4's "NIC PU" bottleneck) and the atomic engine (Table 3's
+/// 8.4 M CAS/s ceiling).
+#[derive(Clone, Debug, Default)]
+pub struct FifoResource {
+    free_at: Time,
+    busy_total: Time,
+}
+
+impl FifoResource {
+    /// Create an idle resource.
+    pub fn new() -> FifoResource {
+        FifoResource::default()
+    }
+
+    /// Acquire the resource at `now` for `dur`. Returns the time the work
+    /// *finishes* (queueing behind earlier acquisitions if necessary).
+    pub fn acquire(&mut self, now: Time, dur: Time) -> Time {
+        let start = now.max(self.free_at);
+        self.free_at = start + dur;
+        self.busy_total += dur;
+        self.free_at
+    }
+
+    /// When the resource next becomes free.
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// Total busy time accumulated (utilization accounting).
+    pub fn busy_total(&self) -> Time {
+        self.busy_total
+    }
+}
+
+/// A pool of identical FIFO servers (CPU cores, processing units).
+/// Jobs go to the earliest-free server.
+#[derive(Clone, Debug)]
+pub struct PoolResource {
+    free_at: Vec<Time>,
+    busy_total: Time,
+}
+
+impl PoolResource {
+    /// A pool of `n` servers.
+    pub fn new(n: usize) -> PoolResource {
+        assert!(n > 0);
+        PoolResource {
+            free_at: vec![Time::ZERO; n],
+            busy_total: Time::ZERO,
+        }
+    }
+
+    /// Acquire any server at `now` for `dur`; returns (server, finish).
+    pub fn acquire(&mut self, now: Time, dur: Time) -> (usize, Time) {
+        let (i, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("non-empty pool");
+        let start = now.max(self.free_at[i]);
+        self.free_at[i] = start + dur;
+        self.busy_total += dur;
+        (i, self.free_at[i])
+    }
+
+    /// Acquire a *specific* server (PU pinning). Returns `(start, finish)`
+    /// — callers that pace chains need the actual start time.
+    pub fn acquire_at(&mut self, server: usize, now: Time, dur: Time) -> (Time, Time) {
+        let start = now.max(self.free_at[server]);
+        self.free_at[server] = start + dur;
+        self.busy_total += dur;
+        (start, self.free_at[server])
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Whether the pool is empty (never true — pools have ≥ 1 server).
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// How many servers are busy at `now`.
+    pub fn busy_at(&self, now: Time) -> usize {
+        self.free_at.iter().filter(|t| **t > now).count()
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_total(&self) -> Time {
+        self.busy_total
+    }
+}
+
+/// Identifies a host node's core pool (newtype for readability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorePool(pub NodeId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(5), EventKind::WqAdvance { wq: WqId(0) });
+        q.schedule(Time::from_us(1), EventKind::WqAdvance { wq: WqId(1) });
+        q.schedule(Time::from_us(1), EventKind::WqAdvance { wq: WqId(2) });
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(a.at, Time::from_us(1));
+        // Same-time events keep scheduling order.
+        match (a.kind, b.kind) {
+            (EventKind::WqAdvance { wq: w1 }, EventKind::WqAdvance { wq: w2 }) => {
+                assert_eq!(w1, WqId(1));
+                assert_eq!(w2, WqId(2));
+            }
+            _ => panic!("wrong kinds"),
+        }
+        assert_eq!(c.at, Time::from_us(5));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn fifo_resource_queues_back_to_back() {
+        let mut r = FifoResource::new();
+        let t1 = r.acquire(Time::from_us(0), Time::from_us(2));
+        assert_eq!(t1, Time::from_us(2));
+        // Second job at t=1 queues behind the first.
+        let t2 = r.acquire(Time::from_us(1), Time::from_us(2));
+        assert_eq!(t2, Time::from_us(4));
+        // A job after the queue drains starts immediately.
+        let t3 = r.acquire(Time::from_us(10), Time::from_us(1));
+        assert_eq!(t3, Time::from_us(11));
+        assert_eq!(r.busy_total(), Time::from_us(5));
+    }
+
+    #[test]
+    fn pool_picks_earliest_free_server() {
+        let mut p = PoolResource::new(2);
+        let (s0, f0) = p.acquire(Time::ZERO, Time::from_us(4));
+        let (s1, f1) = p.acquire(Time::ZERO, Time::from_us(1));
+        assert_ne!(s0, s1);
+        assert_eq!(f0, Time::from_us(4));
+        assert_eq!(f1, Time::from_us(1));
+        // Next job lands on the server that freed first.
+        let (s2, f2) = p.acquire(Time::from_us(2), Time::from_us(1));
+        assert_eq!(s2, s1);
+        assert_eq!(f2, Time::from_us(3));
+        assert_eq!(p.busy_at(Time::from_ps(3_500_000)), 1);
+    }
+
+    #[test]
+    fn pinned_acquire_serializes_on_one_server() {
+        let mut p = PoolResource::new(4);
+        let (s1, f1) = p.acquire_at(2, Time::ZERO, Time::from_us(1));
+        let (s2, f2) = p.acquire_at(2, Time::ZERO, Time::from_us(1));
+        assert_eq!((s1, f1), (Time::ZERO, Time::from_us(1)));
+        assert_eq!((s2, f2), (Time::from_us(1), Time::from_us(2)));
+        // Other servers unaffected.
+        let (_, f3) = p.acquire(Time::ZERO, Time::from_us(1));
+        assert_eq!(f3, Time::from_us(1));
+    }
+}

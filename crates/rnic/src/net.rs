@@ -1,0 +1,155 @@
+//! The network fabric: in-flight messages between connected queue pairs.
+//!
+//! Transport is RC (reliable connection) — the only RDMA transport that
+//! supports the WAIT/ENABLE synchronization verbs the paper uses ("we use
+//! reliable connection (RC) RDMA transport, which supports the RDMA
+//! synchronization features we use", §5 "NIC setup").
+//!
+//! Loopback QPs (peer on the same node) skip the wire entirely but still
+//! cross PCIe; that matches the paper's local-vs-remote NOOP measurement
+//! (Fig 7) and is the common case for RedN chains, which mostly operate on
+//! the server's own memory.
+
+use crate::cq::CqeStatus;
+use crate::ids::{QpId, WqId};
+use crate::verbs::Opcode;
+
+/// Payload of a request traveling initiator → responder.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Two-sided send: consumes a RECV, scatters `bytes`.
+    Send {
+        /// Message bytes (gathered at the initiator at issue time).
+        bytes: Vec<u8>,
+    },
+    /// One-sided write.
+    Write {
+        /// Responder-side destination.
+        raddr: u64,
+        /// Remote key presented.
+        rkey: u32,
+        /// Data.
+        bytes: Vec<u8>,
+        /// Immediate data (WRITE_IMM) — also consumes a RECV.
+        imm: Option<u32>,
+    },
+    /// One-sided read request.
+    Read {
+        /// Responder-side source.
+        raddr: u64,
+        /// Remote key presented.
+        rkey: u32,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// 8-byte atomic (CAS/FADD/MAX/MIN).
+    Atomic {
+        /// Which atomic verb.
+        op: Opcode,
+        /// Responder-side target (8-byte aligned).
+        raddr: u64,
+        /// Remote key presented.
+        rkey: u32,
+        /// CAS compare / ADD addend / MAX-MIN operand.
+        operand: u64,
+        /// CAS swap value.
+        swap: u64,
+    },
+}
+
+impl Payload {
+    /// Bytes this payload moves initiator → responder (wire occupancy of
+    /// the request direction).
+    pub fn request_bytes(&self) -> u64 {
+        match self {
+            Payload::Send { bytes } => bytes.len() as u64,
+            Payload::Write { bytes, .. } => bytes.len() as u64,
+            Payload::Read { .. } => 16, // just the request header
+            Payload::Atomic { .. } => 24,
+        }
+    }
+
+    /// Bytes the response moves responder → initiator.
+    pub fn response_bytes(&self) -> u64 {
+        match self {
+            Payload::Read { len, .. } => *len as u64,
+            Payload::Atomic { .. } => 8,
+            _ => 0, // bare ack
+        }
+    }
+}
+
+/// One in-flight operation: created at issue, consulted at arrival
+/// (responder effects) and completion (initiator bookkeeping).
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Initiating work queue.
+    pub src_wq: WqId,
+    /// Monotonic WQE index at the initiator.
+    pub src_idx: u64,
+    /// Initiating QP.
+    pub src_qp: QpId,
+    /// Responder QP (peer of `src_qp`; equal node for loopback).
+    pub dst_qp: QpId,
+    /// The verb that executed (post-modification).
+    pub opcode: Opcode,
+    /// Whether the initiator requested a CQE.
+    pub signaled: bool,
+    /// Request payload.
+    pub payload: Payload,
+    /// Filled at the responder: outcome of the operation.
+    pub status: CqeStatus,
+    /// Filled at the responder for READ (data) / atomics (old value).
+    pub result: Vec<u8>,
+    /// Initiator-side result sink for READ / atomic writeback
+    /// (`(addr, lkey)`; addr 0 = discard, as RedN chains usually do).
+    pub result_sink: (u64, u32),
+    /// When set, `result_sink.0` is an SGE table address and
+    /// `result_sink.1` its entry count: the READ response scatters across
+    /// the table (RedN's Fig 9 uses this to land one bucket READ in two
+    /// different WQE fields).
+    pub result_sgl: bool,
+    /// Bytes moved, reported in the CQE.
+    pub byte_len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_byte_accounting() {
+        let send = Payload::Send {
+            bytes: vec![0; 100],
+        };
+        assert_eq!(send.request_bytes(), 100);
+        assert_eq!(send.response_bytes(), 0);
+
+        let read = Payload::Read {
+            raddr: 0,
+            rkey: 0,
+            len: 4096,
+        };
+        assert_eq!(read.request_bytes(), 16);
+        assert_eq!(read.response_bytes(), 4096);
+
+        let atomic = Payload::Atomic {
+            op: Opcode::Cas,
+            raddr: 0,
+            rkey: 0,
+            operand: 1,
+            swap: 2,
+        };
+        assert_eq!(atomic.request_bytes(), 24);
+        assert_eq!(atomic.response_bytes(), 8);
+
+        let write = Payload::Write {
+            raddr: 0,
+            rkey: 0,
+            bytes: vec![0; 64],
+            imm: Some(7),
+        };
+        assert_eq!(write.request_bytes(), 64);
+        assert_eq!(write.response_bytes(), 0);
+    }
+}

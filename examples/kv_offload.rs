@@ -1,0 +1,66 @@
+//! Key-value get offload (Fig 9 / §5.4): a Memcached-like store whose
+//! `get`s are served by the NIC, next to the paper's two baselines.
+//!
+//! ```text
+//! cargo run --example kv_offload
+//! ```
+
+use redn::core::offloads::hash_lookup::HashGetVariant;
+use redn::core::program::ConstPool;
+use redn::kv::baselines::{two_sided_get, ClientEndpoint, OneSidedClient, TwoSidedMode};
+use redn::kv::hopscotch::HopscotchTable;
+use redn::kv::memcached::{redn_get, MemcachedServer};
+use redn::prelude::*;
+use rnic_sim::config::{LinkConfig, SimConfig};
+use rnic_sim::ids::ProcessId;
+
+fn main() {
+    let mut sim = Simulator::new(SimConfig::default());
+    let client = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+    let server = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+    sim.connect_nodes(client, server, LinkConfig::back_to_back());
+
+    // A Memcached-like store with 100 keys of 64 B values.
+    let mc = MemcachedServer::create(&mut sim, server, 1024, 64, ProcessId(0)).unwrap();
+    mc.populate(&mut sim, 100).unwrap();
+    sim.set_runnable_threads(server, 1);
+
+    // RedN frontend: gets answered by the NIC.
+    let ep = ClientEndpoint::create(&mut sim, client, 64).unwrap();
+    let mut off = mc
+        .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+        .unwrap();
+    sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+    let mut pool = ConstPool::create(&mut sim, server, 1 << 20, ProcessId(0)).unwrap();
+    let (redn_lat, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, 42).unwrap();
+    assert!(found);
+    let v = sim.mem_read(client, ep.resp_buf, 1).unwrap()[0];
+    println!("RedN get(42)      -> value {v:#04x} in {:.2} us (zero server CPU)", redn_lat.as_us_f64());
+
+    // Two-sided VMA baseline.
+    let vma = mc.two_sided_frontend(&mut sim, TwoSidedMode::Vma).unwrap();
+    let ep2 = ClientEndpoint::create(&mut sim, client, 64).unwrap();
+    sim.connect_qps(ep2.qp, vma.qp).unwrap();
+    let (vma_lat, found) = two_sided_get(&mut sim, &ep2, 42).unwrap();
+    assert!(found);
+    println!("two-sided get(42) -> {:.2} us over the VMA socket stack", vma_lat.as_us_f64());
+
+    // One-sided baseline on a hopscotch table with the same data.
+    let mut hs = HopscotchTable::create(&mut sim, server, 1024, 64, ProcessId(0)).unwrap();
+    hs.insert(&mut sim, 42, &[42u8; 64]).unwrap();
+    let one = OneSidedClient::create(&mut sim, client, &hs).unwrap();
+    let scq = sim.create_cq(server, 16).unwrap();
+    let sqp = sim
+        .create_qp(server, rnic_sim::qp::QpConfig::new(scq))
+        .unwrap();
+    sim.connect_qps(one.ep.qp, sqp).unwrap();
+    let (one_lat, found) = one.get(&mut sim, 42, &hs.candidates(42)).unwrap();
+    assert!(found);
+    println!("one-sided get(42) -> {:.2} us across two READ round trips", one_lat.as_us_f64());
+
+    println!(
+        "\nRedN wins: {:.1}x vs one-sided, {:.1}x vs two-sided (paper Fig 14: up to 1.7x / 2.6x)",
+        one_lat.as_us_f64() / redn_lat.as_us_f64(),
+        vma_lat.as_us_f64() / redn_lat.as_us_f64()
+    );
+}

@@ -1,0 +1,25 @@
+//! # redn — "RDMA is Turing complete, we just did not know it yet!" in Rust
+//!
+//! Facade crate re-exporting the workspace members:
+//!
+//! * [`sim`] ([`rnic_sim`]) — the simulated RDMA NIC substrate;
+//! * [`core`] ([`redn_core`]) — the RedN computational framework
+//!   (self-modifying chains, conditionals, loops, offloads, Turing
+//!   machines);
+//! * [`kv`] ([`redn_kv`]) — the Memcached-like key-value substrate and
+//!   the paper's baselines.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+#![warn(missing_docs)]
+
+pub use redn_core as core;
+pub use redn_kv as kv;
+pub use rnic_sim as sim;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use redn_core::prelude::*;
+    pub use redn_kv::prelude::*;
+    pub use rnic_sim::prelude::*;
+}
