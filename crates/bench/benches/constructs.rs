@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     for row in appendix_a().unwrap() {
         println!("appendix: {} -> {}", row.label, row.measured);
     }
-    c.bench_function("table3/if_construct", |b| b.iter(|| if_throughput(50).unwrap()));
+    c.bench_function("table3/if_construct", |b| {
+        b.iter(|| if_throughput(50).unwrap())
+    });
     c.bench_function("table3/while_recycled", |b| {
         b.iter(|| recycled_while_throughput(300).unwrap())
     });

@@ -6,7 +6,10 @@ use redn_kv::workload::latency_stats;
 
 fn bench(c: &mut Criterion) {
     let stats = latency_stats(&redn_hash_latencies(64, HashGetVariant::Single, 0, 20).unwrap());
-    println!("table5 RedN 64B: median {:.2} us p99 {:.2} us (simulated)", stats.p50_us, stats.p99_us);
+    println!(
+        "table5 RedN 64B: median {:.2} us p99 {:.2} us (simulated)",
+        stats.p50_us, stats.p99_us
+    );
     let (kops, bn) = hash_throughput(64, 1, 150).unwrap();
     println!("table4 64B single-port: {kops:.0} K ops/s, bottleneck {bn} (simulated)");
     c.bench_function("fig10/redn_get_64B", |b| {

@@ -5,9 +5,15 @@ use redn_bench::listbench::{one_sided_walk, redn_walk};
 fn bench(c: &mut Criterion) {
     let (redn, wrs) = redn_walk(8, false, 4).unwrap();
     let one = one_sided_walk(8, 4).unwrap();
-    println!("fig13 range 8: RedN {redn:.2} us ({wrs:.0} WRs) vs one-sided {one:.2} us (simulated)");
-    c.bench_function("fig13/redn_range4", |b| b.iter(|| redn_walk(4, false, 2).unwrap()));
-    c.bench_function("fig13/one_sided_range4", |b| b.iter(|| one_sided_walk(4, 2).unwrap()));
+    println!(
+        "fig13 range 8: RedN {redn:.2} us ({wrs:.0} WRs) vs one-sided {one:.2} us (simulated)"
+    );
+    c.bench_function("fig13/redn_range4", |b| {
+        b.iter(|| redn_walk(4, false, 2).unwrap())
+    });
+    c.bench_function("fig13/one_sided_range4", |b| {
+        b.iter(|| one_sided_walk(4, 2).unwrap())
+    });
 }
 criterion_group! {
     name = benches;

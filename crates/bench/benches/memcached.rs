@@ -4,10 +4,10 @@ use redn_bench::mcbench::memcached_latency;
 
 fn bench(c: &mut Criterion) {
     let (redn, one, vma) = memcached_latency(64, 6).unwrap();
-    println!(
-        "fig14 64B: RedN {redn:.2} us | one-sided {one:.2} us | VMA {vma:.2} us (simulated)"
-    );
-    c.bench_function("fig14/memcached_64B", |b| b.iter(|| memcached_latency(64, 2).unwrap()));
+    println!("fig14 64B: RedN {redn:.2} us | one-sided {one:.2} us | VMA {vma:.2} us (simulated)");
+    c.bench_function("fig14/memcached_64B", |b| {
+        b.iter(|| memcached_latency(64, 2).unwrap())
+    });
 }
 criterion_group! {
     name = benches;

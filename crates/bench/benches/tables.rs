@@ -6,7 +6,10 @@ use rnic_sim::time::Time;
 
 fn bench(c: &mut Criterion) {
     let p = run_contention(16, 25, ReaderPath::RedN).unwrap();
-    println!("fig15 RedN @16 writers: avg {:.2} us p99 {:.2} us (simulated)", p.stats.avg_us, p.stats.p99_us);
+    println!(
+        "fig15 RedN @16 writers: avg {:.2} us p99 {:.2} us (simulated)",
+        p.stats.avg_us, p.stats.p99_us
+    );
     c.bench_function("fig15/redn_16_writers", |b| {
         b.iter(|| run_contention(16, 10, ReaderPath::RedN).unwrap())
     });

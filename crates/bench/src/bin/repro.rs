@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table and figure of the RedN paper.
 //!
 //! ```text
-//! cargo run -p redn-bench --release --bin repro            # everything
-//! cargo run -p redn-bench --release --bin repro -- fig10   # one artifact
+//! cargo run -p redn_bench --release --bin repro            # everything
+//! cargo run -p redn_bench --release --bin repro -- fig10   # one artifact
 //! ```
 //!
 //! Artifacts: table1 table2 table3 table4 table5 table6 fig7 fig8 fig10
@@ -78,7 +78,11 @@ fn main() {
                     bytes_label(v as u64),
                     format!(
                         "ideal {} | RedN {} | 1-sided {} | poll {} | event {}",
-                        us(ideal), us(redn), us(one), us(polling), us(event)
+                        us(ideal),
+                        us(redn),
+                        us(one),
+                        us(polling),
+                        us(event)
                     ),
                     "RedN ~ ideal; others above",
                     "",
@@ -100,7 +104,11 @@ fn main() {
                     bytes_label(v as u64),
                     format!(
                         "ideal {} | Seq {} | Par {} | 1-sided {} | poll {}",
-                        us(ideal), us(seq), us(par), us(one), us(polling)
+                        us(ideal),
+                        us(seq),
+                        us(par),
+                        us(one),
+                        us(polling)
                     ),
                     "Par ~ no-collision; Seq +>=3us",
                     "",
@@ -138,7 +146,10 @@ fn main() {
                     format!("range {range}"),
                     format!(
                         "RedN {} | +break {} | 1-sided {} | 2-sided {}",
-                        us(redn), us(brk), us(one), us(two)
+                        us(redn),
+                        us(brk),
+                        us(one),
+                        us(two)
                     ),
                     "RedN < baselines at range 8",
                     format!("WRs: {wrs:.0} vs {brk_wrs:.0}+break"),
@@ -160,7 +171,11 @@ fn main() {
                     bytes_label(v as u64),
                     format!(
                         "RedN {} | 1-sided {} ({:.1}x) | VMA {} ({:.1}x)",
-                        us(redn), us(one), one / redn, us(vma), vma / redn
+                        us(redn),
+                        us(one),
+                        one / redn,
+                        us(vma),
+                        vma / redn
                     ),
                     "up to 1.7x / 2.6x",
                     "",
@@ -255,6 +270,9 @@ fn main() {
 }
 
 fn spark(v: f64) -> char {
-    const BARS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 9] = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     BARS[((v * 8.0).round() as usize).min(8)]
 }

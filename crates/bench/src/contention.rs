@@ -50,8 +50,18 @@ mod tests {
         // the two-sided baseline. Require a large, growing gap.
         let ratio_1 = one.two_sided.stats.p99_us / one.redn.stats.p99_us;
         let ratio_16 = sixteen.two_sided.stats.p99_us / sixteen.redn.stats.p99_us;
-        assert!(ratio_16 > ratio_1, "isolation gap must grow: {ratio_1} -> {ratio_16}");
-        assert!(ratio_16 > 5.0, "p99 isolation ratio at 16 writers: {ratio_16}");
-        assert!(sixteen.redn.stats.p99_us < 10.0, "RedN p99 {}", sixteen.redn.stats.p99_us);
+        assert!(
+            ratio_16 > ratio_1,
+            "isolation gap must grow: {ratio_1} -> {ratio_16}"
+        );
+        assert!(
+            ratio_16 > 5.0,
+            "p99 isolation ratio at 16 writers: {ratio_16}"
+        );
+        assert!(
+            sixteen.redn.stats.p99_us < 10.0,
+            "RedN p99 {}",
+            sixteen.redn.stats.p99_us
+        );
     }
 }

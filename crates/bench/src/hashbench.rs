@@ -1,9 +1,9 @@
 //! Hash-lookup offload benchmarks: Fig 10, Fig 11, Table 4, Table 5
 //! (paper §5.2).
 
-use redn_core::offloads::hash_lookup::{HashGetConfig, HashGetOffload, HashGetVariant};
+use redn_core::ctx::{OffloadCtx, TableRegion, ValueSource};
+use redn_core::offloads::hash_lookup::HashGetVariant;
 use redn_core::offloads::rpc;
-use redn_core::program::ConstPool;
 use rnic_sim::config::NicConfig;
 use rnic_sim::error::Result;
 use rnic_sim::ids::ProcessId;
@@ -37,30 +37,30 @@ pub fn redn_hash_latencies(
     let keys: Vec<u64> = (1..=reps as u64).collect();
     for &k in &keys {
         table
-            .insert_at_candidate(&mut sim, k, &vec![(k & 0xFF) as u8; value_len as usize], placement)?
+            .insert_at_candidate(
+                &mut sim,
+                k,
+                &vec![(k & 0xFF) as u8; value_len as usize],
+                placement,
+            )?
             .expect("placement collision; adjust key set");
     }
     let ep = ClientEndpoint::create(&mut sim, c, value_len)?;
-    let mut off = HashGetOffload::create(
-        &mut sim,
-        s,
-        ProcessId(0),
-        HashGetConfig {
-            table_rkey: table.mr().rkey,
-            value_lkey: table.heap.mr().lkey,
-            value_len,
-            client_resp_addr: ep.resp_buf,
-            client_rkey: ep.resp_rkey,
-            variant,
-            port: 0,
-        },
-    )?;
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 22)
+        .build(&mut sim)?;
+    let mut off = ctx
+        .hash_get()
+        .table(TableRegion::of(&table.mr()))
+        .values(ValueSource::of(&table.heap.mr(), value_len))
+        .respond_to(ep.dest())
+        .variant(variant)
+        .build(&mut sim)?;
     sim.connect_qps(ep.qp, off.tp.qp)?;
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 22, ProcessId(0))?;
 
     let mut lats = Vec::with_capacity(reps);
     for &k in &keys {
-        off.arm(&mut sim, &mut pool)?;
+        off.arm(&mut sim, ctx.pool_mut())?;
         sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
         let cands = table.candidate_addrs(k);
         let n = variant.buckets();
@@ -90,7 +90,10 @@ pub fn ideal_read_latency(value_len: u32) -> Result<f64> {
     let rbuf = sim.alloc(s, value_len as u64, 64)?;
     let rmr = sim.register_mr(s, rbuf, value_len as u64, Access::all())?;
     let start = sim.now();
-    sim.post_send(qp, WorkRequest::read(lbuf, lmr.lkey, value_len, rbuf, rmr.rkey).signaled())?;
+    sim.post_send(
+        qp,
+        WorkRequest::read(lbuf, lmr.lkey, value_len, rbuf, rmr.rkey).signaled(),
+    )?;
     sim.run()?;
     let cqe = sim.poll_cq(cq, 1).pop().expect("cqe");
     Ok((cqe.time - start).as_us_f64())
@@ -138,10 +141,14 @@ pub fn two_sided_latency(value_len: u32, mode: TwoSidedMode, reps: usize) -> Res
     Ok(total.as_us_f64() / reps as f64)
 }
 
+/// One row of Fig 10 / Fig 11: a value size followed by five per-system
+/// latency columns.
+pub type LatencyRow = (u32, f64, f64, f64, f64, f64);
+
 /// Fig 10: average get latency vs value size, no collisions (first
 /// bucket). Columns: ideal, RedN, one-sided, two-sided polling, two-sided
 /// event.
-pub fn fig10() -> Result<Vec<(u32, f64, f64, f64, f64, f64)>> {
+pub fn fig10() -> Result<Vec<LatencyRow>> {
     let mut out = Vec::new();
     for &v in &VALUE_SIZES {
         let ideal = ideal_read_latency(v)?;
@@ -156,14 +163,12 @@ pub fn fig10() -> Result<Vec<(u32, f64, f64, f64, f64, f64)>> {
 
 /// Fig 11: get latency under collisions (second bucket). Columns: ideal,
 /// RedN-Seq, RedN-Parallel, one-sided, two-sided polling.
-pub fn fig11() -> Result<Vec<(u32, f64, f64, f64, f64, f64)>> {
+pub fn fig11() -> Result<Vec<LatencyRow>> {
     let mut out = Vec::new();
     for &v in &VALUE_SIZES {
         let ideal = ideal_read_latency(v)?;
-        let seq =
-            latency_stats(&redn_hash_latencies(v, HashGetVariant::Sequential, 1, 15)?).avg_us;
-        let par =
-            latency_stats(&redn_hash_latencies(v, HashGetVariant::Parallel, 1, 15)?).avg_us;
+        let seq = latency_stats(&redn_hash_latencies(v, HashGetVariant::Sequential, 1, 15)?).avg_us;
+        let par = latency_stats(&redn_hash_latencies(v, HashGetVariant::Parallel, 1, 15)?).avg_us;
         let one = one_sided_latency(v, 1, 15)?;
         let polling = two_sided_latency(v, TwoSidedMode::Polling, 15)?;
         out.push((v, ideal, seq, par, one, polling));
@@ -218,27 +223,23 @@ pub fn hash_throughput(value_len: u32, ports: usize, requests: usize) -> Result<
     table
         .insert_at_candidate(&mut sim, 1, &vec![1u8; value_len as usize], 0)?
         .expect("empty table cannot collide");
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 24, ProcessId(0))?;
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)?;
 
     // One offload (and one client endpoint) per port.
     let mut offs = Vec::new();
     let mut eps = Vec::new();
     for port in 0..ports {
         let ep = ClientEndpoint::create(&mut sim, c, value_len)?;
-        let off = HashGetOffload::create(
-            &mut sim,
-            s,
-            ProcessId(0),
-            HashGetConfig {
-                table_rkey: table.mr().rkey,
-                value_lkey: table.heap.mr().lkey,
-                value_len,
-                client_resp_addr: ep.resp_buf,
-                client_rkey: ep.resp_rkey,
-                variant: HashGetVariant::Single,
-                port,
-            },
-        )?;
+        let off = ctx
+            .hash_get()
+            .table(TableRegion::of(&table.mr()))
+            .values(ValueSource::of(&table.heap.mr(), value_len))
+            .respond_to(ep.dest())
+            .variant(HashGetVariant::Single)
+            .on_port(port)
+            .build(&mut sim)?;
         sim.connect_qps(ep.qp, off.tp.qp)?;
         offs.push(off);
         eps.push(ep);
@@ -248,7 +249,7 @@ pub fn hash_throughput(value_len: u32, ports: usize, requests: usize) -> Result<
     let per_port = requests / ports;
     for p in 0..ports {
         for i in 0..per_port {
-            offs[p].arm(&mut sim, &mut pool)?;
+            offs[p].arm(&mut sim, ctx.pool_mut())?;
             sim.post_recv(eps[p].qp, WorkRequest::recv(0, 0, 0))?;
             let _ = i;
         }
@@ -304,7 +305,11 @@ pub fn table4() -> Result<Vec<Row>> {
         rows.push(Row::new(
             format!(
                 "{} / {}-port",
-                if v <= 1024 { "<=1KB".to_string() } else { bytes_label(v as u64) },
+                if v <= 1024 {
+                    "<=1KB".to_string()
+                } else {
+                    bytes_label(v as u64)
+                },
                 ports
             ),
             crate::report::kops(kops),
@@ -340,7 +345,10 @@ mod tests {
         assert!(ideal < redn, "ideal {ideal} < redn {redn}");
         assert!(redn < one, "redn {redn} < one-sided {one}");
         assert!(redn < event, "redn {redn} < event {event}");
-        assert!(event / redn > 2.0, "event should be ~3.8x redn: {event} vs {redn}");
+        assert!(
+            event / redn > 2.0,
+            "event should be ~3.8x redn: {event} vs {redn}"
+        );
     }
 
     #[test]
@@ -358,13 +366,11 @@ mod tests {
 
     #[test]
     fn fig11_parallel_beats_sequential() {
-        let seq = latency_stats(
-            &redn_hash_latencies(64, HashGetVariant::Sequential, 1, 10).unwrap(),
-        )
-        .avg_us;
-        let par =
-            latency_stats(&redn_hash_latencies(64, HashGetVariant::Parallel, 1, 10).unwrap())
+        let seq =
+            latency_stats(&redn_hash_latencies(64, HashGetVariant::Sequential, 1, 10).unwrap())
                 .avg_us;
+        let par = latency_stats(&redn_hash_latencies(64, HashGetVariant::Parallel, 1, 10).unwrap())
+            .avg_us;
         // Paper: RedN-Seq incurs >= 3 us extra; parallel stays near the
         // no-collision latency.
         assert!(
@@ -389,6 +395,9 @@ mod tests {
             bn.contains("IB") || bn.contains("PCIe"),
             "64KB bottleneck should be bandwidth, got {bn}"
         );
-        assert!((kops - 180.0).abs() / 180.0 < 0.3, "64KB single-port {kops} K/s");
+        assert!(
+            (kops - 180.0).abs() / 180.0 < 0.3,
+            "64KB single-port {kops} K/s"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! One module per evaluation artifact of "RDMA is Turing complete, we
 //! just did not know it yet!" (NSDI '22). Every function returns
 //! structured rows carrying both the **measured** (simulated) value and
-//! the **paper's** value, so `cargo run -p redn-bench --bin repro`
+//! the **paper's** value, so `cargo run -p redn_bench --bin repro`
 //! regenerates the full evaluation with a side-by-side comparison, and
 //! `EXPERIMENTS.md` records the outcome.
 //!

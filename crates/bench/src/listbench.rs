@@ -7,11 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use redn_core::offloads::list::{encode_node, ListWalkConfig, ListWalkOffload, NODE_HEADER};
+use redn_core::ctx::{OffloadCtx, TableRegion};
+use redn_core::offloads::list::{encode_node, NODE_HEADER};
 use redn_core::offloads::rpc;
-use redn_core::program::ConstPool;
 use rnic_sim::error::Result;
-use rnic_sim::ids::ProcessId;
 use rnic_sim::mem::Access;
 use rnic_sim::qp::QpConfig;
 use rnic_sim::sim::{ListenMode, Simulator};
@@ -30,7 +29,7 @@ pub const VALUE_LEN: u32 = 64;
 struct ListRig {
     sim: Simulator,
     nodes_base: u64,
-    list_rkey: u32,
+    list_mr: rnic_sim::mem::MemoryRegion,
     server: rnic_sim::ids::NodeId,
     client: rnic_sim::ids::NodeId,
 }
@@ -42,7 +41,11 @@ fn build_list() -> Result<ListRig> {
     let mr = sim.register_mr(server, base, LIST_LEN as u64 * node_size, Access::all())?;
     for i in 0..LIST_LEN as u64 {
         let addr = base + i * node_size;
-        let next = if i + 1 < LIST_LEN as u64 { addr + node_size } else { 0 };
+        let next = if i + 1 < LIST_LEN as u64 {
+            addr + node_size
+        } else {
+            0
+        };
         // Key of node i is 100 + i.
         let bytes = encode_node(next, 100 + i, &vec![(i + 1) as u8; VALUE_LEN as usize]);
         sim.mem_write(server, addr, &bytes)?;
@@ -50,7 +53,7 @@ fn build_list() -> Result<ListRig> {
     Ok(ListRig {
         sim,
         nodes_base: base,
-        list_rkey: mr.rkey,
+        list_mr: mr,
         server,
         client,
     })
@@ -66,27 +69,27 @@ pub fn redn_walk(range: usize, with_break: bool, reps: usize) -> Result<(f64, f6
     let mut total_wrs = 0usize;
     let mut served = 0usize;
     let mut rig = build_list()?;
-    let cfg = ListWalkConfig {
-        list_rkey: rig.list_rkey,
-        value_len: VALUE_LEN,
-        client_resp_addr: 0, // patched per offload below
-        client_rkey: 0,
-        max_nodes: LIST_LEN,
-        break_on_match: with_break,
-    };
     for _ in 0..reps {
         let pos = rng.random_range(0..range) as u64;
         let key = 100 + pos;
-        // Fresh offload per walk: break starves its control chain by
-        // design (the loop exited), so each instance is one-shot.
+        // Fresh offload (and context) per walk: break starves its control
+        // chain by design (the loop exited), so each instance is one-shot.
         let ep = ClientEndpoint::create(&mut rig.sim, rig.client, VALUE_LEN)?;
-        let mut cfg = cfg;
-        cfg.client_resp_addr = ep.resp_buf;
-        cfg.client_rkey = ep.resp_rkey;
-        let mut off = ListWalkOffload::create(&mut rig.sim, rig.server, ProcessId(0), cfg)?;
+        let mut ctx = OffloadCtx::builder(rig.server)
+            .pool_capacity(1 << 20)
+            .build(&mut rig.sim)?;
+        let mut b = ctx
+            .list_walk()
+            .list(TableRegion::of(&rig.list_mr))
+            .value_len(VALUE_LEN)
+            .respond_to(ep.dest())
+            .max_nodes(LIST_LEN);
+        if with_break {
+            b = b.break_on_match();
+        }
+        let mut off = b.build(&mut rig.sim)?;
         rig.sim.connect_qps(ep.qp, off.tp.qp)?;
-        let mut pool = ConstPool::create(&mut rig.sim, rig.server, 1 << 20, ProcessId(0))?;
-        let _staged = off.arm(&mut rig.sim, &mut pool)?;
+        let _staged = off.arm(&mut rig.sim, ctx.pool_mut())?;
         let verbs_before = rig.sim.verbs_executed(rig.server);
         rig.sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
         let payload = off.client_payload(rig.nodes_base, key);
@@ -119,7 +122,9 @@ pub fn one_sided_walk(range: usize, reps: usize) -> Result<f64> {
     let sqp = rig.sim.create_qp(rig.server, QpConfig::new(scq))?;
     rig.sim.connect_qps(ep.qp, sqp)?;
     let buf = rig.sim.alloc(rig.client, node_size, 8)?;
-    let bmr = rig.sim.register_mr(rig.client, buf, node_size, Access::all())?;
+    let bmr = rig
+        .sim
+        .register_mr(rig.client, buf, node_size, Access::all())?;
     let t_client = rig.sim.host_config(rig.client).t_client_op;
 
     let mut total = Time::ZERO;
@@ -133,7 +138,7 @@ pub fn one_sided_walk(range: usize, reps: usize) -> Result<f64> {
             // do to save a second read on a hit).
             rig.sim.post_send(
                 ep.qp,
-                WorkRequest::read(buf, bmr.lkey, node_size as u32, addr, rig.list_rkey)
+                WorkRequest::read(buf, bmr.lkey, node_size as u32, addr, rig.list_mr.rkey)
                     .signaled(),
             )?;
             run_until_cqe(&mut rig.sim, ep.cq)?.expect("read done");
@@ -163,13 +168,16 @@ pub fn two_sided_walk(range: usize, reps: usize) -> Result<f64> {
     // RPC endpoint on the server.
     let send_cq = rig.sim.create_cq(server, 256)?;
     let recv_cq = rig.sim.create_cq(server, 256)?;
-    let sqp = rig
-        .sim
-        .create_qp(server, QpConfig::new(send_cq).recv_cq(recv_cq).rq_depth(256))?;
+    let sqp = rig.sim.create_qp(
+        server,
+        QpConfig::new(send_cq).recv_cq(recv_cq).rq_depth(256),
+    )?;
     let ep = ClientEndpoint::create(&mut rig.sim, rig.client, VALUE_LEN)?;
     rig.sim.connect_qps(ep.qp, sqp)?;
     let req_ring = rig.sim.alloc(server, 256 * 32, 64)?;
-    let rmr = rig.sim.register_mr(server, req_ring, 256 * 32, Access::all())?;
+    let rmr = rig
+        .sim
+        .register_mr(server, req_ring, 256 * 32, Access::all())?;
     for i in 0..256u64 {
         rig.sim
             .post_recv(sqp, WorkRequest::recv(req_ring + i * 32, rmr.lkey, 32))?;
@@ -208,12 +216,8 @@ pub fn two_sided_walk(range: usize, reps: usize) -> Result<f64> {
                     let _ = sim.post_send(
                         sqp,
                         WorkRequest::write_imm(
-                            value_addr,
-                            0, // length-0 payloads skip the lkey check
-                            0,
-                            resp_addr,
-                            rkey,
-                            imm,
+                            value_addr, 0, // length-0 payloads skip the lkey check
+                            0, resp_addr, rkey, imm,
                         ),
                     );
                 }),
@@ -240,9 +244,12 @@ pub fn two_sided_walk(range: usize, reps: usize) -> Result<f64> {
     Ok(total.as_us_f64() / reps as f64)
 }
 
-/// Fig 13 rows: `(range, redn, redn_break, one_sided, two_sided,
+/// One row of Fig 13: `(range, redn, redn_break, one_sided, two_sided,
 /// redn_wrs, break_wrs)`.
-pub fn fig13() -> Result<Vec<(usize, f64, f64, f64, f64, f64, f64)>> {
+pub type Fig13Row = (usize, f64, f64, f64, f64, f64, f64);
+
+/// Fig 13 rows (see [`Fig13Row`]).
+pub fn fig13() -> Result<Vec<Fig13Row>> {
     let mut out = Vec::new();
     for range in [1usize, 2, 4, 8] {
         let (redn, redn_wrs) = redn_walk(range, false, 8)?;

@@ -3,8 +3,8 @@
 //! RedN offload vs one-sided (cuckoo 2-probe) vs two-sided over the VMA
 //! socket-stack model, across value sizes.
 
+use redn_core::ctx::OffloadCtx;
 use redn_core::offloads::hash_lookup::HashGetVariant;
-use redn_core::program::ConstPool;
 use rnic_sim::error::Result;
 use rnic_sim::ids::ProcessId;
 use rnic_sim::time::Time;
@@ -27,13 +27,14 @@ pub fn memcached_latency(value_len: u32, reps: usize) -> Result<(f64, f64, f64)>
     sim.set_runnable_threads(s, 1);
 
     let ep = ClientEndpoint::create(&mut sim, c, value_len)?;
-    let mut off =
-        server.redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)?;
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 23)
+        .build(&mut sim)?;
+    let mut off = server.redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)?;
     sim.connect_qps(ep.qp, off.tp.qp)?;
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 23, ProcessId(0))?;
     let mut redn_total = Time::ZERO;
     for k in 1..=reps as u64 {
-        let (lat, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &server, k)?;
+        let (lat, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, k)?;
         assert!(found, "redn key {k}");
         redn_total += lat;
     }
@@ -56,7 +57,12 @@ pub fn memcached_latency(value_len: u32, reps: usize) -> Result<(f64, f64, f64)>
         // either candidate, so the one-sided client probes ~1.5 buckets
         // on average.
         table
-            .insert_at_candidate(&mut sim2, k, &vec![1u8; value_len as usize], (k % 2) as usize)?
+            .insert_at_candidate(
+                &mut sim2,
+                k,
+                &vec![1u8; value_len as usize],
+                (k % 2) as usize,
+            )?
             .expect("collision");
     }
     let client = OneSidedClient::create(&mut sim2, c2, &table)?;

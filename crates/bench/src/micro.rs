@@ -1,12 +1,8 @@
 //! Microbenchmarks: Tables 1–3, Figures 7–8 (paper §2.2, §5.1).
 
-use redn_core::builder::ChainBuilder;
-use redn_core::constructs::cond::IfEq;
-use redn_core::constructs::loops::RecycledLoopBuilder;
-use redn_core::program::{ChainQueue, ConstPool};
+use redn_core::ctx::OffloadCtx;
 use rnic_sim::config::{Generation, HostConfig, NicConfig, SimConfig};
 use rnic_sim::error::Result;
-use rnic_sim::ids::ProcessId;
 use rnic_sim::mem::Access;
 use rnic_sim::qp::QpConfig;
 use rnic_sim::sim::Simulator;
@@ -126,7 +122,12 @@ pub fn fig8() -> Result<Vec<(usize, f64, f64, f64)>> {
 
 /// Saturated verb-processing throughput (M ops/s) for `op` on one port of
 /// the given generation, using `qps` parallel queues.
-pub fn verb_throughput(generation: Generation, op: Opcode, qps: usize, per_qp: usize) -> Result<f64> {
+pub fn verb_throughput(
+    generation: Generation,
+    op: Opcode,
+    qps: usize,
+    per_qp: usize,
+) -> Result<f64> {
     let (mut sim, _c, s) = testbed_with(NicConfig::with_generation(generation));
     let cq = sim.create_cq(s, 16384)?;
     let buf = sim.alloc(s, 4096, 64)?;
@@ -193,27 +194,28 @@ pub fn table1() -> Result<Vec<Row>> {
 pub fn if_throughput(count: usize) -> Result<f64> {
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("solo", HostConfig::default(), NicConfig::connectx5());
-    let ctrl = ChainQueue::create(&mut sim, node, false, (count * 4 + 64) as u32, None, ProcessId(0))?;
-    let act = ChainQueue::create(&mut sim, node, true, (count + 64) as u32, None, ProcessId(0))?;
+    let mut ctx = OffloadCtx::builder(node)
+        .pool_capacity(1 << 12)
+        .build(&mut sim)?;
     let flag = sim.alloc(node, 8, 8)?;
     let fmr = sim.register_mr(node, flag, 8, Access::all())?;
     let one = sim.alloc(node, 8, 8)?;
     let omr = sim.register_mr(node, one, 8, Access::all())?;
     sim.mem_write_u64(node, one, 1)?;
 
-    let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
-    let mut act_b = ChainBuilder::new(&sim, act);
+    let mut prog =
+        ctx.chain_program_sized(&mut sim, (count * 4 + 64) as u32, (count + 64) as u32)?;
     let mut ifs = Vec::new();
     for _ in 0..count {
         let action = WorkRequest::write(one, omr.lkey, 8, flag, fmr.rkey);
-        ifs.push(IfEq::build(&mut ctrl_b, &mut act_b, 7, action, None));
+        ifs.push(prog.if_eq(7, action));
     }
-    act_b.post(&mut sim)?;
+    let armed = prog.deploy(&mut sim)?;
     for parts in &ifs {
         parts.inject_x(&mut sim, 7)?; // always taken
     }
     let start = sim.now();
-    ctrl_b.post(&mut sim)?;
+    armed.launch(&mut sim)?;
     sim.run()?;
     let elapsed = (sim.now() - start).as_us_f64();
     Ok(count as f64 / elapsed)
@@ -224,17 +226,18 @@ pub fn if_throughput(count: usize) -> Result<f64> {
 pub fn recycled_while_throughput(run_us: u64) -> Result<f64> {
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("solo", HostConfig::default(), NicConfig::connectx5());
-    let queue = ChainQueue::create(&mut sim, node, true, 8, None, ProcessId(0))?;
-    let mut pool = ConstPool::create(&mut sim, node, 1 << 12, ProcessId(0))?;
+    let mut ctx = OffloadCtx::builder(node)
+        .pool_capacity(1 << 12)
+        .build(&mut sim)?;
     let ctr = sim.alloc(node, 8, 8)?;
     let cmr = sim.register_mr(node, ctr, 8, Access::all())?;
-    let mut lb = RecycledLoopBuilder::new(&sim, queue);
+    let mut lb = ctx.recycled_loop(&mut sim, 8)?;
     // Minimal loop body: one conditional-style CAS + one ADD, as in the
     // paper's accounting (the rest is the recycling machinery itself).
     lb.stage(WorkRequest::cas(ctr, cmr.rkey, u64::MAX, 0, 0, 0).signaled());
     lb.stage(WorkRequest::fetch_add(ctr, cmr.rkey, 1, 0, 0).signaled());
     lb.stage_wait_all();
-    let lp = lb.finish(&mut sim, &mut pool)?;
+    let lp = lb.finish(&mut sim, ctx.pool_mut())?;
     sim.run_until(Time::from_us(run_us))?;
     let rounds = lp.rounds(&sim);
     Ok(rounds as f64 / run_us as f64)
@@ -251,7 +254,12 @@ pub fn table3() -> Result<Vec<Row>> {
         (Opcode::Max, "MAX (calc)", 63.0),
     ] {
         let m = verb_throughput(Generation::ConnectX5, op, 32, 600)?;
-        rows.push(Row::new(label, crate::report::mops(m), crate::report::mops(paper), ""));
+        rows.push(Row::new(
+            label,
+            crate::report::mops(m),
+            crate::report::mops(paper),
+            "",
+        ));
     }
     let if_rate = if_throughput(300)?;
     rows.push(Row::new(
@@ -279,23 +287,19 @@ pub fn table3() -> Result<Vec<Row>> {
 /// Table 2: WR cost of the constructs (our builder accounting vs the
 /// paper's).
 pub fn table2() -> Result<Vec<Row>> {
-    // if with trigger: counted directly off the builders.
+    // if with trigger: counted directly off the combinator layer.
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("solo", HostConfig::default(), NicConfig::connectx5());
-    let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0))?;
-    let act = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0))?;
-    let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
-    let mut act_b = ChainBuilder::new(&sim, act);
+    let mut ctx = OffloadCtx::builder(node)
+        .pool_capacity(1 << 12)
+        .build(&mut sim)?;
     let buf = sim.alloc(node, 8, 8)?;
     let mr = sim.register_mr(node, buf, 8, Access::all())?;
-    let parts = IfEq::build(
-        &mut ctrl_b,
-        &mut act_b,
-        1,
-        WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey),
-        Some((act.cq, 0)),
-    );
-    let c = parts.counts;
+    let mut prog = ctx.chain_program(&mut sim)?;
+    let trigger_cq = prog.actions().cq(); // any CQ works for accounting
+    prog.wait_on(trigger_cq, 0);
+    prog.if_eq(1, WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey));
+    let c = prog.counts();
     let mut rows = vec![Row::new(
         "if",
         format!("{}C + {}A + {}E", c.copies, c.atomics, c.ordering),
@@ -310,24 +314,24 @@ pub fn table2() -> Result<Vec<Row>> {
     ));
 
     // Recycled loop: one full ring round of the minimal loop.
-    let queue = ChainQueue::create(&mut sim, node, true, 16, None, ProcessId(0))?;
-    let mut pool = ConstPool::create(&mut sim, node, 1 << 12, ProcessId(0))?;
-    let mut lb = RecycledLoopBuilder::new(&sim, queue);
+    let mut lb = ctx.recycled_loop(&mut sim, 16)?;
     lb.stage(WorkRequest::cas(buf, mr.rkey, u64::MAX, 0, 0, 0).signaled());
     lb.stage(WorkRequest::fetch_add(buf, mr.rkey, 0, 0, 0).signaled());
     lb.stage_wait_all();
-    let lp = lb.finish(&mut sim, &mut pool)?;
+    let lp = lb.finish(&mut sim, ctx.pool_mut())?;
     let rc = lp.counts;
     rows.push(Row::new(
         "while (recycled, per round)",
-        format!(
-            "{}C + {}A + {}E",
-            rc.copies, rc.atomics, rc.ordering
-        ),
+        format!("{}C + {}A + {}E", rc.copies, rc.atomics, rc.ordering),
         "3C + 2A + 4E",
         "ours counts ring padding + fix-ups",
     ));
-    rows.push(Row::new("operand limit", "48 bits", "48 bits", "header id field"));
+    rows.push(Row::new(
+        "operand limit",
+        "48 bits",
+        "48 bits",
+        "header id field",
+    ));
     // Keep the sim alive until here so the ring teardown is clean.
     drop(sim);
     Ok(rows)

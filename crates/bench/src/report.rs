@@ -33,7 +33,12 @@ impl Row {
 /// Render a comparison table to stdout.
 pub fn print_table(title: &str, columns: [&str; 4], rows: &[Row]) {
     println!("\n## {title}");
-    let mut w = [columns[0].len(), columns[1].len(), columns[2].len(), columns[3].len()];
+    let mut w = [
+        columns[0].len(),
+        columns[1].len(),
+        columns[2].len(),
+        columns[3].len(),
+    ];
     for r in rows {
         w[0] = w[0].max(r.label.len());
         w[1] = w[1].max(r.measured.len());
@@ -42,15 +47,27 @@ pub fn print_table(title: &str, columns: [&str; 4], rows: &[Row]) {
     }
     println!(
         "{:<w0$}  {:>w1$}  {:>w2$}  {:<w3$}",
-        columns[0], columns[1], columns[2], columns[3],
-        w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3]
+        columns[0],
+        columns[1],
+        columns[2],
+        columns[3],
+        w0 = w[0],
+        w1 = w[1],
+        w2 = w[2],
+        w3 = w[3]
     );
     println!("{}", "-".repeat(w.iter().sum::<usize>() + 6));
     for r in rows {
         println!(
             "{:<w0$}  {:>w1$}  {:>w2$}  {:<w3$}",
-            r.label, r.measured, r.paper, r.note,
-            w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3]
+            r.label,
+            r.measured,
+            r.paper,
+            r.note,
+            w0 = w[0],
+            w1 = w[1],
+            w2 = w[2],
+            w3 = w[3]
         );
     }
 }

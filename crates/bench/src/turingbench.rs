@@ -2,7 +2,7 @@
 
 use redn_core::builder::ChainBuilder;
 use redn_core::constructs::mov::{MovUnit, RegisterFile};
-use redn_core::program::{ChainQueue, ConstPool};
+use redn_core::ctx::OffloadCtx;
 use redn_core::turing::compile::CompiledTm;
 use redn_core::turing::machine::TuringMachine;
 use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
@@ -21,10 +21,12 @@ pub fn appendix_a() -> Result<Vec<Row>> {
     // mov addressing modes.
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("nic", HostConfig::default(), NicConfig::connectx5());
-    let ctrl = ChainQueue::create(&mut sim, node, false, 256, None, ProcessId(0))?;
-    let patched = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0))?;
-    let mut pool = ConstPool::create(&mut sim, node, 1 << 14, ProcessId(0))?;
-    let regs = RegisterFile::create(&mut sim, &mut pool, 8)?;
+    let mut ctx = OffloadCtx::builder(node)
+        .pool_capacity(1 << 14)
+        .build(&mut sim)?;
+    let ctrl = ctx.chain_queue().depth(256).build(&mut sim)?;
+    let patched = ctx.chain_queue().managed().depth(64).build(&mut sim)?;
+    let regs = RegisterFile::create(&mut sim, ctx.pool_mut(), 8)?;
     let data = sim.alloc(node, 256, 8)?;
     let dmr = sim.register_mr(node, data, 256, Access::all())?;
     let unit = MovUnit::new(regs, dmr);
@@ -33,7 +35,7 @@ pub fn appendix_a() -> Result<Vec<Row>> {
     unit.regs.write(&mut sim, node, 1, data + 16)?;
     let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
     let mut patched_b = ChainBuilder::new(&sim, patched);
-    unit.mov_imm(&mut sim, &mut ctrl_b, &mut pool, 0, 0x42)?; // immediate
+    unit.mov_imm(&mut sim, &mut ctrl_b, ctx.pool_mut(), 0, 0x42)?; // immediate
     unit.mov_load(&mut ctrl_b, &mut patched_b, 2, 1, 0); // indirect
     unit.mov_load(&mut ctrl_b, &mut patched_b, 3, 1, 8); // indexed
     patched_b.post(&mut sim)?;
@@ -44,7 +46,12 @@ pub fn appendix_a() -> Result<Vec<Row>> {
     let ind_ok = unit.regs.read(&sim, node, 2)? == 0xCAFE;
     let idx_ok = unit.regs.read(&sim, node, 3)? == 0xD00D;
     rows.push(Row::new("mov immediate", ok(imm_ok), "WRITE w/ const", ""));
-    rows.push(Row::new("mov indirect", ok(ind_ok), "2 WRITEs, doorbell order", ""));
+    rows.push(Row::new(
+        "mov indirect",
+        ok(ind_ok),
+        "2 WRITEs, doorbell order",
+        "",
+    ));
     rows.push(Row::new("mov indexed", ok(idx_ok), "2 WRITEs + ADD", ""));
 
     // Busy beaver on the NIC.
@@ -75,13 +82,22 @@ pub fn appendix_a() -> Result<Vec<Row>> {
     let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 0)?;
     sim.run()?;
     let inc_ok = compiled.read_tape(&sim)? == vec![0, 0, 0, 1, 0]; // 8
-    rows.push(Row::new("binary increment (7 -> 8) on NIC", ok(inc_ok), "halts", ""));
+    rows.push(Row::new(
+        "binary increment (7 -> 8) on NIC",
+        ok(inc_ok),
+        "halts",
+        "",
+    ));
 
     Ok(rows)
 }
 
 fn ok(b: bool) -> String {
-    if b { "PASS".to_string() } else { "FAIL".to_string() }
+    if b {
+        "PASS".to_string()
+    } else {
+        "FAIL".to_string()
+    }
 }
 
 #[cfg(test)]

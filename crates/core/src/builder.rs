@@ -187,7 +187,10 @@ mod tests {
     fn setup() -> (Simulator, ChainQueue) {
         let mut sim = Simulator::new(SimConfig::default());
         let n = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let q = ChainQueue::create(&mut sim, n, false, 32, None, ProcessId(0)).unwrap();
+        let q = crate::ctx::ChainQueueBuilder::new(n, ProcessId(0))
+            .depth(32)
+            .build(&mut sim)
+            .unwrap();
         (sim, q)
     }
 

@@ -238,13 +238,13 @@ impl IfEqWide {
         ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
         ctrl.stage(WorkRequest::enable(queue.sq, staged[0].index + 1));
         counts.ordering += 2;
-        for i in 1..k {
+        for (i, stage) in staged.iter().enumerate().skip(1) {
             // Carrier T_i completes (as NOOP or CAS) on the stage queue's
             // CQ; its absolute completion count is base_signaled + i. The
             // k−1 carriers are signaled; the action placeholder is not.
             let wait_count = stages.next_wait_count() - (k as u64 - 1) + i as u64;
             ctrl.stage(WorkRequest::wait(queue.cq, wait_count));
-            ctrl.stage(WorkRequest::enable(queue.sq, staged[i].index + 1));
+            ctrl.stage(WorkRequest::enable(queue.sq, stage.index + 1));
             counts.ordering += 2;
         }
 
@@ -303,8 +303,7 @@ impl IfLe {
         // address up front so the operand-move READ can target it before
         // IfEq stages it.
         let action_idx = actions.next_index();
-        let action_id_addr =
-            actions.queue().slot_addr(action_idx) + WqeField::Id.offset();
+        let action_id_addr = actions.queue().slot_addr(action_idx) + WqeField::Id.offset();
 
         // scratch = max(x, y).
         ctrl.stage(WorkRequest::max(scratch, pool_mr.rkey, y).signaled());
@@ -334,13 +333,18 @@ impl IfLe {
 
     /// Place the runtime operand.
     pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
-        sim.mem_write_u64(self.inner.action.queue.node, self.x_inject_addr, operand48(x))
+        sim.mem_write_u64(
+            self.inner.action.queue.node,
+            self.x_inject_addr,
+            operand48(x),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::ChainQueueBuilder;
     use crate::program::{ChainQueue, ConstPool};
     use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
     use rnic_sim::ids::{NodeId, ProcessId};
@@ -360,8 +364,15 @@ mod tests {
     fn rig() -> Rig {
         let mut sim = Simulator::new(SimConfig::default());
         let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
-        let act = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0)).unwrap();
+        let ctrl = ChainQueueBuilder::new(node, ProcessId(0))
+            .depth(64)
+            .build(&mut sim)
+            .unwrap();
+        let act = ChainQueueBuilder::new(node, ProcessId(0))
+            .managed()
+            .depth(64)
+            .build(&mut sim)
+            .unwrap();
         let flag = sim.alloc(node, 8, 8).unwrap();
         let fmr = sim.register_mr(node, flag, 8, Access::all()).unwrap();
         let one = sim.alloc(node, 8, 8).unwrap();
@@ -502,8 +513,7 @@ mod tests {
             let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
             let mut act = ChainBuilder::new(&r.sim, r.act);
             let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
-            let parts =
-                IfLe::build(&mut r.sim, &mut ctrl, &mut act, &mut pool, y, action).unwrap();
+            let parts = IfLe::build(&mut r.sim, &mut ctrl, &mut act, &mut pool, y, action).unwrap();
             act.post(&mut r.sim).unwrap();
             parts.inject_x(&mut r.sim, x).unwrap();
             ctrl.post(&mut r.sim).unwrap();

@@ -95,8 +95,9 @@ impl UnrolledWhile {
                 image.extend_from_slice(&0u32.to_le_bytes());
                 let image_addr = pool.push_bytes(sim, &image)?;
 
-                let mut brk = WorkRequest::write(image_addr, pool_mr.lkey, 12, resp_slot, ring_rkey)
-                    .signaled();
+                let mut brk =
+                    WorkRequest::write(image_addr, pool_mr.lkey, 12, resp_slot, ring_rkey)
+                        .signaled();
                 brk.wqe.opcode = Opcode::Noop; // transmuted on match
                 let brk_staged = dyn_q.stage(brk);
                 counts.copies += 1;
@@ -389,7 +390,8 @@ impl RecycledLoopBuilder {
         let tail_enable_operand = self.slot_field_addr(tail_enable_rel, WqeField::Operand);
         self.wrs[0] =
             WorkRequest::fetch_add(tail_wait_operand, ring_rkey, s_per_round, 0, 0).signaled();
-        self.wrs[1] = WorkRequest::fetch_add(tail_enable_operand, ring_rkey, depth, 0, 0).signaled();
+        self.wrs[1] =
+            WorkRequest::fetch_add(tail_enable_operand, ring_rkey, depth, 0, 0).signaled();
 
         let tail_enable_idx = depth - 1;
         let tail_enable = Staged {
@@ -441,6 +443,7 @@ impl RecycledLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::ChainQueueBuilder;
     use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
     use rnic_sim::ids::{NodeId, ProcessId};
     use rnic_sim::mem::Access;
@@ -461,8 +464,15 @@ mod tests {
     fn rig() -> Rig {
         let mut sim = Simulator::new(SimConfig::default());
         let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let ctrl = ChainQueue::create(&mut sim, node, false, 256, None, ProcessId(0)).unwrap();
-        let dyn_q = ChainQueue::create(&mut sim, node, true, 256, None, ProcessId(0)).unwrap();
+        let ctrl = ChainQueueBuilder::new(node, ProcessId(0))
+            .depth(256)
+            .build(&mut sim)
+            .unwrap();
+        let dyn_q = ChainQueueBuilder::new(node, ProcessId(0))
+            .managed()
+            .depth(256)
+            .build(&mut sim)
+            .unwrap();
         let pool = ConstPool::create(&mut sim, node, 4096, ProcessId(0)).unwrap();
         let out = sim.alloc(node, 8, 8).unwrap();
         let omr = sim.register_mr(node, out, 8, Access::all()).unwrap();
@@ -532,7 +542,13 @@ mod tests {
         let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
         let mut dyn_b = ChainBuilder::new(&r.sim, r.dyn_q);
         let lw = UnrolledWhile::build(
-            &mut r.sim, &mut ctrl, &mut dyn_b, &mut r.pool, &values, &responses, false,
+            &mut r.sim,
+            &mut ctrl,
+            &mut dyn_b,
+            &mut r.pool,
+            &values,
+            &responses,
+            false,
         )
         .unwrap();
         dyn_b.post(&mut r.sim).unwrap();
@@ -564,7 +580,13 @@ mod tests {
         let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
         let mut dyn_b = ChainBuilder::new(&r.sim, r.dyn_q);
         let lw = UnrolledWhile::build(
-            &mut r.sim, &mut ctrl, &mut dyn_b, &mut r.pool, &values, &responses, true,
+            &mut r.sim,
+            &mut ctrl,
+            &mut dyn_b,
+            &mut r.pool,
+            &values,
+            &responses,
+            true,
         )
         .unwrap();
         dyn_b.post(&mut r.sim).unwrap();
@@ -581,7 +603,11 @@ mod tests {
         // arming, the host never touches it again.
         let mut sim = Simulator::new(SimConfig::default());
         let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let queue = ChainQueue::create(&mut sim, node, true, 8, None, ProcessId(0)).unwrap();
+        let queue = ChainQueueBuilder::new(node, ProcessId(0))
+            .managed()
+            .depth(8)
+            .build(&mut sim)
+            .unwrap();
         let mut pool = ConstPool::create(&mut sim, node, 4096, ProcessId(0)).unwrap();
         let ctr = sim.alloc(node, 8, 8).unwrap();
         let cmr = sim.register_mr(node, ctr, 8, Access::all()).unwrap();
@@ -597,7 +623,7 @@ mod tests {
         sim.run_until(Time::from_us(200)).unwrap();
         let rounds = sim.mem_read_u64(node, ctr).unwrap();
         assert!(rounds >= 10, "expected >= 10 rounds, got {rounds}");
-        assert_eq!(lp.rounds(&sim) >= rounds - 1, true);
+        assert!(lp.rounds(&sim) >= rounds - 1);
 
         // Halt and drain: the counter stops.
         lp.halt(&mut sim).unwrap();
@@ -616,7 +642,11 @@ mod tests {
         // verify the counter advances every round (i.e., restore happens).
         let mut sim = Simulator::new(SimConfig::default());
         let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let queue = ChainQueue::create(&mut sim, node, true, 16, None, ProcessId(0)).unwrap();
+        let queue = ChainQueueBuilder::new(node, ProcessId(0))
+            .managed()
+            .depth(16)
+            .build(&mut sim)
+            .unwrap();
         let mut pool = ConstPool::create(&mut sim, node, 8192, ProcessId(0)).unwrap();
         let ctr = sim.alloc(node, 8, 8).unwrap();
         let cmr = sim.register_mr(node, ctr, 8, Access::all()).unwrap();

@@ -111,8 +111,14 @@ impl MovUnit {
     ) -> Result<()> {
         let c_addr = pool.push_u64(sim, c)?;
         ctrl.stage(
-            WorkRequest::write(c_addr, pool.mr().lkey, 8, self.regs.addr(dst), self.regs.mr().rkey)
-                .signaled(),
+            WorkRequest::write(
+                c_addr,
+                pool.mr().lkey,
+                8,
+                self.regs.addr(dst),
+                self.regs.mr().rkey,
+            )
+            .signaled(),
         );
         ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
         Ok(())
@@ -242,6 +248,7 @@ impl MovUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::ChainQueueBuilder;
     use crate::program::ChainQueue;
     use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
     use rnic_sim::ids::{NodeId, ProcessId};
@@ -260,8 +267,15 @@ mod tests {
     fn rig() -> Rig {
         let mut sim = Simulator::new(SimConfig::default());
         let node = sim.add_node("s", HostConfig::default(), NicConfig::connectx5());
-        let ctrl = ChainQueue::create(&mut sim, node, false, 128, None, ProcessId(0)).unwrap();
-        let patched = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0)).unwrap();
+        let ctrl = ChainQueueBuilder::new(node, ProcessId(0))
+            .depth(128)
+            .build(&mut sim)
+            .unwrap();
+        let patched = ChainQueueBuilder::new(node, ProcessId(0))
+            .managed()
+            .depth(64)
+            .build(&mut sim)
+            .unwrap();
         let mut pool = ConstPool::create(&mut sim, node, 4096, ProcessId(0)).unwrap();
         let regs = RegisterFile::create(&mut sim, &mut pool, 8).unwrap();
         let data = sim.alloc(node, 256, 8).unwrap();
@@ -323,7 +337,10 @@ mod tests {
         let mut r = rig();
         // data[2] = 0xABCD; R1 = &data[2]; mov R0, [R1].
         r.sim.mem_write_u64(r.node, r.data + 16, 0xABCD).unwrap();
-        r.unit.regs.write(&mut r.sim, r.node, 1, r.data + 16).unwrap();
+        r.unit
+            .regs
+            .write(&mut r.sim, r.node, 1, r.data + 16)
+            .unwrap();
         let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
         let mut patched = ChainBuilder::new(&r.sim, r.patched);
         r.unit.mov_load(&mut ctrl, &mut patched, 0, 1, 0);
@@ -353,7 +370,10 @@ mod tests {
         let mut r = rig();
         // R0 = 0x99; R1 = &data[5]; mov [R1], R0.
         r.unit.regs.write(&mut r.sim, r.node, 0, 0x99).unwrap();
-        r.unit.regs.write(&mut r.sim, r.node, 1, r.data + 40).unwrap();
+        r.unit
+            .regs
+            .write(&mut r.sim, r.node, 1, r.data + 40)
+            .unwrap();
         let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
         let mut patched = ChainBuilder::new(&r.sim, r.patched);
         r.unit.mov_store(&mut ctrl, &mut patched, 1, 0, 0);

@@ -1,0 +1,188 @@
+//! Fluent, capability-typed deployment builders for the §5 offloads.
+//!
+//! These replace the raw config structs (`HashGetConfig`,
+//! `ListWalkConfig`) whose loose `u32` key fields were the sharpest edge
+//! of the old API. A builder collects typed capabilities
+//! ([`TableRegion`], [`ValueSource`], [`ClientDest`]) and refuses to
+//! deploy until every authority the offload needs has been granted.
+
+use rnic_sim::error::{Error, Result};
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+
+use crate::ctx::caps::{ClientDest, TableRegion, ValueSource};
+use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
+use crate::offloads::list::ListWalkOffload;
+
+/// Resolved deployment parameters of a hash-get offload (internal; built
+/// only by [`HashGetBuilder`] and the deprecated config shim).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HashGetSpec {
+    pub(crate) table: TableRegion,
+    pub(crate) values: ValueSource,
+    pub(crate) dest: ClientDest,
+    pub(crate) variant: HashGetVariant,
+    pub(crate) port: usize,
+}
+
+/// Fluent builder for the hash-table `get` offload (Fig 9). Obtain from
+/// [`OffloadCtx::hash_get`](crate::ctx::OffloadCtx::hash_get).
+#[derive(Clone, Copy, Debug)]
+pub struct HashGetBuilder {
+    node: NodeId,
+    owner: ProcessId,
+    port: usize,
+    table: Option<TableRegion>,
+    values: Option<ValueSource>,
+    dest: Option<ClientDest>,
+    variant: HashGetVariant,
+}
+
+impl HashGetBuilder {
+    pub(crate) fn new(node: NodeId, owner: ProcessId, port: usize) -> HashGetBuilder {
+        HashGetBuilder {
+            node,
+            owner,
+            port,
+            table: None,
+            values: None,
+            dest: None,
+            variant: HashGetVariant::Single,
+        }
+    }
+
+    /// Grant READ authority over the bucket array.
+    pub fn table(mut self, table: TableRegion) -> HashGetBuilder {
+        self.table = Some(table);
+        self
+    }
+
+    /// Grant gather authority over the value heap (and fix the value
+    /// size).
+    pub fn values(mut self, values: ValueSource) -> HashGetBuilder {
+        self.values = Some(values);
+        self
+    }
+
+    /// Grant WRITE authority over the client's response buffer.
+    pub fn respond_to(mut self, dest: ClientDest) -> HashGetBuilder {
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Probe scheduling (Fig 11): single, sequential, or PU-parallel.
+    pub fn variant(mut self, variant: HashGetVariant) -> HashGetBuilder {
+        self.variant = variant;
+        self
+    }
+
+    /// Override the NIC port the offload's queues bind to.
+    pub fn on_port(mut self, port: usize) -> HashGetBuilder {
+        self.port = port;
+        self
+    }
+
+    /// Deploy the offload's queues. The caller connects a client QP to
+    /// `offload.tp.qp` and [`arm`](HashGetOffload::arm)s instances.
+    pub fn build(self, sim: &mut Simulator) -> Result<HashGetOffload> {
+        let spec = HashGetSpec {
+            table: self
+                .table
+                .ok_or(Error::InvalidWr("hash-get deployment needs .table(...)"))?,
+            values: self
+                .values
+                .ok_or(Error::InvalidWr("hash-get deployment needs .values(...)"))?,
+            dest: self.dest.ok_or(Error::InvalidWr(
+                "hash-get deployment needs .respond_to(...)",
+            ))?,
+            variant: self.variant,
+            port: self.port,
+        };
+        HashGetOffload::deploy(sim, self.node, self.owner, spec)
+    }
+}
+
+/// Resolved deployment parameters of a list-walk offload (internal).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ListWalkSpec {
+    pub(crate) list: TableRegion,
+    pub(crate) value_len: u32,
+    pub(crate) dest: ClientDest,
+    pub(crate) max_nodes: usize,
+    pub(crate) break_on_match: bool,
+}
+
+/// Fluent builder for the linked-list traversal offload (Fig 12/13).
+/// Obtain from [`OffloadCtx::list_walk`](crate::ctx::OffloadCtx::list_walk).
+#[derive(Clone, Copy, Debug)]
+pub struct ListWalkBuilder {
+    node: NodeId,
+    owner: ProcessId,
+    list: Option<TableRegion>,
+    value_len: u32,
+    dest: Option<ClientDest>,
+    max_nodes: usize,
+    break_on_match: bool,
+}
+
+impl ListWalkBuilder {
+    pub(crate) fn new(node: NodeId, owner: ProcessId) -> ListWalkBuilder {
+        ListWalkBuilder {
+            node,
+            owner,
+            list: None,
+            value_len: 64,
+            dest: None,
+            max_nodes: 8,
+            break_on_match: false,
+        }
+    }
+
+    /// Grant READ authority over the region holding the list nodes.
+    pub fn list(mut self, list: TableRegion) -> ListWalkBuilder {
+        self.list = Some(list);
+        self
+    }
+
+    /// Value bytes per node (default 64, the paper's size).
+    pub fn value_len(mut self, len: u32) -> ListWalkBuilder {
+        self.value_len = len;
+        self
+    }
+
+    /// Grant WRITE authority over the client's response buffer.
+    pub fn respond_to(mut self, dest: ClientDest) -> ListWalkBuilder {
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Maximum nodes walked — the unroll factor (default 8, as in the
+    /// paper).
+    pub fn max_nodes(mut self, n: usize) -> ListWalkBuilder {
+        self.max_nodes = n;
+        self
+    }
+
+    /// Compile the Fig 13 `+break` variant: a match abandons the rest of
+    /// the walk.
+    pub fn break_on_match(mut self) -> ListWalkBuilder {
+        self.break_on_match = true;
+        self
+    }
+
+    /// Deploy the offload's queues.
+    pub fn build(self, sim: &mut Simulator) -> Result<ListWalkOffload> {
+        let spec = ListWalkSpec {
+            list: self
+                .list
+                .ok_or(Error::InvalidWr("list-walk deployment needs .list(...)"))?,
+            value_len: self.value_len,
+            dest: self.dest.ok_or(Error::InvalidWr(
+                "list-walk deployment needs .respond_to(...)",
+            ))?,
+            max_nodes: self.max_nodes,
+            break_on_match: self.break_on_match,
+        };
+        ListWalkOffload::deploy(sim, self.node, self.owner, spec)
+    }
+}

@@ -1,0 +1,398 @@
+//! [`ChainProgram`]: the typed combinator layer over the §3 constructs.
+//!
+//! A chain program owns a pair of builders — one over an *unmanaged
+//! control queue* (ordering verbs, CASes, patch WRITEs) and one over a
+//! *managed action queue* (the self-modified branch bodies) — and exposes
+//! the paper's constructs as combinators. WAIT thresholds, ENABLE targets
+//! and patch-point addresses are computed internally; callers never do
+//! `next_wait_count()` arithmetic.
+//!
+//! Deployment is two-phase, mirroring the hardware reality that injection
+//! must land *after* the action WQEs are in the ring but *before* the
+//! control chain starts consuming them:
+//!
+//! 1. [`ChainProgram::deploy`] posts the managed action queue (quiet — no
+//!    doorbell) and returns an [`ArmedProgram`];
+//! 2. the caller injects runtime operands (via the construct handles'
+//!    `inject_x`, or a RECV scatter);
+//! 3. [`ArmedProgram::launch`] posts the control queue, which rings its
+//!    doorbell and sets the NIC off.
+//!
+//! [`ChainProgram::run`] collapses the three steps when nothing needs
+//! host-side injection.
+
+use rnic_sim::error::Result;
+use rnic_sim::ids::CqId;
+use rnic_sim::sim::Simulator;
+use rnic_sim::wqe::WorkRequest;
+
+use crate::builder::{ChainBuilder, Staged, VerbCounts};
+use crate::constructs::cond::{IfEq, IfEqWide, IfLe};
+use crate::constructs::mov::{MovUnit, RegisterFile};
+use crate::ctx::OffloadCtx;
+use crate::offloads::rpc::TriggerPoint;
+
+/// A chain program under construction. Created by
+/// [`OffloadCtx::chain_program`].
+pub struct ChainProgram<'c> {
+    ctx: &'c mut OffloadCtx,
+    ctrl: ChainBuilder,
+    actions: ChainBuilder,
+    counts: VerbCounts,
+}
+
+impl<'c> ChainProgram<'c> {
+    pub(crate) fn new(
+        ctx: &'c mut OffloadCtx,
+        ctrl: ChainBuilder,
+        actions: ChainBuilder,
+    ) -> ChainProgram<'c> {
+        ChainProgram {
+            ctx,
+            ctrl,
+            actions,
+            counts: VerbCounts::default(),
+        }
+    }
+
+    /// Gate everything staged after this on the next SEND arriving at
+    /// `tp` (the client-invocation edge of Fig 1). The WAIT threshold is
+    /// computed from the trigger CQ's live completion count.
+    ///
+    /// This arms for the **next** trigger from now. When arming several
+    /// program instances ahead of any client SEND, pass each instance's
+    /// ordinal via [`ChainProgram::on_nth_trigger`] instead — otherwise
+    /// every instance waits for the same (first) SEND.
+    pub fn on_trigger(&mut self, sim: &Simulator, tp: &TriggerPoint) -> &mut Self {
+        self.on_nth_trigger(sim, tp, 1)
+    }
+
+    /// Gate on the `n`-th future SEND arriving at `tp` (1 = the next
+    /// one). Use this to arm pipelined instances: instance `k` (0-based)
+    /// of a batch armed back-to-back passes `n = k + 1`.
+    pub fn on_nth_trigger(&mut self, sim: &Simulator, tp: &TriggerPoint, n: u64) -> &mut Self {
+        let count = tp.wait_count_after(sim, n);
+        self.ctrl.stage(WorkRequest::wait(tp.recv_cq, count));
+        self.counts.ordering += 1;
+        self
+    }
+
+    /// Gate everything staged after this on `cq` reaching `count`
+    /// completions (absolute, monotonic — §3.4 semantics).
+    pub fn wait_on(&mut self, cq: CqId, count: u64) -> &mut Self {
+        self.ctrl.stage(WorkRequest::wait(cq, count));
+        self.counts.ordering += 1;
+        self
+    }
+
+    /// `if (x == y) action` (Fig 4). Returns the construct handle; inject
+    /// the runtime operand through it after [`ChainProgram::deploy`].
+    pub fn if_eq(&mut self, y: u64, action: WorkRequest) -> IfEq {
+        let parts = IfEq::build(&mut self.ctrl, &mut self.actions, y, action, None);
+        self.counts = self.counts.merge(&parts.counts);
+        parts
+    }
+
+    /// Wide-operand `if (x == y) action` via CAS chaining (§3.5),
+    /// comparing `bits` bits.
+    pub fn if_eq_wide(&mut self, y: u128, bits: u32, action: WorkRequest) -> IfEqWide {
+        let parts = IfEqWide::build(&mut self.ctrl, &mut self.actions, y, bits, action, None);
+        self.counts = self.counts.merge(&parts.counts);
+        parts
+    }
+
+    /// `if (x <= y) action` via MAX + equality (§3.5). Scratch space comes
+    /// from the context's constant pool.
+    pub fn if_le(&mut self, sim: &mut Simulator, y: u64, action: WorkRequest) -> Result<IfLe> {
+        let parts = IfLe::build(
+            sim,
+            &mut self.ctrl,
+            &mut self.actions,
+            self.ctx.pool_mut(),
+            y,
+            action,
+        )?;
+        self.counts = self.counts.merge(&parts.counts);
+        Ok(parts)
+    }
+
+    /// Allocate a register file + mov unit against `data` (Appendix A,
+    /// Table 7). Registers live in the context's constant pool.
+    pub fn mov_unit(
+        &mut self,
+        sim: &mut Simulator,
+        registers: usize,
+        data: rnic_sim::mem::MemoryRegion,
+    ) -> Result<MovUnit> {
+        let regs = RegisterFile::create(sim, self.ctx.pool_mut(), registers)?;
+        Ok(MovUnit::new(regs, data))
+    }
+
+    /// `mov Rdst, C` — immediate.
+    pub fn mov_imm(
+        &mut self,
+        sim: &mut Simulator,
+        unit: &MovUnit,
+        dst: usize,
+        c: u64,
+    ) -> Result<&mut Self> {
+        unit.mov_imm(sim, &mut self.ctrl, self.ctx.pool_mut(), dst, c)?;
+        Ok(self)
+    }
+
+    /// `mov Rdst, Rsrc` — register to register.
+    pub fn mov_reg(&mut self, unit: &MovUnit, dst: usize, src: usize) -> &mut Self {
+        unit.mov_reg(&mut self.ctrl, dst, src);
+        self
+    }
+
+    /// `mov Rdst, [Rsrc + off]` — indirect/indexed load.
+    pub fn mov_load(&mut self, unit: &MovUnit, dst: usize, src: usize, off: u64) -> &mut Self {
+        unit.mov_load(&mut self.ctrl, &mut self.actions, dst, src, off);
+        self
+    }
+
+    /// `mov [Rdst + off], Rsrc` — indirect/indexed store.
+    pub fn mov_store(&mut self, unit: &MovUnit, dst: usize, src: usize, off: u64) -> &mut Self {
+        unit.mov_store(&mut self.ctrl, &mut self.actions, dst, src, off);
+        self
+    }
+
+    /// Escape hatch: the control-queue builder, for staging raw verbs
+    /// alongside the combinators.
+    pub fn ctrl(&mut self) -> &mut ChainBuilder {
+        &mut self.ctrl
+    }
+
+    /// Escape hatch: the managed action-queue builder.
+    pub fn actions(&mut self) -> &mut ChainBuilder {
+        &mut self.actions
+    }
+
+    /// Table 2 verb accounting of everything staged through the
+    /// combinators.
+    pub fn counts(&self) -> VerbCounts {
+        self.counts
+    }
+
+    /// Post the managed action queue (quiet). Inject runtime operands,
+    /// then [`ArmedProgram::launch`].
+    pub fn deploy(self, sim: &mut Simulator) -> Result<ArmedProgram> {
+        let action_handles = self.actions.post(sim)?;
+        Ok(ArmedProgram {
+            ctrl: self.ctrl,
+            action_handles,
+        })
+    }
+
+    /// Deploy and immediately launch — for programs whose operands are
+    /// injected by RECV scatter (or that take none).
+    pub fn run(self, sim: &mut Simulator) -> Result<LaunchedProgram> {
+        self.deploy(sim)?.launch(sim)
+    }
+}
+
+/// A program whose action WQEs are posted; awaiting operand injection and
+/// [`ArmedProgram::launch`].
+pub struct ArmedProgram {
+    ctrl: ChainBuilder,
+    action_handles: Vec<Staged>,
+}
+
+impl ArmedProgram {
+    /// Handles to the posted action WQEs.
+    pub fn action_handles(&self) -> &[Staged] {
+        &self.action_handles
+    }
+
+    /// Post the control queue (ringing its doorbell): the NIC takes over.
+    pub fn launch(self, sim: &mut Simulator) -> Result<LaunchedProgram> {
+        let ctrl_handles = self.ctrl.post(sim)?;
+        Ok(LaunchedProgram {
+            action_handles: self.action_handles,
+            ctrl_handles,
+        })
+    }
+}
+
+/// A fully posted chain program.
+pub struct LaunchedProgram {
+    /// Handles to the action WQEs.
+    pub action_handles: Vec<Staged>,
+    /// Handles to the control WQEs.
+    pub ctrl_handles: Vec<Staged>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::OffloadCtx;
+    use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
+    use rnic_sim::ids::NodeId;
+    use rnic_sim::mem::Access;
+
+    fn rig() -> (Simulator, NodeId) {
+        let mut sim = Simulator::new(SimConfig::default());
+        let node = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        (sim, node)
+    }
+
+    #[test]
+    fn if_eq_through_program_matches_table2_and_branches() {
+        let (mut sim, node) = rig();
+        let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+        let flag = sim.alloc(node, 8, 8).unwrap();
+        let fmr = sim.register_mr(node, flag, 8, Access::all()).unwrap();
+        let one = sim.alloc(node, 8, 8).unwrap();
+        let omr = sim.register_mr(node, one, 8, Access::all()).unwrap();
+        sim.mem_write_u64(node, one, 1).unwrap();
+
+        for (x, y, expect) in [(5u64, 5u64, 1u64), (5, 6, 0)] {
+            sim.mem_write_u64(node, flag, 0).unwrap();
+            let mut prog = ctx.chain_program(&mut sim).unwrap();
+            let action = WorkRequest::write(one, omr.lkey, 8, flag, fmr.rkey);
+            let branch = prog.if_eq(y, action);
+            assert_eq!(prog.counts().atomics, 1);
+            let armed = prog.deploy(&mut sim).unwrap();
+            branch.inject_x(&mut sim, x).unwrap();
+            armed.launch(&mut sim).unwrap();
+            sim.run().unwrap();
+            assert_eq!(sim.mem_read_u64(node, flag).unwrap(), expect, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn wide_and_le_conditionals_compose_on_one_program() {
+        let (mut sim, node) = rig();
+        let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+        let flags = sim.alloc(node, 16, 8).unwrap();
+        let fmr = sim.register_mr(node, flags, 16, Access::all()).unwrap();
+        let one = sim.alloc(node, 8, 8).unwrap();
+        let omr = sim.register_mr(node, one, 8, Access::all()).unwrap();
+        sim.mem_write_u64(node, one, 1).unwrap();
+
+        let wide_val: u128 = 0x1234_5678_9ABC_DEF0_1122;
+        let mut prog = ctx.chain_program(&mut sim).unwrap();
+        let wide = prog.if_eq_wide(
+            wide_val,
+            80,
+            WorkRequest::write(one, omr.lkey, 8, flags, fmr.rkey),
+        );
+        let le = prog
+            .if_le(
+                &mut sim,
+                50,
+                WorkRequest::write(one, omr.lkey, 8, flags + 8, fmr.rkey),
+            )
+            .unwrap();
+        let armed = prog.deploy(&mut sim).unwrap();
+        wide.inject_x(&mut sim, wide_val).unwrap();
+        le.inject_x(&mut sim, 49).unwrap();
+        armed.launch(&mut sim).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.mem_read_u64(node, flags).unwrap(), 1, "wide taken");
+        assert_eq!(sim.mem_read_u64(node, flags + 8).unwrap(), 1, "49 <= 50");
+    }
+
+    #[test]
+    fn mov_combinators_pointer_chase() {
+        let (mut sim, node) = rig();
+        let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+        let data = sim.alloc(node, 256, 8).unwrap();
+        let dmr = sim.register_mr(node, data, 256, Access::all()).unwrap();
+        sim.mem_write_u64(node, data, data + 64).unwrap();
+        sim.mem_write_u64(node, data + 64, 0x5EED).unwrap();
+
+        let mut prog = ctx.chain_program(&mut sim).unwrap();
+        let unit = prog.mov_unit(&mut sim, 4, dmr).unwrap();
+        unit.regs.write(&mut sim, node, 1, data).unwrap();
+        prog.mov_load(&unit, 2, 1, 0);
+        prog.mov_load(&unit, 3, 2, 0);
+        prog.run(&mut sim).unwrap();
+        sim.run().unwrap();
+        assert_eq!(unit.regs.read(&sim, node, 3).unwrap(), 0x5EED);
+    }
+
+    #[test]
+    fn triggered_programs_arm_pipelined_instances_in_order() {
+        use crate::encode::operand48;
+        use rnic_sim::config::LinkConfig;
+        use rnic_sim::qp::QpConfig;
+
+        let mut sim = Simulator::new(SimConfig::default());
+        let c = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(c, s, LinkConfig::back_to_back());
+        let mut ctx = OffloadCtx::new(&mut sim, s).unwrap();
+        let tp = ctx.trigger_point().build(&mut sim).unwrap();
+        let ccq = sim.create_cq(c, 16).unwrap();
+        let cqp = sim.create_qp(c, QpConfig::new(ccq)).unwrap();
+        sim.connect_qps(cqp, tp.qp).unwrap();
+
+        let flags = sim.alloc(s, 16, 8).unwrap();
+        let fmr = sim.register_mr(s, flags, 16, Access::all()).unwrap();
+        let one = ctx.pool_mut().push_u64(&mut sim, 1).unwrap();
+        let pool_lkey = ctx.pool().mr().lkey;
+
+        // Two instances armed back-to-back, before any client SEND.
+        // Instance k gates on the (k+1)-th trigger; its operand arrives
+        // via the RECV scatter (no host injection).
+        for k in 0..2u64 {
+            let mut prog = ctx.chain_program(&mut sim).unwrap();
+            prog.on_nth_trigger(&sim, &tp, k + 1);
+            let branch = prog.if_eq(
+                7 + k,
+                WorkRequest::write(one, pool_lkey, 8, flags + 8 * k, fmr.rkey),
+            );
+            prog.run(&mut sim).unwrap();
+            let scatter = [(branch.x_inject_addr, branch.action.queue.ring.lkey, 6u32)];
+            tp.post_trigger_recv(&mut sim, ctx.pool_mut(), &scatter)
+                .unwrap();
+        }
+        // No SEND yet: both instances parked.
+        sim.run().unwrap();
+        assert_eq!(sim.mem_read_u64(s, flags).unwrap(), 0);
+
+        let src = sim.alloc(c, 8, 8).unwrap();
+        let smr = sim.register_mr(c, src, 8, Access::all()).unwrap();
+        // First SEND (operand 7): only instance 0 fires.
+        sim.mem_write(c, src, &operand48(7).to_le_bytes()[..6])
+            .unwrap();
+        sim.post_send(cqp, WorkRequest::send(src, smr.lkey, 6))
+            .unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.mem_read_u64(s, flags).unwrap(), 1, "instance 0 fired");
+        assert_eq!(
+            sim.mem_read_u64(s, flags + 8).unwrap(),
+            0,
+            "instance 1 parked"
+        );
+        // Second SEND (operand 8): instance 1 fires.
+        sim.mem_write(c, src, &operand48(8).to_le_bytes()[..6])
+            .unwrap();
+        sim.post_send(cqp, WorkRequest::send(src, smr.lkey, 6))
+            .unwrap();
+        sim.run().unwrap();
+        assert_eq!(
+            sim.mem_read_u64(s, flags + 8).unwrap(),
+            1,
+            "instance 1 fired"
+        );
+    }
+
+    #[test]
+    fn run_collapses_deploy_and_launch() {
+        let (mut sim, node) = rig();
+        let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+        let buf = sim.alloc(node, 16, 8).unwrap();
+        let mr = sim.register_mr(node, buf, 16, Access::all()).unwrap();
+        sim.mem_write_u64(node, buf, 0x77).unwrap();
+        let mut prog = ctx.chain_program(&mut sim).unwrap();
+        prog.ctrl()
+            .stage(WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey).signaled());
+        let launched = prog.run(&mut sim).unwrap();
+        assert_eq!(launched.ctrl_handles.len(), 1);
+        sim.run().unwrap();
+        assert_eq!(sim.mem_read_u64(node, buf + 8).unwrap(), 0x77);
+    }
+}

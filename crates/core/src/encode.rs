@@ -147,9 +147,11 @@ mod tests {
     #[test]
     fn id_bytes_overlay_header_correctly() {
         // Writing 6 bytes at OFF_ID_BYTES must change exactly the id.
-        let mut wqe = Wqe::default();
-        wqe.opcode = Opcode::Noop;
-        wqe.id = 0;
+        let wqe = Wqe {
+            opcode: Opcode::Noop,
+            id: 0,
+            ..Wqe::default()
+        };
         let mut bytes = wqe.encode();
         let x: u64 = 0xAABB_CCDD_EEFF; // 48 bits
         bytes[OFF_ID_BYTES as usize..(OFF_ID_BYTES + ID_BYTES) as usize]
@@ -175,7 +177,7 @@ mod tests {
         let v: u128 = 0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF;
         let segs = wide_segments(v, 128);
         assert_eq!(segs.len(), 3); // ceil(128/48)
-        // Reassemble.
+                                   // Reassemble.
         let mut back: u128 = 0;
         for (i, s) in segs.iter().enumerate() {
             back |= (*s as u128) << (i as u32 * OPERAND_BITS);

@@ -37,6 +37,7 @@
 
 pub mod builder;
 pub mod constructs;
+pub mod ctx;
 pub mod encode;
 pub mod offloads;
 pub mod program;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::constructs::cond::{IfEq, IfEqWide};
     pub use crate::constructs::loops::RecycledLoop;
     pub use crate::constructs::mov::MovUnit;
+    pub use crate::ctx::{ChainProgram, ClientDest, OffloadCtx, TableRegion, ValueSource};
     pub use crate::encode::WqeField;
     pub use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
     pub use crate::offloads::list::ListWalkOffload;

@@ -28,9 +28,12 @@ use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::{Sge, WorkRequest};
 
 use crate::builder::ChainBuilder;
+use crate::ctx::{
+    ChainQueueBuilder, ClientDest, HashGetSpec, TableRegion, TriggerPointBuilder, ValueSource,
+};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
-use crate::program::{ChainQueue, ConstPool};
 use crate::offloads::rpc::TriggerPoint;
+use crate::program::{ChainQueue, ConstPool};
 
 /// Size of one bucket in bytes.
 pub const BUCKET_SIZE: u64 = 16;
@@ -70,6 +73,10 @@ impl HashGetVariant {
 }
 
 /// Configuration of the get offload.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `OffloadCtx::hash_get()` with typed capabilities (`TableRegion`, `ValueSource`, `ClientDest`) instead"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct HashGetConfig {
     /// rkey of the hash-table region (bucket READs).
@@ -94,7 +101,7 @@ pub struct HashGetConfig {
 pub struct HashGetOffload {
     /// Client-facing trigger endpoint (responses ride its managed SQ).
     pub tp: TriggerPoint,
-    cfg: HashGetConfig,
+    spec: HashGetSpec,
     /// Bucket-probe chain queues (1 for Single/Sequential, 2 for
     /// Parallel).
     chains: Vec<ChainQueue>,
@@ -111,14 +118,44 @@ pub struct HashGetOffload {
 impl HashGetOffload {
     /// Create the offload's queues on `node`. The caller connects a
     /// client QP to `self.tp.qp`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::hash_get().table(..).values(..).respond_to(..).build(sim)` instead"
+    )]
+    #[allow(deprecated)]
     pub fn create(
         sim: &mut Simulator,
         node: NodeId,
         owner: ProcessId,
         cfg: HashGetConfig,
     ) -> Result<HashGetOffload> {
-        let tp = TriggerPoint::create_on_port(sim, node, owner, Some(0), cfg.port)?;
-        let nchains = match cfg.variant {
+        HashGetOffload::deploy(
+            sim,
+            node,
+            owner,
+            HashGetSpec {
+                table: TableRegion::from_raw_rkey(cfg.table_rkey),
+                values: ValueSource::from_raw_lkey(cfg.value_lkey, cfg.value_len),
+                dest: ClientDest::new(cfg.client_resp_addr, cfg.client_rkey),
+                variant: cfg.variant,
+                port: cfg.port,
+            },
+        )
+    }
+
+    /// Deploy the offload's queues (called by
+    /// [`HashGetBuilder`](crate::ctx::HashGetBuilder)).
+    pub(crate) fn deploy(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        spec: HashGetSpec,
+    ) -> Result<HashGetOffload> {
+        let tp = TriggerPointBuilder::new(node, owner)
+            .on_pu(0)
+            .on_port(spec.port)
+            .build(sim)?;
+        let nchains = match spec.variant {
             HashGetVariant::Parallel => 2,
             _ => 1,
         };
@@ -126,23 +163,29 @@ impl HashGetOffload {
         let mut ctrls = Vec::new();
         for i in 0..nchains {
             // Parallel probes ride different PUs (§3.5 "Parallelism").
-            let pu = match cfg.variant {
-                HashGetVariant::Parallel => Some(i + 1),
-                _ => None,
-            };
-            chains.push(ChainQueue::create_on_port(
-                sim, node, true, 1024, pu, owner, cfg.port,
-            )?);
-            ctrls.push(ChainQueue::create_on_port(
-                sim, node, false, 2048, pu, owner, cfg.port,
-            )?);
+            let mut chain_b = ChainQueueBuilder::new(node, owner)
+                .managed()
+                .depth(1024)
+                .on_port(spec.port);
+            let mut ctrl_b = ChainQueueBuilder::new(node, owner)
+                .depth(2048)
+                .on_port(spec.port);
+            if spec.variant == HashGetVariant::Parallel {
+                chain_b = chain_b.on_pu(i + 1);
+                ctrl_b = ctrl_b.on_pu(i + 1);
+            }
+            chains.push(chain_b.build(sim)?);
+            ctrls.push(ctrl_b.build(sim)?);
         }
-        let merge =
-            ChainQueue::create_on_port(sim, node, false, 2048, Some(0), owner, cfg.port)?;
+        let merge = ChainQueueBuilder::new(node, owner)
+            .depth(2048)
+            .on_pu(0)
+            .on_port(spec.port)
+            .build(sim)?;
         let trigger_base = sim.cq_total(tp.recv_cq);
         Ok(HashGetOffload {
             tp,
-            cfg,
+            spec,
             chains,
             ctrls,
             merge,
@@ -156,21 +199,28 @@ impl HashGetOffload {
     /// arming order, one per client SEND.
     pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
         let trigger_count = self.trigger_base + self.armed + 1;
-        let nbuckets = self.cfg.variant.buckets();
-        let seq_two = self.cfg.variant == HashGetVariant::Sequential;
-        let probes = if seq_two { 2 } else { nbuckets.min(self.chains.len()) };
+        let nbuckets = self.spec.variant.buckets();
+        let seq_two = self.spec.variant == HashGetVariant::Sequential;
+        let probes = if seq_two {
+            2
+        } else {
+            nbuckets.min(self.chains.len())
+        };
 
         // Response WQEs live on the trigger QP's managed SQ.
-        let mut resp_b = ChainBuilder::new(sim, ChainQueue {
-            qp: self.tp.qp,
-            peer: self.tp.qp, // unused
-            sq: sim.sq_of(self.tp.qp),
-            cq: self.tp.send_cq,
-            ring: self.tp.ring,
-            managed: true,
-            depth: 1024,
-            node: self.node,
-        });
+        let mut resp_b = ChainBuilder::new(
+            sim,
+            ChainQueue {
+                qp: self.tp.qp,
+                peer: self.tp.qp, // unused
+                sq: sim.sq_of(self.tp.qp),
+                cq: self.tp.send_cq,
+                ring: self.tp.ring,
+                managed: true,
+                depth: 1024,
+                node: self.node,
+            },
+        );
 
         let mut scatter: Vec<(u64, u32, u32)> = Vec::new();
         let mut merge_b = ChainBuilder::new(sim, self.merge);
@@ -199,10 +249,10 @@ impl HashGetOffload {
             // Its source address and id are patched by the bucket READ.
             let mut resp = WorkRequest::write_imm(
                 0, // patched: value pointer from the bucket
-                self.cfg.value_lkey,
-                self.cfg.value_len,
-                self.cfg.client_resp_addr,
-                self.cfg.client_rkey,
+                self.spec.values.lkey(),
+                self.spec.values.value_len,
+                self.spec.dest.addr,
+                self.spec.dest.rkey(),
                 p as u32,
             )
             .signaled();
@@ -229,7 +279,7 @@ impl HashGetOffload {
             }
             let table_addr = pool.push_bytes(sim, &tbytes)?;
             let read = chain_b.stage(
-                WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, self.cfg.table_rkey)
+                WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, self.spec.table.rkey())
                     .signaled(),
             );
 
@@ -286,7 +336,11 @@ impl HashGetOffload {
     /// the scatter entries are laid out probe-major, so the payload is
     /// `[addr_0, key, addr_1, key]` for two probes.
     pub fn client_payload(&self, key: u64, bucket_addrs: &[u64]) -> Vec<u8> {
-        let probes = if self.cfg.variant == HashGetVariant::Single { 1 } else { 2 };
+        let probes = if self.spec.variant == HashGetVariant::Single {
+            1
+        } else {
+            2
+        };
         assert_eq!(bucket_addrs.len(), probes, "one bucket address per probe");
         let mut p = Vec::new();
         for &addr in bucket_addrs {
@@ -301,9 +355,27 @@ impl HashGetOffload {
         self.armed
     }
 
-    /// The offload configuration.
+    /// The probe variant this offload was deployed with.
+    pub fn variant(&self) -> HashGetVariant {
+        self.spec.variant
+    }
+
+    /// The offload configuration, reconstructed for old callers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `variant()` and the typed capabilities instead"
+    )]
+    #[allow(deprecated)]
     pub fn config(&self) -> HashGetConfig {
-        self.cfg
+        HashGetConfig {
+            table_rkey: self.spec.table.rkey(),
+            value_lkey: self.spec.values.lkey(),
+            value_len: self.spec.values.value_len,
+            client_resp_addr: self.spec.dest.addr,
+            client_rkey: self.spec.dest.rkey(),
+            variant: self.spec.variant,
+            port: self.spec.port,
+        }
     }
 }
 
@@ -314,16 +386,19 @@ mod tests {
     use rnic_sim::mem::Access;
     use rnic_sim::qp::QpConfig;
 
+    use crate::ctx::OffloadCtx;
+    use rnic_sim::mem::MemoryRegion;
+
     struct Rig {
         sim: Simulator,
         client: NodeId,
         server: NodeId,
         table: u64,
         values: u64,
-        value_lkey: u32,
-        table_rkey: u32,
+        tmr: MemoryRegion,
+        vmr: MemoryRegion,
+        rmr: MemoryRegion,
         resp: u64,
-        resp_rkey: u32,
         cqp: rnic_sim::ids::QpId,
         crecv_cq: rnic_sim::ids::CqId,
         csrc: u64,
@@ -341,7 +416,9 @@ mod tests {
             .register_mr(server, table, 8 * BUCKET_SIZE, Access::all())
             .unwrap();
         let values = sim.alloc(server, 8 * 64, 64).unwrap();
-        let vmr = sim.register_mr(server, values, 8 * 64, Access::all()).unwrap();
+        let vmr = sim
+            .register_mr(server, values, 8 * 64, Access::all())
+            .unwrap();
         // Client: response buffer + send buffer.
         let resp = sim.alloc(client, 64, 8).unwrap();
         let rmr = sim.register_mr(client, resp, 64, Access::all()).unwrap();
@@ -358,10 +435,10 @@ mod tests {
             server,
             table,
             values,
-            value_lkey: vmr.lkey,
-            table_rkey: tmr.rkey,
+            tmr,
+            vmr,
+            rmr,
             resp,
-            resp_rkey: rmr.rkey,
             cqp,
             crecv_cq,
             csrc,
@@ -378,12 +455,16 @@ mod tests {
             .unwrap();
     }
 
-    fn do_get(r: &mut Rig, off: &mut HashGetOffload, pool: &mut ConstPool, key: u64, buckets: &[u64]) -> Option<u64> {
+    fn do_get(
+        r: &mut Rig,
+        off: &mut HashGetOffload,
+        pool: &mut ConstPool,
+        key: u64,
+        buckets: &[u64],
+    ) -> Option<u64> {
         off.arm(&mut r.sim, pool).unwrap();
         // Client posts a RECV for the response completion (WRITE_IMM).
-        r.sim
-            .post_recv(r.cqp, WorkRequest::recv(0, 0, 0))
-            .unwrap();
+        r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
         let payload = off.client_payload(key, buckets);
         r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
         r.sim
@@ -401,24 +482,24 @@ mod tests {
         }
     }
 
-    fn cfg_for(r: &Rig, variant: HashGetVariant) -> HashGetConfig {
-        HashGetConfig {
-            table_rkey: r.table_rkey,
-            value_lkey: r.value_lkey,
-            value_len: 8,
-            client_resp_addr: r.resp,
-            client_rkey: r.resp_rkey,
-            variant,
-            port: 0,
-        }
+    /// Deploy through the fluent API — the construction path everything
+    /// outside this module uses.
+    fn deploy(r: &mut Rig, variant: HashGetVariant) -> HashGetOffload {
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        ctx.hash_get()
+            .table(crate::ctx::TableRegion::of(&r.tmr))
+            .values(crate::ctx::ValueSource::of(&r.vmr, 8))
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .variant(variant)
+            .build(&mut r.sim)
+            .unwrap()
     }
 
     #[test]
     fn single_bucket_hit_returns_value() {
         let mut r = rig();
         fill_bucket(&mut r, 3, 0xFACE, 0x1111_2222);
-        let cfg = cfg_for(&r, HashGetVariant::Single);
-        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        let mut off = deploy(&mut r, HashGetVariant::Single);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
         let b3 = r.table + 3 * BUCKET_SIZE;
@@ -431,8 +512,7 @@ mod tests {
     fn single_bucket_miss_returns_nothing() {
         let mut r = rig();
         fill_bucket(&mut r, 3, 0xFACE, 0x1111_2222);
-        let cfg = cfg_for(&r, HashGetVariant::Single);
-        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        let mut off = deploy(&mut r, HashGetVariant::Single);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
         let b3 = r.table + 3 * BUCKET_SIZE;
@@ -447,8 +527,7 @@ mod tests {
         let mut r = rig();
         fill_bucket(&mut r, 1, 0xAAAA, 0x11);
         fill_bucket(&mut r, 5, 0xFACE, 0x5555);
-        let cfg = cfg_for(&r, HashGetVariant::Sequential);
-        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        let mut off = deploy(&mut r, HashGetVariant::Sequential);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
         let (b1, b5) = (r.table + BUCKET_SIZE, r.table + 5 * BUCKET_SIZE);
@@ -461,8 +540,7 @@ mod tests {
         let mut r = rig();
         fill_bucket(&mut r, 2, 0xFACE, 0x7777);
         fill_bucket(&mut r, 6, 0xBBBB, 0x88);
-        let cfg = cfg_for(&r, HashGetVariant::Parallel);
-        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        let mut off = deploy(&mut r, HashGetVariant::Parallel);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 16, ProcessId(0)).unwrap();
         let (b2, b6) = (r.table + 2 * BUCKET_SIZE, r.table + 6 * BUCKET_SIZE);
@@ -475,8 +553,7 @@ mod tests {
         let mut r = rig();
         fill_bucket(&mut r, 0, 111, 0xA0);
         fill_bucket(&mut r, 1, 222, 0xB0);
-        let cfg = cfg_for(&r, HashGetVariant::Single);
-        let mut off = HashGetOffload::create(&mut r.sim, r.server, ProcessId(0), cfg).unwrap();
+        let mut off = deploy(&mut r, HashGetVariant::Single);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
         let (b0, b1) = (r.table, r.table + BUCKET_SIZE);

@@ -24,6 +24,7 @@ use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED};
 
 use crate::builder::ChainBuilder;
+use crate::ctx::{ChainQueueBuilder, ClientDest, ListWalkSpec, TableRegion, TriggerPointBuilder};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
@@ -49,6 +50,10 @@ pub fn encode_node(next: u64, key: u64, value: &[u8]) -> Vec<u8> {
 }
 
 /// Configuration for the list-walk offload.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `OffloadCtx::list_walk()` with typed capabilities (`TableRegion`, `ClientDest`) instead"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct ListWalkConfig {
     /// rkey of the region holding the list nodes.
@@ -69,7 +74,7 @@ pub struct ListWalkConfig {
 pub struct ListWalkOffload {
     /// Client-facing trigger endpoint.
     pub tp: TriggerPoint,
-    cfg: ListWalkConfig,
+    spec: ListWalkSpec,
     chain: ChainQueue,
     ctrl: ChainQueue,
     /// Loopback queue holding break placeholders (their WRITEs target the
@@ -84,25 +89,60 @@ pub struct ListWalkOffload {
 
 impl ListWalkOffload {
     /// Create the offload's queues.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::list_walk().list(..).respond_to(..).build(sim)` instead"
+    )]
+    #[allow(deprecated)]
     pub fn create(
         sim: &mut Simulator,
         node: NodeId,
         owner: ProcessId,
         cfg: ListWalkConfig,
     ) -> Result<ListWalkOffload> {
-        assert!(cfg.max_nodes >= 1);
-        let tp = TriggerPoint::create(sim, node, owner, Some(0))?;
-        let chain = ChainQueue::create(sim, node, true, 2048, None, owner)?;
-        let ctrl = ChainQueue::create(sim, node, false, 4096, None, owner)?;
-        let brk_q = if cfg.break_on_match {
-            Some(ChainQueue::create(sim, node, true, 2048, None, owner)?)
+        ListWalkOffload::deploy(
+            sim,
+            node,
+            owner,
+            ListWalkSpec {
+                list: TableRegion::from_raw_rkey(cfg.list_rkey),
+                value_len: cfg.value_len,
+                dest: ClientDest::new(cfg.client_resp_addr, cfg.client_rkey),
+                max_nodes: cfg.max_nodes,
+                break_on_match: cfg.break_on_match,
+            },
+        )
+    }
+
+    /// Deploy the offload's queues (called by
+    /// [`ListWalkBuilder`](crate::ctx::ListWalkBuilder)).
+    pub(crate) fn deploy(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        spec: ListWalkSpec,
+    ) -> Result<ListWalkOffload> {
+        assert!(spec.max_nodes >= 1);
+        let tp = TriggerPointBuilder::new(node, owner).on_pu(0).build(sim)?;
+        let chain = ChainQueueBuilder::new(node, owner)
+            .managed()
+            .depth(2048)
+            .build(sim)?;
+        let ctrl = ChainQueueBuilder::new(node, owner).depth(4096).build(sim)?;
+        let brk_q = if spec.break_on_match {
+            Some(
+                ChainQueueBuilder::new(node, owner)
+                    .managed()
+                    .depth(2048)
+                    .build(sim)?,
+            )
         } else {
             None
         };
         let trigger_base = sim.cq_total(tp.recv_cq);
         Ok(ListWalkOffload {
             tp,
-            cfg,
+            spec,
             chain,
             ctrl,
             brk_q,
@@ -116,7 +156,7 @@ impl ListWalkOffload {
     /// paper reports ~50 WRs without break vs ~30 with, Fig 13).
     pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<usize> {
         let trigger_count = self.trigger_base + self.armed + 1;
-        let cfg = self.cfg;
+        let spec = self.spec;
         let pool_mr = pool.mr();
         let mut wr_count = 0usize;
 
@@ -148,8 +188,8 @@ impl ListWalkOffload {
         let x_cell = pool.reserve(sim, 8)?;
         // Per-iteration value staging buffers.
         let mut staging = Vec::new();
-        for _ in 0..cfg.max_nodes {
-            staging.push(pool.reserve(sim, cfg.value_len as u64)?);
+        for _ in 0..spec.max_nodes {
+            staging.push(pool.reserve(sim, spec.value_len as u64)?);
         }
         // Scratch sinks for the last iteration's next pointer and pads.
         let scratch = pool.reserve(sim, 16)?;
@@ -165,13 +205,13 @@ impl ListWalkOffload {
 
         // Stage responses (and break placeholders) first so READ scatter
         // tables can reference their fields.
-        for i in 0..cfg.max_nodes {
+        for (i, &stage_buf) in staging.iter().enumerate() {
             let mut resp = WorkRequest::write_imm(
-                staging[i],
+                stage_buf,
                 pool_mr.lkey,
-                cfg.value_len,
-                cfg.client_resp_addr,
-                cfg.client_rkey,
+                spec.value_len,
+                spec.dest.addr,
+                spec.dest.rkey(),
                 i as u32,
             );
             resp.wqe.flags |= FLAG_SIGNALED;
@@ -180,13 +220,13 @@ impl ListWalkOffload {
             resp_handles.push(resp_staged);
             wr_count += 1;
 
-            if cfg.break_on_match {
+            if spec.break_on_match {
                 // Break placeholder: NOOP -> WRITE(12B) onto the response
                 // slot, turning it into an *unsignaled* WRITE_IMM. Lives
                 // on a server loopback queue so its WRITE addresses
                 // server memory.
-                let resp_slot = self.tp.ring.addr
-                    + (resp_staged.index % 1024) * rnic_sim::wqe::WQE_SIZE;
+                let resp_slot =
+                    self.tp.ring.addr + (resp_staged.index % 1024) * rnic_sim::wqe::WQE_SIZE;
                 let mut image = Vec::with_capacity(12);
                 image.extend_from_slice(&header_word(Opcode::WriteImm, 0).to_le_bytes());
                 image.extend_from_slice(&0u32.to_le_bytes());
@@ -202,17 +242,17 @@ impl ListWalkOffload {
         }
 
         // Now the per-iteration chain.
-        for i in 0..cfg.max_nodes {
+        for i in 0..spec.max_nodes {
             let resp_staged = resp_handles[i];
             // READ scatter: next -> next iteration's READ.remote_addr (or
             // scratch for the last), key(6B) -> response id, pad(2B) ->
             // scratch, value -> staging.
-            let next_target = if i + 1 < cfg.max_nodes {
+            let next_target = if i + 1 < spec.max_nodes {
                 self.chain.slot_addr(read_idx(i + 1)) + WqeField::RemoteAddr.offset()
             } else {
                 scratch
             };
-            let next_lkey = if i + 1 < cfg.max_nodes {
+            let next_lkey = if i + 1 < spec.max_nodes {
                 self.chain.ring.lkey
             } else {
                 pool_mr.lkey
@@ -220,20 +260,32 @@ impl ListWalkOffload {
             // The key lands in the id bits of whatever WQE the CAS will
             // test: the break placeholder when breaking, the response
             // otherwise.
-            let id_target = if cfg.break_on_match {
+            let id_target = if spec.break_on_match {
                 break_handles[i]
             } else {
                 resp_staged
             };
             let entries = [
-                Sge { addr: next_target, lkey: next_lkey, len: 8 },
+                Sge {
+                    addr: next_target,
+                    lkey: next_lkey,
+                    len: 8,
+                },
                 Sge {
                     addr: id_target.addr(WqeField::Id),
                     lkey: id_target.queue.ring.lkey,
                     len: 6,
                 },
-                Sge { addr: scratch + 8, lkey: pool_mr.lkey, len: 2 },
-                Sge { addr: staging[i], lkey: pool_mr.lkey, len: cfg.value_len },
+                Sge {
+                    addr: scratch + 8,
+                    lkey: pool_mr.lkey,
+                    len: 2,
+                },
+                Sge {
+                    addr: staging[i],
+                    lkey: pool_mr.lkey,
+                    len: spec.value_len,
+                },
             ];
             let mut tbytes = Vec::new();
             for e in &entries {
@@ -241,7 +293,7 @@ impl ListWalkOffload {
             }
             let table_addr = pool.push_bytes(sim, &tbytes)?;
             let read = chain_b.stage(
-                WorkRequest::read_sgl(table_addr, 4, 0 /* patched */, cfg.list_rkey).signaled(),
+                WorkRequest::read_sgl(table_addr, 4, 0 /* patched */, spec.list.rkey()).signaled(),
             );
             debug_assert_eq!(read.index, read_idx(i));
             wr_count += 1;
@@ -256,17 +308,22 @@ impl ListWalkOffload {
             // R3: copy the key operand into the CAS compare field (paper
             // Fig 12's WRITE; x lives in a pool cell filled by the RECV).
             let cas_idx = read.index + 1;
-            let cas_compare_addr =
-                self.chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
+            let cas_compare_addr = self.chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
             ctrl_b.stage(
-                WorkRequest::write(x_cell, pool_mr.lkey, 6, cas_compare_addr, self.chain.ring.rkey)
-                    .signaled(),
+                WorkRequest::write(
+                    x_cell,
+                    pool_mr.lkey,
+                    6,
+                    cas_compare_addr,
+                    self.chain.ring.rkey,
+                )
+                .signaled(),
             );
             wr_count += 1;
 
             // The conditional: transmute either the break NOOP (break
             // variant) or the response NOOP directly.
-            let (cas_target, cas_swap_op) = if cfg.break_on_match {
+            let (cas_target, cas_swap_op) = if spec.break_on_match {
                 (break_handles[i], Opcode::Write)
             } else {
                 (resp_handles[i], Opcode::WriteImm)
@@ -301,7 +358,7 @@ impl ListWalkOffload {
             ));
             wr_count += 5;
 
-            if cfg.break_on_match {
+            if spec.break_on_match {
                 // Release the break WQE; wait for it; release the
                 // response; gate the next iteration on the response's
                 // completion (suppressed by a taken break).
@@ -372,14 +429,17 @@ mod tests {
     use rnic_sim::mem::Access;
     use rnic_sim::qp::QpConfig;
 
+    use crate::ctx::OffloadCtx;
+    use rnic_sim::mem::MemoryRegion;
+
     struct Rig {
         sim: Simulator,
         client: NodeId,
         server: NodeId,
         nodes: u64,
-        list_rkey: u32,
+        lmr: MemoryRegion,
+        rmr: MemoryRegion,
         resp: u64,
-        resp_rkey: u32,
         cqp: rnic_sim::ids::QpId,
         crecv_cq: rnic_sim::ids::CqId,
         csrc: u64,
@@ -398,29 +458,39 @@ mod tests {
         // with byte (i + 1).
         let n = list_keys.len() as u64;
         let nodes = sim.alloc(server, n * NODE_SIZE, 64).unwrap();
-        let lmr = sim.register_mr(server, nodes, n * NODE_SIZE, Access::all()).unwrap();
+        let lmr = sim
+            .register_mr(server, nodes, n * NODE_SIZE, Access::all())
+            .unwrap();
         for (i, &k) in list_keys.iter().enumerate() {
             let addr = nodes + i as u64 * NODE_SIZE;
-            let next = if (i as u64) + 1 < n { addr + NODE_SIZE } else { 0 };
+            let next = if (i as u64) + 1 < n {
+                addr + NODE_SIZE
+            } else {
+                0
+            };
             let value = vec![(i + 1) as u8; VAL_LEN as usize];
             let bytes = encode_node(next, k, &value);
             sim.mem_write(server, addr, &bytes).unwrap();
         }
         let resp = sim.alloc(client, VAL_LEN as u64, 8).unwrap();
-        let rmr = sim.register_mr(client, resp, VAL_LEN as u64, Access::all()).unwrap();
+        let rmr = sim
+            .register_mr(client, resp, VAL_LEN as u64, Access::all())
+            .unwrap();
         let csrc = sim.alloc(client, 64, 8).unwrap();
         let smr = sim.register_mr(client, csrc, 64, Access::all()).unwrap();
         let ccq = sim.create_cq(client, 64).unwrap();
         let crecv_cq = sim.create_cq(client, 64).unwrap();
-        let cqp = sim.create_qp(client, QpConfig::new(ccq).recv_cq(crecv_cq)).unwrap();
+        let cqp = sim
+            .create_qp(client, QpConfig::new(ccq).recv_cq(crecv_cq))
+            .unwrap();
         Rig {
             sim,
             client,
             server,
             nodes,
-            list_rkey: lmr.rkey,
+            lmr,
+            rmr,
             resp,
-            resp_rkey: rmr.rkey,
             cqp,
             crecv_cq,
             csrc,
@@ -434,7 +504,10 @@ mod tests {
         let payload = off.client_payload(r.nodes, key);
         r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
         r.sim
-            .post_send(r.cqp, WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32))
+            .post_send(
+                r.cqp,
+                WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32),
+            )
             .unwrap();
         r.sim.run().unwrap();
         let cqes = r.sim.poll_cq(r.crecv_cq, 8);
@@ -445,22 +518,26 @@ mod tests {
         }
     }
 
-    fn cfg(r: &Rig, max_nodes: usize, brk: bool) -> ListWalkConfig {
-        ListWalkConfig {
-            list_rkey: r.list_rkey,
-            value_len: VAL_LEN,
-            client_resp_addr: r.resp,
-            client_rkey: r.resp_rkey,
-            max_nodes,
-            break_on_match: brk,
+    /// Deploy through the fluent API — the construction path everything
+    /// outside this module uses.
+    fn deploy(r: &mut Rig, max_nodes: usize, brk: bool) -> ListWalkOffload {
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let mut b = ctx
+            .list_walk()
+            .list(crate::ctx::TableRegion::of(&r.lmr))
+            .value_len(VAL_LEN)
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .max_nodes(max_nodes);
+        if brk {
+            b = b.break_on_match();
         }
+        b.build(&mut r.sim).unwrap()
     }
 
     #[test]
     fn walk_finds_first_node() {
         let mut r = rig(&[10, 11, 12, 13]);
-        let c = cfg(&r, 4, false);
-        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        let mut off = deploy(&mut r, 4, false);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
         assert_eq!(walk(&mut r, &mut off, &mut pool, 10), Some(1));
@@ -469,8 +546,7 @@ mod tests {
     #[test]
     fn walk_finds_deep_node() {
         let mut r = rig(&[10, 11, 12, 13]);
-        let c = cfg(&r, 4, false);
-        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        let mut off = deploy(&mut r, 4, false);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
         assert_eq!(walk(&mut r, &mut off, &mut pool, 13), Some(4));
@@ -479,8 +555,7 @@ mod tests {
     #[test]
     fn walk_miss_returns_nothing() {
         let mut r = rig(&[10, 11, 12, 13]);
-        let c = cfg(&r, 4, false);
-        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        let mut off = deploy(&mut r, 4, false);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
         assert_eq!(walk(&mut r, &mut off, &mut pool, 99), None);
@@ -489,8 +564,7 @@ mod tests {
     #[test]
     fn break_variant_finds_and_stops_early() {
         let mut r = rig(&[20, 21, 22, 23, 24, 25, 26, 27]);
-        let c = cfg(&r, 8, true);
-        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        let mut off = deploy(&mut r, 8, true);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 19, ProcessId(0)).unwrap();
         assert_eq!(walk(&mut r, &mut off, &mut pool, 21), Some(2));
@@ -502,19 +576,24 @@ mod tests {
     #[test]
     fn no_break_walks_everything() {
         let mut r = rig(&[20, 21, 22, 23]);
-        let c = cfg(&r, 4, false);
-        let mut off = ListWalkOffload::create(&mut r.sim, r.server, ProcessId(0), c).unwrap();
+        let mut off = deploy(&mut r, 4, false);
         r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
         let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
         let wrs = off.arm(&mut r.sim, &mut pool).unwrap();
-        assert!(wrs > 30, "the paper's no-break variant uses ~50 WRs, got {wrs}");
+        assert!(
+            wrs > 30,
+            "the paper's no-break variant uses ~50 WRs, got {wrs}"
+        );
         // All 8 chain WQEs (4 READs + 4 CASes) execute even though key
         // matches the first node.
         r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
         let payload = off.client_payload(r.nodes, 20);
         r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
         r.sim
-            .post_send(r.cqp, WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32))
+            .post_send(
+                r.cqp,
+                WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32),
+            )
             .unwrap();
         r.sim.run().unwrap();
         assert_eq!(r.sim.wq_executed(r.sim.sq_of(off.tp.qp)), 4);

@@ -13,10 +13,10 @@
 use rnic_sim::error::Result;
 use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId};
 use rnic_sim::mem::MemoryRegion;
-use rnic_sim::qp::QpConfig;
 use rnic_sim::sim::Simulator;
 use rnic_sim::wqe::{Sge, WorkRequest, SGE_SIZE};
 
+use crate::ctx::TriggerPointBuilder;
 use crate::program::ConstPool;
 
 /// A server-side trigger endpoint: the client-facing QP whose receive CQ
@@ -40,16 +40,28 @@ impl TriggerPoint {
     /// Create the endpoint. The send queue is managed: response WQEs are
     /// NOOPs transmuted by the offload program, so they must not be
     /// prefetched.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::trigger_point()` (or `ctx::TriggerPointBuilder`) instead"
+    )]
     pub fn create(
         sim: &mut Simulator,
         node: NodeId,
         owner: ProcessId,
         pu: Option<usize>,
     ) -> Result<TriggerPoint> {
-        TriggerPoint::create_on_port(sim, node, owner, pu, 0)
+        let mut b = TriggerPointBuilder::new(node, owner);
+        if let Some(pu) = pu {
+            b = b.on_pu(pu);
+        }
+        b.build(sim)
     }
 
     /// As [`TriggerPoint::create`], bound to a specific NIC port.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::trigger_point().on_port(..)` (or `ctx::TriggerPointBuilder`) instead"
+    )]
     pub fn create_on_port(
         sim: &mut Simulator,
         node: NodeId,
@@ -57,26 +69,11 @@ impl TriggerPoint {
         pu: Option<usize>,
         port: usize,
     ) -> Result<TriggerPoint> {
-        let recv_cq = sim.create_cq(node, 16384)?;
-        let send_cq = sim.create_cq(node, 16384)?;
-        let mut cfg = QpConfig::new(send_cq)
-            .recv_cq(recv_cq)
-            .sq_depth(1024)
-            .rq_depth(1024)
-            .on_port(port)
-            .managed();
+        let mut b = TriggerPointBuilder::new(node, owner).on_port(port);
         if let Some(pu) = pu {
-            cfg = cfg.on_pu(pu);
+            b = b.on_pu(pu);
         }
-        let qp = sim.create_qp_owned(node, cfg, owner)?;
-        let ring = sim.register_sq_ring(qp, owner)?;
-        Ok(TriggerPoint {
-            qp,
-            recv_cq,
-            send_cq,
-            ring,
-            node,
-        })
+        b.build(sim)
     }
 
     /// Post a trigger RECV whose scatter list injects the incoming
@@ -93,14 +90,7 @@ impl TriggerPoint {
         assert!(scatter.len() <= 16, "RECVs can only perform 16 scatters");
         let mut table = Vec::with_capacity(scatter.len() * SGE_SIZE as usize);
         for &(addr, lkey, len) in scatter {
-            table.extend_from_slice(
-                &Sge {
-                    addr,
-                    lkey,
-                    len,
-                }
-                .encode(),
-            );
+            table.extend_from_slice(&Sge { addr, lkey, len }.encode());
         }
         let table_addr = pool.push_bytes(sim, &table)?;
         sim.post_recv(
@@ -127,6 +117,7 @@ mod tests {
     use super::*;
     use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
     use rnic_sim::mem::Access;
+    use rnic_sim::qp::QpConfig;
 
     #[test]
     fn trigger_scatter_injects_arguments() {
@@ -135,7 +126,9 @@ mod tests {
         let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
         sim.connect_nodes(c, s, LinkConfig::back_to_back());
 
-        let tp = TriggerPoint::create(&mut sim, s, ProcessId(0), None).unwrap();
+        let tp = TriggerPointBuilder::new(s, ProcessId(0))
+            .build(&mut sim)
+            .unwrap();
         let ccq = sim.create_cq(c, 16).unwrap();
         let cqp = sim.create_qp(c, QpConfig::new(ccq)).unwrap();
         sim.connect_qps(cqp, tp.qp).unwrap();
@@ -151,7 +144,8 @@ mod tests {
         // Client sends 14 bytes: [u64][48-bit].
         let src = sim.alloc(c, 16, 8).unwrap();
         let smr = sim.register_mr(c, src, 16, Access::all()).unwrap();
-        sim.mem_write(c, src, &0xAABB_CCDDu64.to_le_bytes()).unwrap();
+        sim.mem_write(c, src, &0xAABB_CCDDu64.to_le_bytes())
+            .unwrap();
         sim.mem_write(c, src + 8, &0x1122_3344_5566u64.to_le_bytes()[..6])
             .unwrap();
         sim.post_send(cqp, trigger_send(src, smr.lkey, 14)).unwrap();
@@ -168,7 +162,9 @@ mod tests {
     fn scatter_limit_enforced() {
         let mut sim = Simulator::new(SimConfig::default());
         let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
-        let tp = TriggerPoint::create(&mut sim, s, ProcessId(0), None).unwrap();
+        let tp = TriggerPointBuilder::new(s, ProcessId(0))
+            .build(&mut sim)
+            .unwrap();
         let mut pool = ConstPool::create(&mut sim, s, 4096, ProcessId(0)).unwrap();
         let entries = vec![(0x1_0000u64, 0u32, 1u32); 17];
         let _ = tp.post_trigger_recv(&mut sim, &mut pool, &entries);

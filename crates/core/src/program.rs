@@ -13,13 +13,13 @@
 //!   key-value store's tables);
 //! * a client-facing **trigger** QP (see [`crate::offloads::rpc`]).
 
-use rnic_sim::error::Result;
+use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId, WqId};
 use rnic_sim::mem::{Access, MemoryRegion};
-use rnic_sim::qp::QpConfig;
 use rnic_sim::sim::Simulator;
 use rnic_sim::wqe::WQE_SIZE;
 
+use crate::ctx::ChainQueueBuilder;
 use crate::encode::WqeField;
 
 /// A loopback chain queue: the home of an offloaded WR chain.
@@ -49,6 +49,10 @@ impl ChainQueue {
     ///
     /// `pu` optionally pins the queue to a processing unit — RedN places
     /// independent chains on different PUs to parallelize (§3.5, Fig 11).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::chain_queue()` (or `ctx::ChainQueueBuilder`) instead"
+    )]
     pub fn create(
         sim: &mut Simulator,
         node: NodeId,
@@ -57,11 +61,22 @@ impl ChainQueue {
         pu: Option<usize>,
         owner: ProcessId,
     ) -> Result<ChainQueue> {
-        ChainQueue::create_on_port(sim, node, managed, depth, pu, owner, 0)
+        let mut b = ChainQueueBuilder::new(node, owner).depth(depth);
+        if managed {
+            b = b.managed();
+        }
+        if let Some(pu) = pu {
+            b = b.on_pu(pu);
+        }
+        b.build(sim)
     }
 
     /// As [`ChainQueue::create`], on a specific NIC port (Table 4's
     /// dual-port configuration places chains on both ports).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OffloadCtx::chain_queue().on_port(..)` (or `ctx::ChainQueueBuilder`) instead"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn create_on_port(
         sim: &mut Simulator,
@@ -72,34 +87,16 @@ impl ChainQueue {
         owner: ProcessId,
         port: usize,
     ) -> Result<ChainQueue> {
-        let cq = sim.create_cq(node, (depth as usize * 4).max(64) as u32)?;
-        let mut cfg = QpConfig::new(cq).sq_depth(depth).rq_depth(8).on_port(port);
+        let mut b = ChainQueueBuilder::new(node, owner)
+            .depth(depth)
+            .on_port(port);
         if managed {
-            cfg = cfg.managed();
+            b = b.managed();
         }
         if let Some(pu) = pu {
-            cfg = cfg.on_pu(pu);
+            b = b.on_pu(pu);
         }
-        let qp = sim.create_qp_owned(node, cfg, owner)?;
-        // The loopback peer only terminates the connection; it needs no
-        // meaningful queues of its own.
-        let peer = sim.create_qp_owned(
-            node,
-            QpConfig::new(cq).sq_depth(8).rq_depth(8).on_port(port),
-            owner,
-        )?;
-        sim.connect_qps(qp, peer)?;
-        let ring = sim.register_sq_ring(qp, owner)?;
-        Ok(ChainQueue {
-            qp,
-            peer,
-            sq: sim.sq_of(qp),
-            cq,
-            ring,
-            managed,
-            depth,
-            node,
-        })
+        b.build(sim)
     }
 
     /// Address of the slot WQE index `idx` occupies.
@@ -148,19 +145,17 @@ impl ConstPool {
         self.mr
     }
 
-    /// Stash raw bytes; returns their address.
+    /// Stash raw bytes; returns their address. Errors (rather than
+    /// panicking) when the pool is exhausted, matching the crate's
+    /// `Result` idiom.
     pub fn push_bytes(&mut self, sim: &mut Simulator, bytes: &[u8]) -> Result<u64> {
         // Keep everything 8-byte aligned: atomics and header words require
         // it, and alignment costs almost nothing here.
         let aligned = (self.used + 7) & !7;
         let addr = self.base + aligned;
-        assert!(
-            aligned + bytes.len() as u64 <= self.cap,
-            "constant pool exhausted ({} + {} > {})",
-            aligned,
-            bytes.len(),
-            self.cap
-        );
+        if aligned + bytes.len() as u64 > self.cap {
+            return Err(Error::InvalidWr("constant pool exhausted"));
+        }
         sim.mem_write(self.node, addr, bytes)?;
         self.used = aligned + bytes.len() as u64;
         Ok(addr)
@@ -197,29 +192,30 @@ mod tests {
     #[test]
     fn chain_queue_is_loopback_and_registered() {
         let (mut sim, n) = sim_one();
-        let q = ChainQueue::create(&mut sim, n, true, 32, None, ProcessId(0)).unwrap();
+        let q = ChainQueueBuilder::new(n, ProcessId(0))
+            .managed()
+            .depth(32)
+            .build(&mut sim)
+            .unwrap();
         assert_eq!(q.node, n);
         assert!(q.managed);
         // The ring region covers all slots.
         assert_eq!(q.ring.len, 32 * WQE_SIZE);
         assert_eq!(q.slot_addr(0), q.ring.addr);
         assert_eq!(q.slot_addr(32), q.ring.addr); // wraps
-        assert_eq!(
-            q.field_addr(1, WqeField::Header),
-            q.ring.addr + WQE_SIZE
-        );
+        assert_eq!(q.field_addr(1, WqeField::Header), q.ring.addr + WQE_SIZE);
         // A verb posted through the chain QP can write the server's own
         // memory (loopback).
         let buf = sim.alloc(n, 16, 8).unwrap();
         let mr = sim.register_mr(n, buf, 16, Access::all()).unwrap();
         sim.mem_write_u64(n, buf, 0x42).unwrap();
         // Unmanaged queue for a direct test.
-        let q2 = ChainQueue::create(&mut sim, n, false, 8, None, ProcessId(0)).unwrap();
-        sim.post_send(
-            q2.qp,
-            WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey),
-        )
-        .unwrap();
+        let q2 = ChainQueueBuilder::new(n, ProcessId(0))
+            .depth(8)
+            .build(&mut sim)
+            .unwrap();
+        sim.post_send(q2.qp, WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(n, buf + 8).unwrap(), 0x42);
     }
@@ -227,9 +223,28 @@ mod tests {
     #[test]
     fn chain_queue_pu_pinning() {
         let (mut sim, n) = sim_one();
-        let q1 = ChainQueue::create(&mut sim, n, false, 8, Some(3), ProcessId(0)).unwrap();
-        let q2 = ChainQueue::create(&mut sim, n, false, 8, Some(5), ProcessId(0)).unwrap();
+        let q1 = ChainQueueBuilder::new(n, ProcessId(0))
+            .depth(8)
+            .on_pu(3)
+            .build(&mut sim)
+            .unwrap();
+        let q2 = ChainQueueBuilder::new(n, ProcessId(0))
+            .depth(8)
+            .on_pu(5)
+            .build(&mut sim)
+            .unwrap();
         assert_ne!(q1.sq, q2.sq);
+    }
+
+    #[test]
+    fn deprecated_create_shims_still_work() {
+        // One-release compatibility: the old constructors delegate to the
+        // ctx builders.
+        #![allow(deprecated)]
+        let (mut sim, n) = sim_one();
+        let q = ChainQueue::create(&mut sim, n, true, 16, Some(1), ProcessId(0)).unwrap();
+        assert!(q.managed);
+        assert_eq!(q.depth, 16);
     }
 
     #[test]
@@ -247,10 +262,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "constant pool exhausted")]
-    fn const_pool_overflow_panics() {
+    fn const_pool_overflow_is_an_error_not_a_panic() {
         let (mut sim, n) = sim_one();
         let mut pool = ConstPool::create(&mut sim, n, 16, ProcessId(0)).unwrap();
-        pool.push_bytes(&mut sim, &[0; 24]).unwrap();
+        let err = pool.push_bytes(&mut sim, &[0; 24]).unwrap_err();
+        assert!(format!("{err}").contains("constant pool exhausted"));
+        // The failed push leaves the pool usable and its cursor untouched.
+        assert_eq!(pool.used(), 0);
+        assert!(pool.push_bytes(&mut sim, &[0; 16]).is_ok());
     }
 }

@@ -36,8 +36,9 @@ use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::{header_word, WorkRequest, FLAG_SIGNALED, WQE_SIZE};
 
 use crate::constructs::loops::{RecycledLoop, RecycledLoopBuilder};
+use crate::ctx::ChainQueueBuilder;
 use crate::encode::{cond_compare, cond_swap, WqeField};
-use crate::program::{ChainQueue, ConstPool};
+use crate::program::ConstPool;
 use crate::turing::machine::{Move, TuringMachine};
 
 /// Bytes per tape cell.
@@ -76,6 +77,25 @@ impl CompiledTm {
         tape: &[u32],
         head: usize,
     ) -> Result<CompiledTm> {
+        let mut pool = ConstPool::create(sim, node, 1 << 17, owner)?;
+        CompiledTm::compile_in_pool(sim, node, owner, &mut pool, tm, tape, head)
+    }
+
+    /// As [`CompiledTm::compile`], placing the machine's memory (tape,
+    /// registers, action images) in a caller-owned pool — what
+    /// [`OffloadCtx::compile_tm`](crate::ctx::OffloadCtx::compile_tm)
+    /// uses, so the context genuinely owns the machine's resources. A
+    /// machine needs roughly `tape + 64 * rules + 2 KiB` bytes of pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_in_pool(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        pool: &mut ConstPool,
+        tm: &TuringMachine,
+        tape: &[u32],
+        head: usize,
+    ) -> Result<CompiledTm> {
         tm.validate().expect("machine must be valid");
         assert!(!tape.is_empty() && head < tape.len());
         let nrules = tm.rules.len();
@@ -83,7 +103,6 @@ impl CompiledTm {
         let need = 29 + 4 * nrules;
         let depth = (need as u32).next_power_of_two().max(64);
 
-        let mut pool = ConstPool::create(sim, node, 1 << 17, owner)?;
         let pool_mr = pool.mr();
 
         // Machine memory.
@@ -106,7 +125,10 @@ impl CompiledTm {
             state_cells.push(pool.push_u64(sim, r.next as u64)?);
         }
 
-        let queue = ChainQueue::create(sim, node, true, depth, None, owner)?;
+        let queue = ChainQueueBuilder::new(node, owner)
+            .managed()
+            .depth(depth)
+            .build(sim)?;
         let mut lb = RecycledLoopBuilder::new(sim, queue);
 
         // --- Step prologue: read the cell under the head ---------------
@@ -118,7 +140,14 @@ impl CompiledTm {
         );
         lb.stage_wait_all();
         let staged_read = lb.stage(
-            WorkRequest::read(sreg + 3, pool_mr.lkey, 3, 0 /* patched */, pool_mr.rkey).signaled(),
+            WorkRequest::read(
+                sreg + 3,
+                pool_mr.lkey,
+                3,
+                0, /* patched */
+                pool_mr.rkey,
+            )
+            .signaled(),
         );
         debug_assert_eq!(staged_read, read_slot);
         lb.stage_wait_all();
@@ -182,8 +211,7 @@ impl CompiledTm {
                 Move::Right => CELL_SIZE,
                 Move::Stay => 0,
             };
-            let f_head =
-                WorkRequest::fetch_add(head_reg, pool_mr.rkey, delta, 0, 0).signaled();
+            let f_head = WorkRequest::fetch_add(head_reg, pool_mr.rkey, delta, 0, 0).signaled();
             image.extend_from_slice(&f_head.wqe.encode());
             // A3/A4: halting rules kill the tail ENABLE and raise the
             // flag; others pad with signaled NOOPs.
@@ -197,9 +225,8 @@ impl CompiledTm {
                 )
                 .signaled();
                 image.extend_from_slice(&kill.wqe.encode());
-                let flag =
-                    WorkRequest::write(one_cell, pool_mr.lkey, 8, halt_flag, pool_mr.rkey)
-                        .signaled();
+                let flag = WorkRequest::write(one_cell, pool_mr.lkey, 8, halt_flag, pool_mr.rkey)
+                    .signaled();
                 image.extend_from_slice(&flag.wqe.encode());
             } else {
                 image.extend_from_slice(&WorkRequest::noop().signaled().wqe.encode());
@@ -208,9 +235,9 @@ impl CompiledTm {
             image_addrs.push(pool.push_bytes(sim, &image)?);
         }
 
-        for r in 0..nrules {
+        for (r, &image_addr) in image_addrs.iter().enumerate() {
             let mut trig = WorkRequest::write(
-                image_addrs[r],
+                image_addr,
                 pool_mr.lkey,
                 (ACTION_SLOTS as u64 * WQE_SIZE) as u32,
                 action_region_addr,
@@ -251,7 +278,7 @@ impl CompiledTm {
             }
         }
 
-        let lp = lb.finish(sim, &mut pool)?;
+        let lp = lb.finish(sim, pool)?;
         Ok(CompiledTm {
             lp,
             node,
@@ -312,8 +339,7 @@ mod tests {
         let (mut sim, node) = setup();
         let tm = TuringMachine::busy_beaver_2();
         let tape = vec![0u32; 9];
-        let compiled =
-            CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 4).unwrap();
+        let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 4).unwrap();
         sim.run().unwrap(); // runs until the machine halts and events drain
         assert!(compiled.halted(&sim).unwrap());
         let reference = tm.run(&tape, 4, 1000);
@@ -359,8 +385,7 @@ mod tests {
         // spinner flips one cell forever; we stop the simulation by time.
         let (mut sim, node) = setup();
         let tm = TuringMachine::spinner();
-        let compiled =
-            CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &[0, 0], 0).unwrap();
+        let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &[0, 0], 0).unwrap();
         sim.run_until(Time::from_ms(2)).unwrap();
         assert!(!compiled.halted(&sim).unwrap());
         let steps = compiled.steps(&sim);

@@ -162,10 +162,34 @@ impl TuringMachine {
             start: 0,
             halt: 2,
             rules: vec![
-                Rule { state: 0, read: 0, write: 1, mv: Move::Right, next: 1 },
-                Rule { state: 0, read: 1, write: 1, mv: Move::Left, next: 1 },
-                Rule { state: 1, read: 0, write: 1, mv: Move::Left, next: 0 },
-                Rule { state: 1, read: 1, write: 1, mv: Move::Stay, next: 2 },
+                Rule {
+                    state: 0,
+                    read: 0,
+                    write: 1,
+                    mv: Move::Right,
+                    next: 1,
+                },
+                Rule {
+                    state: 0,
+                    read: 1,
+                    write: 1,
+                    mv: Move::Left,
+                    next: 1,
+                },
+                Rule {
+                    state: 1,
+                    read: 0,
+                    write: 1,
+                    mv: Move::Left,
+                    next: 0,
+                },
+                Rule {
+                    state: 1,
+                    read: 1,
+                    write: 1,
+                    mv: Move::Stay,
+                    next: 2,
+                },
             ],
         }
     }
@@ -181,8 +205,20 @@ impl TuringMachine {
             halt: 1,
             rules: vec![
                 // Carry through 1s, flip the first 0.
-                Rule { state: 0, read: 1, write: 0, mv: Move::Right, next: 0 },
-                Rule { state: 0, read: 0, write: 1, mv: Move::Stay, next: 1 },
+                Rule {
+                    state: 0,
+                    read: 1,
+                    write: 0,
+                    mv: Move::Right,
+                    next: 0,
+                },
+                Rule {
+                    state: 0,
+                    read: 0,
+                    write: 1,
+                    mv: Move::Stay,
+                    next: 1,
+                },
             ],
         }
     }
@@ -195,8 +231,20 @@ impl TuringMachine {
             start: 0,
             halt: 1,
             rules: vec![
-                Rule { state: 0, read: 0, write: 1, mv: Move::Stay, next: 0 },
-                Rule { state: 0, read: 1, write: 0, mv: Move::Stay, next: 0 },
+                Rule {
+                    state: 0,
+                    read: 0,
+                    write: 1,
+                    mv: Move::Stay,
+                    next: 0,
+                },
+                Rule {
+                    state: 0,
+                    read: 1,
+                    write: 0,
+                    mv: Move::Stay,
+                    next: 0,
+                },
             ],
         }
     }
@@ -241,7 +289,13 @@ mod tests {
     #[test]
     fn validate_rejects_bad_machines() {
         let mut tm = TuringMachine::busy_beaver_2();
-        tm.rules.push(Rule { state: 0, read: 0, write: 0, mv: Move::Stay, next: 0 });
+        tm.rules.push(Rule {
+            state: 0,
+            read: 0,
+            write: 0,
+            mv: Move::Stay,
+            next: 0,
+        });
         assert!(tm.validate().unwrap_err().contains("nondeterministic"));
 
         let mut tm = TuringMachine::busy_beaver_2();
@@ -267,8 +321,20 @@ mod tests {
             start: 0,
             halt: 1,
             rules: vec![
-                Rule { state: 0, read: 0, write: 0, mv: Move::Left, next: 0 },
-                Rule { state: 0, read: 1, write: 1, mv: Move::Left, next: 0 },
+                Rule {
+                    state: 0,
+                    read: 0,
+                    write: 0,
+                    mv: Move::Left,
+                    next: 0,
+                },
+                Rule {
+                    state: 0,
+                    read: 1,
+                    write: 1,
+                    mv: Move::Left,
+                    next: 0,
+                },
             ],
         };
         let res = tm.run(&[0, 1], 1, 10);

@@ -63,13 +63,22 @@ pub struct ClientEndpoint {
 }
 
 impl ClientEndpoint {
+    /// The response-buffer capability this client advertises to servers
+    /// (what a real client would ship in its connection handshake).
+    pub fn dest(&self) -> redn_core::ctx::ClientDest {
+        redn_core::ctx::ClientDest::new(self.resp_buf, self.resp_rkey)
+    }
+
     /// Create an endpoint with buffers big enough for `max_value` bytes.
     pub fn create(sim: &mut Simulator, node: NodeId, max_value: u32) -> Result<ClientEndpoint> {
         let cq = sim.create_cq(node, 1024)?;
         let recv_cq = sim.create_cq(node, 1024)?;
         let qp = sim.create_qp(
             node,
-            QpConfig::new(cq).recv_cq(recv_cq).sq_depth(1024).rq_depth(1024),
+            QpConfig::new(cq)
+                .recv_cq(recv_cq)
+                .sq_depth(1024)
+                .rq_depth(1024),
         )?;
         let req_len = 64u64 + max_value as u64;
         let req_buf = sim.alloc(node, req_len, 8)?;
@@ -156,7 +165,12 @@ impl OneSidedClient {
     /// probed candidate: neighborhood then value, with the client-side
     /// poll-parse-post cost paid between dependent steps (that software
     /// gap is why two RTTs cost more than twice one RTT — §5.2).
-    pub fn get(&self, sim: &mut Simulator, key: u64, candidates: &[u64; 2]) -> Result<(Time, bool)> {
+    pub fn get(
+        &self,
+        sim: &mut Simulator,
+        key: u64,
+        candidates: &[u64; 2],
+    ) -> Result<(Time, bool)> {
         let start = sim.now();
         let t_client = sim.host_config(self.ep.node).t_client_op;
         for &cand in candidates {
@@ -341,7 +355,9 @@ impl TwoSidedServer {
                 let slot = ring + (cqe.wqe_index % nslots) * slot_len;
                 seq += 1;
                 // Parse the request.
-                let hdr = sim.mem_read(node, slot, REQ_HEADER).expect("request header");
+                let hdr = sim
+                    .mem_read(node, slot, REQ_HEADER)
+                    .expect("request header");
                 let op = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
                 let key = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
                 let resp_addr = u64::from_le_bytes(hdr[16..24].try_into().unwrap());
@@ -357,8 +373,8 @@ impl TwoSidedServer {
                 if mode == TwoSidedMode::Vma {
                     // Socket stack + two memcpys of the payload (§5.4).
                     let moved = value_len as u64 * 2;
-                    cost += host.t_vma_stack
-                        + Time::from_ps(host.t_memcpy_per_byte.as_ps() * moved);
+                    cost +=
+                        host.t_vma_stack + Time::from_ps(host.t_memcpy_per_byte.as_ps() * moved);
                 }
                 let finish = sim.host_execute(node, cost, seq);
 
@@ -396,19 +412,12 @@ impl TwoSidedServer {
                             None => (0, 0, 0),
                         };
                         let wr = WorkRequest::write_imm(
-                            laddr,
-                            lkey,
-                            len,
-                            resp_addr,
-                            resp_rkey,
-                            seq as u32,
+                            laddr, lkey, len, resp_addr, resp_rkey, seq as u32,
                         );
                         // Repost the consumed RECV slot (the ring wraps)
                         // and send the response.
-                        let _ = sim.post_recv(
-                            qp,
-                            WorkRequest::recv(slot, ring_lkey, slot_len as u32),
-                        );
+                        let _ =
+                            sim.post_recv(qp, WorkRequest::recv(slot, ring_lkey, slot_len as u32));
                         let _ = sim.post_send(qp, wr);
                     }),
                 );
@@ -456,11 +465,7 @@ impl TwoSidedServer {
         for i in 0..nslots {
             sim.post_recv(
                 qp,
-                WorkRequest::recv(
-                    ring + i * self.slot_len,
-                    ring_mr.lkey,
-                    self.slot_len as u32,
-                ),
+                WorkRequest::recv(ring + i * self.slot_len, ring_mr.lkey, self.slot_len as u32),
             )?;
         }
         self.conns.borrow_mut().insert(
@@ -476,16 +481,15 @@ impl TwoSidedServer {
 }
 
 /// Synchronous two-sided get from `ep`: returns `(latency, found)`.
-pub fn two_sided_get(
-    sim: &mut Simulator,
-    ep: &ClientEndpoint,
-    key: u64,
-) -> Result<(Time, bool)> {
+pub fn two_sided_get(sim: &mut Simulator, ep: &ClientEndpoint, key: u64) -> Result<(Time, bool)> {
     let start = sim.now();
     let req = encode_request(REQ_OP_GET, key, ep.resp_buf, ep.resp_rkey, &[]);
     sim.mem_write(ep.node, ep.req_buf, &req)?;
     sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
-    sim.post_send(ep.qp, WorkRequest::send(ep.req_buf, ep.req_lkey, req.len() as u32))?;
+    sim.post_send(
+        ep.qp,
+        WorkRequest::send(ep.req_buf, ep.req_lkey, req.len() as u32),
+    )?;
     let cqe = run_until_cqe(sim, ep.recv_cq)?.ok_or(Error::InvalidWr("no response"))?;
     Ok((sim.now() - start, cqe.byte_len > 0))
 }
@@ -501,7 +505,10 @@ pub fn two_sided_set(
     let req = encode_request(REQ_OP_SET, key, ep.resp_buf, ep.resp_rkey, value);
     sim.mem_write(ep.node, ep.req_buf, &req)?;
     sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
-    sim.post_send(ep.qp, WorkRequest::send(ep.req_buf, ep.req_lkey, req.len() as u32))?;
+    sim.post_send(
+        ep.qp,
+        WorkRequest::send(ep.req_buf, ep.req_lkey, req.len() as u32),
+    )?;
     run_until_cqe(sim, ep.recv_cq)?.ok_or(Error::InvalidWr("no response"))?;
     Ok(sim.now() - start)
 }
@@ -523,7 +530,10 @@ mod tests {
     fn one_sided_get_two_rtts() {
         let (mut sim, c, s) = setup();
         let mut table = HopscotchTable::create(&mut sim, s, 256, 64, ProcessId(0)).unwrap();
-        table.insert_at_candidate(&mut sim, 42, &[7u8; 64], 0).unwrap().unwrap();
+        table
+            .insert_at_candidate(&mut sim, 42, &[7u8; 64], 0)
+            .unwrap()
+            .unwrap();
         let client = OneSidedClient::create(&mut sim, c, &table).unwrap();
         // One-sided needs a passive server QP.
         let scq = sim.create_cq(s, 16).unwrap();
@@ -590,8 +600,7 @@ mod tests {
                 CuckooTable::create(&mut sim, s, 256, 64, ProcessId(0)).unwrap(),
             ));
             table.borrow_mut().insert(&mut sim, 5, &[9u8; 64]).unwrap();
-            let server =
-                TwoSidedServer::install(&mut sim, s, table, mode, ProcessId(0)).unwrap();
+            let server = TwoSidedServer::install(&mut sim, s, table, mode, ProcessId(0)).unwrap();
             let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
             sim.connect_qps(ep.qp, server.qp).unwrap();
             sim.set_runnable_threads(s, 1);
@@ -605,6 +614,9 @@ mod tests {
             event > polling + 3.0,
             "event {event} should pay the wake cost over polling {polling}"
         );
-        assert!(vma > polling, "VMA {vma} adds stack+memcpy over raw RDMA {polling}");
+        assert!(
+            vma > polling,
+            "VMA {vma} adds stack+memcpy over raw RDMA {polling}"
+        );
     }
 }

@@ -44,8 +44,7 @@ impl CuckooTable {
     ) -> Result<CuckooTable> {
         assert!(nbuckets.is_power_of_two());
         let base = sim.alloc(node, nbuckets * BUCKET_SIZE, 64)?;
-        let mr =
-            sim.register_mr_owned(node, base, nbuckets * BUCKET_SIZE, Access::all(), owner)?;
+        let mr = sim.register_mr_owned(node, base, nbuckets * BUCKET_SIZE, Access::all(), owner)?;
         let heap = ValueHeap::create(sim, node, nbuckets, value_len, owner)?;
         Ok(CuckooTable {
             node,
@@ -214,7 +213,10 @@ mod tests {
         assert!(inserted.len() >= 90, "only {} fit", inserted.len());
         for &k in &inserted {
             assert!(t.lookup(k).is_some(), "key {k} lost after kicks");
-            assert!(t.holding_candidate(k).is_some(), "key {k} outside candidates");
+            assert!(
+                t.holding_candidate(k).is_some(),
+                "key {k} outside candidates"
+            );
         }
     }
 
@@ -223,7 +225,9 @@ mod tests {
         let (mut sim, mut t) = table(64);
         t.insert(&mut sim, 42, &[9; 64]).unwrap();
         let idx = t.candidates(42)[t.holding_candidate(42).unwrap()];
-        let bytes = sim.mem_read(t.node, t.bucket_addr(idx), BUCKET_SIZE).unwrap();
+        let bytes = sim
+            .mem_read(t.node, t.bucket_addr(idx), BUCKET_SIZE)
+            .unwrap();
         let mut kb = [0u8; 8];
         kb[..6].copy_from_slice(&bytes[8..14]);
         assert_eq!(u64::from_le_bytes(kb), 42);

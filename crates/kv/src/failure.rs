@@ -12,8 +12,8 @@
 //! the NIC keeps DMA-ing — RedN offloads continue; any CPU-dependent
 //! path is gone until reboot.
 
+use redn_core::ctx::OffloadCtx;
 use redn_core::offloads::hash_lookup::HashGetVariant;
-use redn_core::program::ConstPool;
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
 use rnic_sim::error::Result;
 use rnic_sim::ids::ProcessId;
@@ -48,10 +48,30 @@ pub struct ComponentReliability {
 
 /// Table 6 of the paper.
 pub const TABLE6: [ComponentReliability; 4] = [
-    ComponentReliability { component: "OS", afr_percent: 41.9, mttf_hours: 20_906.0, reliability: "99%" },
-    ComponentReliability { component: "DRAM", afr_percent: 39.5, mttf_hours: 22_177.0, reliability: "99%" },
-    ComponentReliability { component: "NIC", afr_percent: 1.00, mttf_hours: 876_000.0, reliability: "99.99%" },
-    ComponentReliability { component: "NVM", afr_percent: 1.00, mttf_hours: 2_000_000.0, reliability: "99.99%" },
+    ComponentReliability {
+        component: "OS",
+        afr_percent: 41.9,
+        mttf_hours: 20_906.0,
+        reliability: "99%",
+    },
+    ComponentReliability {
+        component: "DRAM",
+        afr_percent: 39.5,
+        mttf_hours: 22_177.0,
+        reliability: "99%",
+    },
+    ComponentReliability {
+        component: "NIC",
+        afr_percent: 1.00,
+        mttf_hours: 876_000.0,
+        reliability: "99.99%",
+    },
+    ComponentReliability {
+        component: "NVM",
+        afr_percent: 1.00,
+        mttf_hours: 2_000_000.0,
+        reliability: "99.99%",
+    },
 ];
 
 /// Which serving path the crash experiment exercises.
@@ -99,15 +119,13 @@ pub fn run_crash_timeline(
     let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
     let mut redn_off = None;
     let mut rpc_qp = None;
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 24, ProcessId(0))?;
+    // Offload resources (pool + queues) live in the hull parent (init).
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)?;
     match path {
         CrashPath::RedN => {
-            let off = server.redn_frontend(
-                &mut sim,
-                ep.resp_buf,
-                ep.resp_rkey,
-                HashGetVariant::Parallel,
-            )?;
+            let off = server.redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)?;
             sim.connect_qps(ep.qp, off.tp.qp)?;
             redn_off = Some(off);
         }
@@ -164,7 +182,7 @@ pub fn run_crash_timeline(
         let ok = match path {
             CrashPath::RedN => {
                 let off = redn_off.as_mut().expect("offload");
-                let (_, found) = redn_get(&mut sim, off, &mut pool, &ep, &server, key)?;
+                let (_, found) = redn_get(&mut sim, off, ctx.pool_mut(), &ep, &server, key)?;
                 found
             }
             CrashPath::Vanilla => {
@@ -219,7 +237,13 @@ pub fn run_crash_timeline(
         }
     }
 
-    let max = counts.iter().take(nbuckets).copied().max().unwrap_or(1).max(1);
+    let max = counts
+        .iter()
+        .take(nbuckets)
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
     Ok(counts
         .into_iter()
         .take(nbuckets)
@@ -243,20 +267,21 @@ pub fn run_os_panic_probe(gets_after_panic: usize) -> Result<usize> {
     let server = MemcachedServer::create(&mut sim, s, 1 << 10, VALUE_LEN, ProcessId(0))?;
     server.populate(&mut sim, 64)?;
     let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
-    let mut off =
-        server.redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)?;
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 22)
+        .build(&mut sim)?;
+    let mut off = server.redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)?;
     sim.connect_qps(ep.qp, off.tp.qp)?;
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 22, ProcessId(0))?;
 
     // Sanity get, then panic the server OS.
-    let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &server, 1)?;
+    let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 1)?;
     assert!(found, "pre-panic get failed");
     sim.os_panic(s);
 
     let mut ok = 0;
     for i in 0..gets_after_panic {
         let key = 1 + (i as u64 % 64);
-        let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &server, key)?;
+        let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, key)?;
         if found {
             ok += 1;
         }

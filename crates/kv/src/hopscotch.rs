@@ -52,8 +52,7 @@ impl HopscotchTable {
     ) -> Result<HopscotchTable> {
         assert!(nbuckets.is_power_of_two());
         let base = sim.alloc(node, nbuckets * BUCKET_SIZE, 64)?;
-        let mr =
-            sim.register_mr_owned(node, base, nbuckets * BUCKET_SIZE, Access::all(), owner)?;
+        let mr = sim.register_mr_owned(node, base, nbuckets * BUCKET_SIZE, Access::all(), owner)?;
         let heap = ValueHeap::create(sim, node, nbuckets, value_len, owner)?;
         Ok(HopscotchTable {
             node,
@@ -192,7 +191,9 @@ mod tests {
     fn bucket_bytes_match_offload_layout() {
         let (mut sim, mut t) = table();
         let idx = t.insert(&mut sim, 0xABC, &[7u8; 64]).unwrap().unwrap();
-        let bytes = sim.mem_read(t.node, t.bucket_addr(idx), BUCKET_SIZE).unwrap();
+        let bytes = sim
+            .mem_read(t.node, t.bucket_addr(idx), BUCKET_SIZE)
+            .unwrap();
         let ptr = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
         let mut kb = [0u8; 8];
         kb[..6].copy_from_slice(&bytes[8..14]);
@@ -203,7 +204,9 @@ mod tests {
     #[test]
     fn insert_at_candidate_controls_placement() {
         let (mut sim, mut t) = table();
-        t.insert_at_candidate(&mut sim, 5, &[1; 64], 1).unwrap().unwrap();
+        t.insert_at_candidate(&mut sim, 5, &[1; 64], 1)
+            .unwrap()
+            .unwrap();
         let [_, c2] = t.candidates(5);
         assert_eq!(t.shadow[c2 as usize].0, 5);
     }

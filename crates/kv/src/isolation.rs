@@ -13,8 +13,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use redn_core::ctx::OffloadCtx;
 use redn_core::offloads::hash_lookup::HashGetVariant;
-use redn_core::program::ConstPool;
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
 use rnic_sim::error::Result;
 use rnic_sim::ids::ProcessId;
@@ -135,18 +135,15 @@ pub fn run_contention(writers: usize, reads: usize, path: ReaderPath) -> Result<
             }
         }
         ReaderPath::RedN => {
-            let mut off = server.redn_frontend(
-                &mut sim,
-                ep.resp_buf,
-                ep.resp_rkey,
-                HashGetVariant::Parallel,
-            )?;
+            let mut ctx = OffloadCtx::builder(s)
+                .pool_capacity(1 << 22)
+                .build(&mut sim)?;
+            let mut off =
+                server.redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)?;
             sim.connect_qps(ep.qp, off.tp.qp)?;
-            let mut pool = ConstPool::create(&mut sim, s, 1 << 22, ProcessId(0))?;
             for i in 0..reads {
                 let key = reader_base + (i as u64 % KEYS_PER_CLIENT);
-                let (lat, found) =
-                    redn_get(&mut sim, &mut off, &mut pool, &ep, &server, key)?;
+                let (lat, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, key)?;
                 assert!(found, "reader key {key} missing");
                 latencies.push(lat);
             }

@@ -16,7 +16,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use redn_core::offloads::hash_lookup::{HashGetConfig, HashGetOffload, HashGetVariant};
+use redn_core::ctx::{ClientDest, OffloadCtx, TableRegion, ValueSource};
+use redn_core::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use redn_core::offloads::rpc;
 use redn_core::program::ConstPool;
 use rnic_sim::error::{Error, Result};
@@ -69,33 +70,42 @@ impl MemcachedServer {
         Ok(())
     }
 
-    /// Stand up the RedN get offload for `client` (its response buffer and
-    /// rkey must come from a [`ClientEndpoint`] on the client node).
+    /// Stand up the RedN get offload, deploying through `ctx` (which must
+    /// live on this server's node). `dest` is the client-advertised
+    /// response capability — see [`ClientEndpoint::dest`].
     pub fn redn_frontend(
         &self,
         sim: &mut Simulator,
-        client_resp_addr: u64,
-        client_rkey: u32,
+        ctx: &OffloadCtx,
+        dest: ClientDest,
         variant: HashGetVariant,
     ) -> Result<HashGetOffload> {
-        let (table_rkey, value_lkey, value_len) = {
-            let t = self.table.borrow();
-            (t.mr().rkey, t.heap.mr().lkey, t.heap.slot_len)
-        };
-        HashGetOffload::create(
-            sim,
+        assert_eq!(
+            ctx.node(),
             self.node,
+            "the offload context must live on the server node"
+        );
+        // The context's owner decides which process's death tears the
+        // offload down (§5.6); deploying a non-hull server through a
+        // hull-owned context would silently change the crash semantics.
+        assert_eq!(
+            ctx.owner(),
             self.owner,
-            HashGetConfig {
-                table_rkey,
-                value_lkey,
-                value_len,
-                client_resp_addr,
-                client_rkey,
-                variant,
-                port: 0,
-            },
-        )
+            "the offload context's owner must match the server's"
+        );
+        let (table, values) = {
+            let t = self.table.borrow();
+            (
+                TableRegion::of(&t.mr()),
+                ValueSource::of(&t.heap.mr(), t.heap.slot_len),
+            )
+        };
+        ctx.hash_get()
+            .table(table)
+            .values(values)
+            .respond_to(dest)
+            .variant(variant)
+            .build(sim)
     }
 
     /// Stand up the two-sided RPC frontend.
@@ -126,7 +136,7 @@ pub fn redn_get(
     off.arm(sim, pool)?;
     sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
     let cands = server.candidate_addrs(key);
-    let n = off.config().variant.buckets();
+    let n = off.variant().buckets();
     let payload = off.client_payload(key, &cands[..n]);
     sim.mem_write(ep.node, ep.req_buf, &payload)?;
     let start = sim.now();
@@ -166,15 +176,15 @@ mod tests {
         let server = MemcachedServer::create(&mut sim, s, 1024, 64, ProcessId(0)).unwrap();
         server.populate(&mut sim, 100).unwrap();
         let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        let mut ctx = OffloadCtx::new(&mut sim, s).unwrap();
         let mut off = server
-            .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+            .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
             .unwrap();
         sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-        let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
 
         for key in [1u64, 50, 100] {
             let (lat, found) =
-                redn_get(&mut sim, &mut off, &mut pool, &ep, &server, key).unwrap();
+                redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, key).unwrap();
             assert!(found, "key {key}");
             assert_eq!(
                 sim.mem_read(c, ep.resp_buf, 1).unwrap()[0],
@@ -184,7 +194,7 @@ mod tests {
             assert!(us > 2.0 && us < 15.0, "redn get {us}");
         }
         // Miss: no response.
-        let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &server, 9999).unwrap();
+        let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 9999).unwrap();
         assert!(!found);
     }
 
@@ -197,13 +207,13 @@ mod tests {
         sim.set_runnable_threads(s, 1);
 
         let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        let mut ctx = OffloadCtx::new(&mut sim, s).unwrap();
         let mut off = server
-            .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+            .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
             .unwrap();
         sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-        let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
         let (redn_lat, found) =
-            redn_get(&mut sim, &mut off, &mut pool, &ep, &server, 7).unwrap();
+            redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 7).unwrap();
         assert!(found);
 
         let vma = server

@@ -57,7 +57,8 @@ impl ValueHeap {
         owner: ProcessId,
     ) -> Result<ValueHeap> {
         let base = sim.alloc(node, slots * slot_len as u64, 64)?;
-        let mr = sim.register_mr_owned(node, base, slots * slot_len as u64, Access::all(), owner)?;
+        let mr =
+            sim.register_mr_owned(node, base, slots * slot_len as u64, Access::all(), owner)?;
         Ok(ValueHeap {
             node,
             base,

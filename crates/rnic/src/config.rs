@@ -388,8 +388,7 @@ mod tests {
             (Generation::ConnectX6, 112.0),
         ] {
             let cfg = NicConfig::with_generation(generation);
-            let rate =
-                cfg.pus_per_port as f64 / cfg.t_issue_write.as_us_f64();
+            let rate = cfg.pus_per_port as f64 / cfg.t_issue_write.as_us_f64();
             assert!(
                 (rate / 1e6 * 1e6 - expect_mops).abs() / expect_mops < 0.01,
                 "{generation:?}: {rate} vs {expect_mops}M"

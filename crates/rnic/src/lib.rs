@@ -94,5 +94,5 @@ pub mod prelude {
     pub use crate::sim::Simulator;
     pub use crate::time::Time;
     pub use crate::verbs::Opcode;
-    pub use crate::wqe::{Wqe, WorkRequest, WQE_SIZE};
+    pub use crate::wqe::{WorkRequest, Wqe, WQE_SIZE};
 }

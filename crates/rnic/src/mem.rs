@@ -122,9 +122,7 @@ impl HostMemory {
     pub fn alloc(&mut self, len: u64, align: u64) -> Result<u64> {
         debug_assert!(align.is_power_of_two());
         let addr = (self.brk + align - 1) & !(align - 1);
-        let end = addr
-            .checked_add(len)
-            .ok_or(Error::OutOfMemory(self.node))?;
+        let end = addr.checked_add(len).ok_or(Error::OutOfMemory(self.node))?;
         if end - ARENA_BASE > self.data.len() as u64 {
             return Err(Error::OutOfMemory(self.node));
         }
@@ -267,7 +265,9 @@ impl HostMemory {
             len,
             reason,
         };
-        let r = self.find_key(key, remote).ok_or_else(|| viol("key not registered"))?;
+        let r = self
+            .find_key(key, remote)
+            .ok_or_else(|| viol("key not registered"))?;
         if addr < r.addr || addr + len > r.addr + r.len {
             return Err(viol("outside registered range"));
         }
@@ -298,13 +298,8 @@ impl HostMemory {
 
     /// NIC-side 8-byte atomic under an rkey. Returns the *old* value.
     /// `op` receives the old value and produces the new one.
-    pub fn nic_atomic(
-        &mut self,
-        rkey: u32,
-        addr: u64,
-        op: impl FnOnce(u64) -> u64,
-    ) -> Result<u64> {
-        if addr % 8 != 0 {
+    pub fn nic_atomic(&mut self, rkey: u32, addr: u64, op: impl FnOnce(u64) -> u64) -> Result<u64> {
+        if !addr.is_multiple_of(8) {
             return Err(Error::InvalidWr("atomic target must be 8-byte aligned"));
         }
         self.check_key(rkey, addr, 8, true, true, true)?;

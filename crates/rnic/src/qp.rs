@@ -178,15 +178,7 @@ mod tests {
 
     #[test]
     fn loopback_detection() {
-        let qp = QueuePair::new(
-            QpId(0),
-            NodeId(3),
-            WqId(0),
-            WqId(1),
-            CqId(0),
-            CqId(0),
-            0,
-        );
+        let qp = QueuePair::new(QpId(0), NodeId(3), WqId(0), WqId(1), CqId(0), CqId(0), 0);
         assert!(qp.is_loopback_with(NodeId(3)));
         assert!(!qp.is_loopback_with(NodeId(4)));
     }

@@ -40,8 +40,8 @@ use crate::rate::RateLimiter;
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use crate::verbs::Opcode;
-use crate::wq::{WqBlock, WqKind, WorkQueue};
-use crate::wqe::{Sge, Wqe, WorkRequest, SGE_SIZE, WQE_SIZE};
+use crate::wq::{WorkQueue, WqBlock, WqKind};
+use crate::wqe::{Sge, WorkRequest, Wqe, SGE_SIZE, WQE_SIZE};
 use std::collections::HashMap;
 
 /// Redelivery delay after receiver-not-ready (RC RNR NAK back-off).
@@ -308,7 +308,15 @@ impl Simulator {
             pu,
         ));
         self.wqs.push(WorkQueue::new(
-            rq_id, qp_id, node, WqKind::Recv, rq_ring, cfg.rq_depth, false, cfg.port, pu,
+            rq_id,
+            qp_id,
+            node,
+            WqKind::Recv,
+            rq_ring,
+            cfg.rq_depth,
+            false,
+            cfg.port,
+            pu,
         ));
         self.qps.push(QueuePair::new(
             qp_id,
@@ -482,7 +490,9 @@ impl Simulator {
     /// Post a receive.
     pub fn post_recv(&mut self, qp: QpId, wr: WorkRequest) -> Result<u64> {
         if wr.wqe.opcode != Opcode::Recv {
-            return Err(Error::InvalidWr("only RECV may be posted to a receive queue"));
+            return Err(Error::InvalidWr(
+                "only RECV may be posted to a receive queue",
+            ));
         }
         let rq = self.rq_of(qp);
         let (addr, idx) = {
@@ -518,8 +528,13 @@ impl Simulator {
             let wq = &mut self.wqs[sq.index()];
             wq.enabled_until = wq.enabled_until.max(count);
         }
-        self.trace
-            .record(self.now, TraceEvent::Enable { wq: sq, until: count });
+        self.trace.record(
+            self.now,
+            TraceEvent::Enable {
+                wq: sq,
+                until: count,
+            },
+        );
         self.events
             .schedule(self.now + t, EventKind::WqAdvance { wq: sq });
         Ok(())
@@ -596,7 +611,12 @@ impl Simulator {
     }
 
     /// Spawn a process on a node.
-    pub fn spawn_process(&mut self, node: NodeId, name: &str, parent: Option<ProcessId>) -> ProcessId {
+    pub fn spawn_process(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        parent: Option<ProcessId>,
+    ) -> ProcessId {
         self.hosts[node.index()].spawn(name, parent)
     }
 
@@ -944,9 +964,16 @@ impl Simulator {
                     },
                 );
                 let t_cqe = self.nics[node.index()].config.t_cqe;
-                let msg = self.stash_local(wq_id, idx, qp_id, Opcode::Noop, true, CqeStatus::BadWqe);
-                self.events
-                    .schedule(self.now + t_cqe, EventKind::Complete { wq: wq_id, idx, msg });
+                let msg =
+                    self.stash_local(wq_id, idx, qp_id, Opcode::Noop, true, CqeStatus::BadWqe);
+                self.events.schedule(
+                    self.now + t_cqe,
+                    EventKind::Complete {
+                        wq: wq_id,
+                        idx,
+                        msg,
+                    },
+                );
                 return self.try_issue(wq_id);
             }
         };
@@ -973,8 +1000,14 @@ impl Simulator {
             if self.cqs[cq.index()].total < count {
                 self.wqs[wq_id.index()].block = WqBlock::WaitCq { cq, count };
                 self.cqs[cq.index()].park(wq_id, count);
-                self.trace
-                    .record(self.now, TraceEvent::Park { wq: wq_id, cq, count });
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Park {
+                        wq: wq_id,
+                        cq,
+                        count,
+                    },
+                );
                 return Ok(());
             }
         }
@@ -992,8 +1025,7 @@ impl Simulator {
             let wq = &self.wqs[wq_id.index()];
             (wq.port, wq.pu)
         };
-        let (start, finish) =
-            self.nics[node.index()].pus[port].acquire_at(pu, earliest, t_issue);
+        let (start, finish) = self.nics[node.index()].pus[port].acquire_at(pu, earliest, t_issue);
         {
             let wq = &mut self.wqs[wq_id.index()];
             wq.take_snapshot(idx);
@@ -1030,9 +1062,22 @@ impl Simulator {
             },
         );
         let t_cqe = self.nics[node.index()].config.t_cqe;
-        let msg = self.stash_local(wq_id, idx, qp, Opcode::Noop, true, CqeStatus::ProtectionError);
-        self.events
-            .schedule(self.now + t_cqe, EventKind::Complete { wq: wq_id, idx, msg });
+        let msg = self.stash_local(
+            wq_id,
+            idx,
+            qp,
+            Opcode::Noop,
+            true,
+            CqeStatus::ProtectionError,
+        );
+        self.events.schedule(
+            self.now + t_cqe,
+            EventKind::Complete {
+                wq: wq_id,
+                idx,
+                msg,
+            },
+        );
         Ok(())
     }
 
@@ -1085,18 +1130,28 @@ impl Simulator {
 
         match wqe.opcode {
             Opcode::Noop => {
-                let msg = self.stash_local(wq_id, idx, qp_id, wqe.opcode, signaled, CqeStatus::Success);
+                let msg =
+                    self.stash_local(wq_id, idx, qp_id, wqe.opcode, signaled, CqeStatus::Success);
                 self.events.schedule(
                     retire + cfg.t_cqe,
-                    EventKind::Complete { wq: wq_id, idx, msg },
+                    EventKind::Complete {
+                        wq: wq_id,
+                        idx,
+                        msg,
+                    },
                 );
             }
             Opcode::Wait => {
                 // Threshold was satisfied at issue time.
-                let msg = self.stash_local(wq_id, idx, qp_id, wqe.opcode, signaled, CqeStatus::Success);
+                let msg =
+                    self.stash_local(wq_id, idx, qp_id, wqe.opcode, signaled, CqeStatus::Success);
                 self.events.schedule(
                     retire + cfg.t_cqe,
-                    EventKind::Complete { wq: wq_id, idx, msg },
+                    EventKind::Complete {
+                        wq: wq_id,
+                        idx,
+                        msg,
+                    },
                 );
             }
             Opcode::Enable => {
@@ -1110,11 +1165,21 @@ impl Simulator {
                     self.trace
                         .record(self.now, TraceEvent::Enable { wq: target, until });
                     self.advance_wq(target)?;
-                    let msg =
-                        self.stash_local(wq_id, idx, qp_id, wqe.opcode, signaled, CqeStatus::Success);
+                    let msg = self.stash_local(
+                        wq_id,
+                        idx,
+                        qp_id,
+                        wqe.opcode,
+                        signaled,
+                        CqeStatus::Success,
+                    );
                     self.events.schedule(
                         retire + cfg.t_cqe,
-                        EventKind::Complete { wq: wq_id, idx, msg },
+                        EventKind::Complete {
+                            wq: wq_id,
+                            idx,
+                            msg,
+                        },
                     );
                 } else {
                     let msg = self.stash_local(
@@ -1127,17 +1192,24 @@ impl Simulator {
                     );
                     self.events.schedule(
                         retire + cfg.t_cqe,
-                        EventKind::Complete { wq: wq_id, idx, msg },
+                        EventKind::Complete {
+                            wq: wq_id,
+                            idx,
+                            msg,
+                        },
                     );
                 }
             }
             Opcode::Recv => {
                 // A RECV in a send queue decoded fine but is meaningless.
-                let msg =
-                    self.stash_local(wq_id, idx, qp_id, wqe.opcode, true, CqeStatus::BadWqe);
+                let msg = self.stash_local(wq_id, idx, qp_id, wqe.opcode, true, CqeStatus::BadWqe);
                 self.events.schedule(
                     retire + cfg.t_cqe,
-                    EventKind::Complete { wq: wq_id, idx, msg },
+                    EventKind::Complete {
+                        wq: wq_id,
+                        idx,
+                        msg,
+                    },
                 );
             }
             Opcode::Send | Opcode::Write | Opcode::WriteImm => {
@@ -1209,7 +1281,8 @@ impl Simulator {
                     let one_way = self.one_way(node, peer_node).expect("connected");
                     (depart_ready + wire).max(link_done) + one_way
                 };
-                self.events.schedule(arrive, EventKind::Arrive { qp: peer, msg });
+                self.events
+                    .schedule(arrive, EventKind::Arrive { qp: peer, msg });
             }
             Opcode::Read => {
                 let Some(peer) = self.qps[qp_id.index()].peer else {
@@ -1269,7 +1342,8 @@ impl Simulator {
                 } else {
                     retire + self.one_way(node, peer_node).expect("connected")
                 };
-                self.events.schedule(arrive, EventKind::Arrive { qp: peer, msg });
+                self.events
+                    .schedule(arrive, EventKind::Arrive { qp: peer, msg });
             }
             Opcode::Cas | Opcode::FetchAdd | Opcode::Max | Opcode::Min => {
                 let Some(peer) = self.qps[qp_id.index()].peer else {
@@ -1306,21 +1380,15 @@ impl Simulator {
                 } else {
                     retire + self.one_way(node, peer_node).expect("connected")
                 };
-                self.events.schedule(arrive, EventKind::Arrive { qp: peer, msg });
+                self.events
+                    .schedule(arrive, EventKind::Arrive { qp: peer, msg });
             }
         }
         // The pipeline may proceed to the next WQE.
         self.advance_wq(wq_id)
     }
 
-    fn complete_error(
-        &mut self,
-        wq: WqId,
-        idx: u64,
-        qp: QpId,
-        wqe: Wqe,
-        at: Time,
-    ) -> Result<()> {
+    fn complete_error(&mut self, wq: WqId, idx: u64, qp: QpId, wqe: Wqe, at: Time) -> Result<()> {
         self.trace.record(
             self.now,
             TraceEvent::Fault {
@@ -1330,7 +1398,8 @@ impl Simulator {
             },
         );
         let msg = self.stash_local(wq, idx, qp, wqe.opcode, true, CqeStatus::ProtectionError);
-        self.events.schedule(at, EventKind::Complete { wq, idx, msg });
+        self.events
+            .schedule(at, EventKind::Complete { wq, idx, msg });
         self.advance_wq(wq)
     }
 
@@ -1414,10 +1483,9 @@ impl Simulator {
                 // bus occupancy under load) + wire back + the initiator's
                 // PCIe write stage.
                 let bus_done = self.nics[node.index()].pcie_occupy(self.now, nbytes);
-                let data_ready = (self.now
-                    + cfg.t_nonposted_extra
-                    + self.nics[node.index()].pcie_stage(nbytes))
-                .max(bus_done);
+                let data_ready =
+                    (self.now + cfg.t_nonposted_extra + self.nics[node.index()].pcie_stage(nbytes))
+                        .max(bus_done);
                 let port = self.qps[qp_id.index()].port;
                 let initiator_stage = self.nics[node.index()].pcie_stage(nbytes);
                 let complete_at = if one_way == Time::ZERO {
@@ -1477,17 +1545,20 @@ impl Simulator {
                     }
                 };
                 if status == CqeStatus::Success {
-                    self.trace
-                        .record(self.now, TraceEvent::MemWrite { addr: raddr, len: 8 });
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::MemWrite {
+                            addr: raddr,
+                            len: 8,
+                        },
+                    );
                 }
                 {
                     let inf = self.inflight.get_mut(&msg).expect("inflight");
                     inf.status = status;
                     inf.result = old.to_le_bytes().to_vec();
                 }
-                let rest = cfg
-                    .t_nonposted_extra
-                    .saturating_sub(cfg.t_atomic_engine);
+                let rest = cfg.t_nonposted_extra.saturating_sub(cfg.t_atomic_engine);
                 let inf = self.inflight.get(&msg).expect("inflight");
                 let (wq, idx) = (inf.src_wq, inf.src_idx);
                 self.events.schedule(
@@ -1885,14 +1956,20 @@ mod tests {
         sim.mem_write_u64(b, tgt, 5).unwrap();
 
         // Mismatch: no change.
-        sim.post_send(qp_a, WorkRequest::cas(tgt, tmr.rkey, 4, 99, 0, 0).signaled())
-            .unwrap();
+        sim.post_send(
+            qp_a,
+            WorkRequest::cas(tgt, tmr.rkey, 4, 99, 0, 0).signaled(),
+        )
+        .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, tgt).unwrap(), 5);
 
         // Match: swapped.
-        sim.post_send(qp_a, WorkRequest::cas(tgt, tmr.rkey, 5, 99, 0, 0).signaled())
-            .unwrap();
+        sim.post_send(
+            qp_a,
+            WorkRequest::cas(tgt, tmr.rkey, 5, 99, 0, 0).signaled(),
+        )
+        .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, tgt).unwrap(), 99);
         assert_eq!(sim.poll_cq(cq_a, 8).len(), 2);
@@ -1911,11 +1988,13 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, tgt).unwrap(), 17);
 
-        sim.post_send(qp_a, WorkRequest::max(tgt, tmr.rkey, 100)).unwrap();
+        sim.post_send(qp_a, WorkRequest::max(tgt, tmr.rkey, 100))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, tgt).unwrap(), 100);
 
-        sim.post_send(qp_a, WorkRequest::min(tgt, tmr.rkey, 3)).unwrap();
+        sim.post_send(qp_a, WorkRequest::min(tgt, tmr.rkey, 3))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, tgt).unwrap(), 3);
     }
@@ -1930,12 +2009,10 @@ mod tests {
         let dmr = sim.register_mr(b, dst, 64, Access::all()).unwrap();
         sim.mem_write(a, src, b"hello rdma!").unwrap();
 
-        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 64)).unwrap();
-        sim.post_send(
-            qp_a,
-            WorkRequest::send(src, smr.lkey, 11).signaled(),
-        )
-        .unwrap();
+        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 64))
+            .unwrap();
+        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 11).signaled())
+            .unwrap();
         sim.run().unwrap();
 
         assert_eq!(&sim.mem_read(b, dst, 11).unwrap(), b"hello rdma!");
@@ -1956,12 +2033,14 @@ mod tests {
         let dmr = sim.register_mr(b, dst, 8, Access::all()).unwrap();
         sim.mem_write_u64(a, src, 42).unwrap();
 
-        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 8)).unwrap();
+        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 8))
+            .unwrap();
         sim.run().unwrap();
         // Nothing delivered yet.
         assert_eq!(sim.mem_read_u64(b, dst).unwrap(), 0);
 
-        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 8)).unwrap();
+        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 8))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(b, dst).unwrap(), 42);
         assert_eq!(sim.poll_cq(cq_b, 8).len(), 1);
@@ -2060,7 +2139,8 @@ mod tests {
 
         // Server chain: WAIT for one receive completion, then WRITE 1 to
         // flag (loopback).
-        sim.post_recv(qp_server, WorkRequest::recv(0, 0, 0)).unwrap();
+        sim.post_recv(qp_server, WorkRequest::recv(0, 0, 0))
+            .unwrap();
         sim.post_send_batch(
             lb1,
             &[
@@ -2095,11 +2175,8 @@ mod tests {
         sim.mem_write_u64(n, buf, 0xAA).unwrap();
 
         // Post to the managed queue: nothing runs (no doorbell, no enable).
-        sim.post_send_quiet(
-            mqp1,
-            WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey),
-        )
-        .unwrap();
+        sim.post_send_quiet(mqp1, WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(sim.mem_read_u64(n, buf + 8).unwrap(), 0);
 
@@ -2168,7 +2245,8 @@ mod tests {
         let mut wr = WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey);
         wr.wqe.opcode = Opcode::Noop;
         // Post both WQEs with one doorbell: they are prefetched together.
-        sim.post_send_batch(qp1, &[WorkRequest::noop(), wr]).unwrap();
+        sim.post_send_batch(qp1, &[WorkRequest::noop(), wr])
+            .unwrap();
         // Let the doorbell + prefetch happen.
         sim.run_until(Time::from_us_f64(1.1)).unwrap();
         // Patch WQE 1 after the prefetch: NOOP -> WRITE.
@@ -2197,13 +2275,23 @@ mod tests {
         let t2 = sim.alloc(b, 8, 8).unwrap();
         let mrb = sim.register_mr(b, t1, 16, Access::all()).unwrap();
         let table = sim.alloc(b, 32, 8).unwrap();
-        let e0 = Sge { addr: t1, lkey: mrb.lkey, len: 8 };
-        let e1 = Sge { addr: t2, lkey: mrb.lkey, len: 8 };
+        let e0 = Sge {
+            addr: t1,
+            lkey: mrb.lkey,
+            len: 8,
+        };
+        let e1 = Sge {
+            addr: t2,
+            lkey: mrb.lkey,
+            len: 8,
+        };
         sim.mem_write(b, table, &e0.encode()).unwrap();
         sim.mem_write(b, table + 16, &e1.encode()).unwrap();
 
-        sim.post_recv(qp_b, WorkRequest::recv_sgl(table, 2)).unwrap();
-        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 16)).unwrap();
+        sim.post_recv(qp_b, WorkRequest::recv_sgl(table, 2))
+            .unwrap();
+        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 16))
+            .unwrap();
         sim.run().unwrap();
 
         assert_eq!(sim.mem_read_u64(b, t1).unwrap(), 0x1111);
@@ -2284,8 +2372,10 @@ mod tests {
                 seen2.borrow_mut().push(cqe.wqe_index);
             }),
         );
-        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 8)).unwrap();
-        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 8)).unwrap();
+        sim.post_recv(qp_b, WorkRequest::recv(dst, dmr.lkey, 8))
+            .unwrap();
+        sim.post_send(qp_a, WorkRequest::send(src, smr.lkey, 8))
+            .unwrap();
         sim.run().unwrap();
         assert_eq!(seen.borrow().as_slice(), &[0]);
     }
@@ -2297,7 +2387,10 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::default());
         let order = Rc::new(RefCell::new(Vec::new()));
         let (o1, o2) = (order.clone(), order.clone());
-        sim.at(Time::from_us(10), Box::new(move |_| o1.borrow_mut().push(10)));
+        sim.at(
+            Time::from_us(10),
+            Box::new(move |_| o1.borrow_mut().push(10)),
+        );
         sim.at(Time::from_us(5), Box::new(move |_| o2.borrow_mut().push(5)));
         sim.run().unwrap();
         assert_eq!(order.borrow().as_slice(), &[5, 10]);
@@ -2317,10 +2410,7 @@ mod tests {
         let cqes = sim.poll_cq(cq_a, 8);
         assert_eq!(cqes.len(), 4);
         let dt = cqes[3].time - cqes[2].time;
-        assert!(
-            (dt.as_us_f64() - 10.0).abs() < 0.5,
-            "paced gap {dt:?}"
-        );
+        assert!((dt.as_us_f64() - 10.0).abs() < 0.5, "paced gap {dt:?}");
     }
 
     #[test]
@@ -2352,8 +2442,10 @@ mod tests {
 
     #[test]
     fn event_budget_stops_runaway_programs() {
-        let mut cfg = SimConfig::default();
-        cfg.max_events = 500;
+        let cfg = SimConfig {
+            max_events: 500,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(cfg);
         let n = sim.add_node("solo", HostConfig::default(), NicConfig::connectx5());
         let cq = sim.create_cq(n, 64).unwrap();
@@ -2372,7 +2464,8 @@ mod tests {
         let msq = sim.sq_of(mqp);
         // "Infinite" loop: enable far more iterations than the budget
         // allows.
-        sim.post_send(ctrl1, WorkRequest::enable(msq, u64::MAX / 2)).unwrap();
+        sim.post_send(ctrl1, WorkRequest::enable(msq, u64::MAX / 2))
+            .unwrap();
         let err = sim.run().unwrap_err();
         assert!(matches!(err, Error::EventBudgetExhausted(_)));
     }

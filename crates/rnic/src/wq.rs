@@ -267,8 +267,10 @@ mod tests {
     #[test]
     fn snapshot_cache_round_trip() {
         let mut q = wq(4, true);
-        let mut w = Wqe::default();
-        w.id = 7;
+        let w = Wqe {
+            id: 7,
+            ..Wqe::default()
+        };
         q.cache_snapshot(5, w.encode());
         assert!(q.has_snapshot(5));
         assert!(!q.has_snapshot(4));

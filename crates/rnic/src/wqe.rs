@@ -551,15 +551,17 @@ mod tests {
 
     #[test]
     fn field_offsets_match_encoding() {
-        let mut wqe = Wqe::default();
-        wqe.opcode = Opcode::Read;
-        wqe.id = 0x42;
-        wqe.local_addr = 0x1111;
-        wqe.length = 0x2222;
-        wqe.remote_addr = 0x3333;
-        wqe.rkey = 0x44;
-        wqe.operand = 0x5555;
-        wqe.swap = 0x6666;
+        let wqe = Wqe {
+            opcode: Opcode::Read,
+            id: 0x42,
+            local_addr: 0x1111,
+            length: 0x2222,
+            remote_addr: 0x3333,
+            rkey: 0x44,
+            operand: 0x5555,
+            swap: 0x6666,
+            ..Wqe::default()
+        };
         let b = wqe.encode();
         let at_u64 =
             |off: u64| u64::from_le_bytes(b[off as usize..off as usize + 8].try_into().unwrap());
@@ -589,10 +591,7 @@ mod tests {
     fn builders_set_expected_fields() {
         let wr = WorkRequest::write(1, 2, 3, 4, 5);
         assert_eq!(wr.wqe.opcode, Opcode::Write);
-        assert_eq!(
-            (wr.wqe.local_addr, wr.wqe.lkey, wr.wqe.length),
-            (1, 2, 3)
-        );
+        assert_eq!((wr.wqe.local_addr, wr.wqe.lkey, wr.wqe.length), (1, 2, 3));
         assert_eq!((wr.wqe.remote_addr, wr.wqe.rkey), (4, 5));
 
         let wr = WorkRequest::cas(8, 9, 10, 11, 0, 0).signaled();

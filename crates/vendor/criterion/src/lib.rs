@@ -1,0 +1,136 @@
+//! Offline, dependency-free subset of the `criterion` API this
+//! workspace's `benches/` use. It keeps the familiar surface —
+//! [`Criterion::bench_function`], [`Bencher::iter`], `criterion_group!`,
+//! `criterion_main!` — but measures with plain wall-clock timing and
+//! prints one line per benchmark instead of producing HTML reports. The
+//! container image ships no registry, so the workspace vendors this
+//! instead of the real crate.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // One warm-up pass, then `sample_size` measured passes (bounded by
+        // measurement_time so cheap stubs stay fast).
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.reset();
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.sample_size && Instant::now() < deadline {
+            f(&mut b);
+            samples += 1;
+        }
+        let (iters, elapsed) = b.totals();
+        if iters > 0 {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "bench {name:<40} {:>12.3} us/iter ({iters} iters)",
+                per_iter * 1e6
+            );
+        }
+        self
+    }
+}
+
+/// Per-benchmark iteration driver (subset of `criterion::Bencher`).
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one closure invocation (the routine under benchmark).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+    }
+
+    fn totals(&self) -> (u64, Duration) {
+        (self.iters, self.elapsed)
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group (both the simple and the configured form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

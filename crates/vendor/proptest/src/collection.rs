@@ -1,0 +1,64 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use core::ops::Range;
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// Strategy for `Vec`s whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet`s with between `size.start` and `size.end - 1`
+/// elements (deduplication may produce fewer).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let want = self.size.start + rng.below(span) as usize;
+        let mut out = BTreeSet::new();
+        // Bounded attempts: duplicates shrink the set, as in real proptest.
+        for _ in 0..want.saturating_mul(4).max(4) {
+            if out.len() >= want {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline, dependency-free subset of the `proptest` API this
+//! workspace's tests use: the `proptest!` macro, `Strategy` with
+//! `prop_map`, range / tuple / collection / sample strategies, `any`,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Generation is deterministic (seeded per test from the test name) and
+//! there is **no shrinking** — a failing case panics with the generated
+//! values' debug output instead. The container image ships no registry,
+//! so the workspace vendors this instead of the real crate.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// A strategy producing uniformly random values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Map 64 random bits to a value.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        })*
+    };
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::Rng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless the operands differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Supports the optional
+/// `#![proptest_config(...)]` header and one or more
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Seed per test name: deterministic across runs, distinct
+                // across tests.
+                let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut rng = $crate::test_runner::Rng::from_seed(seed);
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(64).max(1024),
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // Rendered eagerly so the body may consume the inputs.
+                    let case_desc = {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)*
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => continue,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "property {} failed after {} case(s): {}\nwith inputs:\n{}",
+                            stringify!($name),
+                            accepted + 1,
+                            msg,
+                            case_desc
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}

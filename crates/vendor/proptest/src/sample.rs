@@ -1,0 +1,23 @@
+//! Sampling strategies over explicit value sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// Strategy drawing uniformly from `options` (subset of
+/// `proptest::sample::select`).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}

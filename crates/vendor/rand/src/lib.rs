@@ -1,0 +1,126 @@
+//! Offline, dependency-free subset of the `rand` crate API this workspace
+//! uses. The container image ships no registry, so the workspace vendors
+//! the few entry points it needs (`StdRng::seed_from_u64`,
+//! `RngExt::random`, `RngExt::random_range`) over a deterministic
+//! splitmix64/xoshiro-style generator. Not cryptographic; benchmarks and
+//! workload generation only.
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (subset of the `rand` RNG extension trait).
+pub trait RngExt {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_random(self.next_u64())
+    }
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    fn random_range<T: RandomRange>(&mut self, range: Range<T>) -> T {
+        T::pick(self.next_u64(), range)
+    }
+}
+
+/// Types constructible from 64 random bits.
+pub trait FromRandom {
+    /// Map raw bits to a value.
+    fn from_random(bits: u64) -> Self;
+}
+
+macro_rules! impl_from_random {
+    ($($t:ty),*) => {
+        $(impl FromRandom for $t {
+            fn from_random(bits: u64) -> Self {
+                bits as $t
+            }
+        })*
+    };
+}
+impl_from_random!(u8, u16, u32, u64, usize);
+
+impl FromRandom for bool {
+    fn from_random(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Types samplable from a half-open range.
+pub trait RandomRange: Sized {
+    /// Map raw bits into `[range.start, range.end)`.
+    fn pick(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_random_range {
+    ($($t:ty),*) => {
+        $(impl RandomRange for $t {
+            fn pick(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (bits % span) as $t
+            }
+        })*
+    };
+}
+impl_random_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Vigna) — deterministic, passes basic avalanche.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v = a.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let x: u64 = a.random();
+        let y: u64 = a.random();
+        assert_ne!(x, y);
+    }
+}

@@ -11,7 +11,10 @@ use redn::kv::failure::{run_crash_timeline, run_os_panic_probe, CrashPath};
 use rnic_sim::time::Time;
 
 fn spark(v: f64) -> char {
-    const BARS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 9] = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     BARS[((v * 8.0).round() as usize).min(8)]
 }
 
@@ -24,7 +27,10 @@ fn main() {
     let pace = Time::from_us(150);
 
     println!("process crash at t = 1 s (normalized gets per 250 ms bucket):\n");
-    for (name, path) in [("RedN   ", CrashPath::RedN), ("vanilla", CrashPath::Vanilla)] {
+    for (name, path) in [
+        ("RedN   ", CrashPath::RedN),
+        ("vanilla", CrashPath::Vanilla),
+    ] {
         let timeline = run_crash_timeline(path, duration, crash_at, bucket, pace).unwrap();
         print!("  {name} ");
         for p in &timeline {

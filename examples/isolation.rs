@@ -10,17 +10,16 @@ use redn::kv::isolation::{run_contention, ReaderPath};
 
 fn main() {
     println!("reader get latency vs writer count (30 gets per point):\n");
-    println!("{:>8}  {:>22}  {:>26}", "writers", "RedN avg/p99 (us)", "two-sided avg/p99 (us)");
+    println!(
+        "{:>8}  {:>22}  {:>26}",
+        "writers", "RedN avg/p99 (us)", "two-sided avg/p99 (us)"
+    );
     for writers in [0usize, 4, 8, 16] {
         let redn = run_contention(writers, 30, ReaderPath::RedN).unwrap();
         let two = run_contention(writers, 30, ReaderPath::TwoSided).unwrap();
         println!(
             "{:>8}  {:>10.2} / {:<9.2}  {:>12.2} / {:<11.2}",
-            writers,
-            redn.stats.avg_us,
-            redn.stats.p99_us,
-            two.stats.avg_us,
-            two.stats.p99_us,
+            writers, redn.stats.avg_us, redn.stats.p99_us, two.stats.avg_us, two.stats.p99_us,
         );
     }
     println!(

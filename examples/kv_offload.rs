@@ -5,8 +5,8 @@
 //! cargo run --example kv_offload
 //! ```
 
+use redn::core::ctx::OffloadCtx;
 use redn::core::offloads::hash_lookup::HashGetVariant;
-use redn::core::program::ConstPool;
 use redn::kv::baselines::{two_sided_get, ClientEndpoint, OneSidedClient, TwoSidedMode};
 use redn::kv::hopscotch::HopscotchTable;
 use redn::kv::memcached::{redn_get, MemcachedServer};
@@ -25,17 +25,25 @@ fn main() {
     mc.populate(&mut sim, 100).unwrap();
     sim.set_runnable_threads(server, 1);
 
-    // RedN frontend: gets answered by the NIC.
+    // RedN frontend: gets answered by the NIC. The offload context owns
+    // the server-side resources; the client only hands over a typed
+    // response capability (no raw keys).
     let ep = ClientEndpoint::create(&mut sim, client, 64).unwrap();
+    let mut ctx = OffloadCtx::builder(server)
+        .pool_capacity(1 << 20)
+        .build(&mut sim)
+        .unwrap();
     let mut off = mc
-        .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+        .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
         .unwrap();
     sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-    let mut pool = ConstPool::create(&mut sim, server, 1 << 20, ProcessId(0)).unwrap();
-    let (redn_lat, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, 42).unwrap();
+    let (redn_lat, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &mc, 42).unwrap();
     assert!(found);
     let v = sim.mem_read(client, ep.resp_buf, 1).unwrap()[0];
-    println!("RedN get(42)      -> value {v:#04x} in {:.2} us (zero server CPU)", redn_lat.as_us_f64());
+    println!(
+        "RedN get(42)      -> value {v:#04x} in {:.2} us (zero server CPU)",
+        redn_lat.as_us_f64()
+    );
 
     // Two-sided VMA baseline.
     let vma = mc.two_sided_frontend(&mut sim, TwoSidedMode::Vma).unwrap();
@@ -43,7 +51,10 @@ fn main() {
     sim.connect_qps(ep2.qp, vma.qp).unwrap();
     let (vma_lat, found) = two_sided_get(&mut sim, &ep2, 42).unwrap();
     assert!(found);
-    println!("two-sided get(42) -> {:.2} us over the VMA socket stack", vma_lat.as_us_f64());
+    println!(
+        "two-sided get(42) -> {:.2} us over the VMA socket stack",
+        vma_lat.as_us_f64()
+    );
 
     // One-sided baseline on a hopscotch table with the same data.
     let mut hs = HopscotchTable::create(&mut sim, server, 1024, 64, ProcessId(0)).unwrap();
@@ -56,7 +67,10 @@ fn main() {
     sim.connect_qps(one.ep.qp, sqp).unwrap();
     let (one_lat, found) = one.get(&mut sim, 42, &hs.candidates(42)).unwrap();
     assert!(found);
-    println!("one-sided get(42) -> {:.2} us across two READ round trips", one_lat.as_us_f64());
+    println!(
+        "one-sided get(42) -> {:.2} us across two READ round trips",
+        one_lat.as_us_f64()
+    );
 
     println!(
         "\nRedN wins: {:.1}x vs one-sided, {:.1}x vs two-sided (paper Fig 14: up to 1.7x / 2.6x)",

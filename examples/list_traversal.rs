@@ -5,13 +5,12 @@
 //! cargo run --example list_traversal
 //! ```
 
-use redn::core::offloads::list::{encode_node, ListWalkConfig, ListWalkOffload, NODE_HEADER};
+use redn::core::ctx::{OffloadCtx, TableRegion};
+use redn::core::offloads::list::{encode_node, NODE_HEADER};
 use redn::core::offloads::rpc;
-use redn::core::program::ConstPool;
 use redn::kv::baselines::{run_until_cqe, ClientEndpoint};
 use redn::prelude::*;
 use rnic_sim::config::{LinkConfig, SimConfig};
-use rnic_sim::ids::ProcessId;
 use rnic_sim::wqe::WorkRequest;
 
 const VALUE_LEN: u32 = 64;
@@ -32,24 +31,32 @@ fn main() {
             .unwrap();
         for i in 0..LIST_LEN {
             let addr = base + i * node_size;
-            let next = if i + 1 < LIST_LEN { addr + node_size } else { 0 };
+            let next = if i + 1 < LIST_LEN {
+                addr + node_size
+            } else {
+                0
+            };
             let bytes = encode_node(next, 100 + i, &vec![(i + 1) as u8; VALUE_LEN as usize]);
             sim.mem_write(server, addr, &bytes).unwrap();
         }
 
         let ep = ClientEndpoint::create(&mut sim, client, VALUE_LEN).unwrap();
-        let cfg = ListWalkConfig {
-            list_rkey: mr.rkey,
-            value_len: VALUE_LEN,
-            client_resp_addr: ep.resp_buf,
-            client_rkey: ep.resp_rkey,
-            max_nodes: LIST_LEN as usize,
-            break_on_match: with_break,
-        };
-        let mut off = ListWalkOffload::create(&mut sim, server, ProcessId(0), cfg).unwrap();
+        let mut ctx = OffloadCtx::builder(server)
+            .pool_capacity(1 << 20)
+            .build(&mut sim)
+            .unwrap();
+        let mut builder = ctx
+            .list_walk()
+            .list(TableRegion::of(&mr))
+            .value_len(VALUE_LEN)
+            .respond_to(ep.dest())
+            .max_nodes(LIST_LEN as usize);
+        if with_break {
+            builder = builder.break_on_match();
+        }
+        let mut off = builder.build(&mut sim).unwrap();
         sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-        let mut pool = ConstPool::create(&mut sim, server, 1 << 20, ProcessId(0)).unwrap();
-        off.arm(&mut sim, &mut pool).unwrap();
+        off.arm(&mut sim, ctx.pool_mut()).unwrap();
 
         // Walk for key 102 (third node).
         let before = sim.verbs_executed(server);
@@ -62,17 +69,25 @@ fn main() {
             rpc::trigger_send(ep.req_buf, ep.req_lkey, payload.len() as u32),
         )
         .unwrap();
-        let cqe = run_until_cqe(&mut sim, ep.recv_cq).unwrap().expect("response");
+        let cqe = run_until_cqe(&mut sim, ep.recv_cq)
+            .unwrap()
+            .expect("response");
         let latency = cqe.time - start;
         let value = sim.mem_read(client, ep.resp_buf, 1).unwrap()[0];
         sim.run().unwrap(); // drain the abandoned tail, if any
         let executed = sim.verbs_executed(server) - before;
         println!(
             "{}: key 102 -> node #{value} in {:.2} us, {executed} verbs executed",
-            if with_break { "RedN +break " } else { "RedN        " },
+            if with_break {
+                "RedN +break "
+            } else {
+                "RedN        "
+            },
             latency.as_us_f64(),
         );
         assert_eq!(value, 3);
     }
-    println!("\nbreak abandons the remaining iterations — fewer verbs, slightly more latency (Fig 13).");
+    println!(
+        "\nbreak abandons the remaining iterations — fewer verbs, slightly more latency (Fig 13)."
+    );
 }

@@ -4,25 +4,26 @@
 //! another WQE's id bits and, on a match, transmutes that WQE from a NOOP
 //! into a WRITE. No CPU touches the decision.
 //!
+//! Everything deploys through the fluent [`OffloadCtx`] API: the context
+//! owns the chain queues and the constant pool, and the [`ChainProgram`]
+//! combinator computes every WAIT threshold and patch-point address.
+//!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use redn::core::builder::ChainBuilder;
-use redn::core::constructs::cond::IfEq;
-use redn::core::program::ChainQueue;
+use redn::core::ctx::OffloadCtx;
 use redn::prelude::*;
 use rnic_sim::config::SimConfig;
-use rnic_sim::ids::ProcessId;
 
 fn main() {
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
 
-    // Two chain queues: an unmanaged control queue for the CAS and the
-    // ordering verbs, and a managed queue for the (self-modified) action.
-    let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
-    let act = ChainQueue::create(&mut sim, node, true, 64, None, ProcessId(0)).unwrap();
+    // One context owns the offload resources: an unmanaged control queue
+    // for CAS + ordering verbs, a managed queue for the self-modified
+    // action, and a registered constant pool.
+    let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
 
     // The branch body: write 1 into `flag`.
     let flag = sim.alloc(node, 8, 8).unwrap();
@@ -33,20 +34,25 @@ fn main() {
 
     for (x, y) in [(5u64, 5u64), (5, 6)] {
         sim.mem_write_u64(node, flag, 0).unwrap();
-        let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
-        let mut act_b = ChainBuilder::new(&sim, act);
+        let mut prog = ctx.chain_program(&mut sim).unwrap();
         let action = rnic_sim::wqe::WorkRequest::write(one, omr.lkey, 8, flag, fmr.rkey);
-        let branch = IfEq::build(&mut ctrl_b, &mut act_b, y, action, None);
+        let branch = prog.if_eq(y, action);
+        let counts = prog.counts();
         println!(
             "if (x == {y}): verbs = {}C + {}A + {}E (paper Table 2: 1C + 1A + 3E with trigger)",
-            branch.counts.copies, branch.counts.atomics, branch.counts.ordering
+            counts.copies, counts.atomics, counts.ordering
         );
-        act_b.post(&mut sim).unwrap();
+        // Two-phase deployment: post the action queue, inject the runtime
+        // operand, then launch the control chain.
+        let armed = prog.deploy(&mut sim).unwrap();
         branch.inject_x(&mut sim, x).unwrap();
-        ctrl_b.post(&mut sim).unwrap();
+        armed.launch(&mut sim).unwrap();
         sim.run().unwrap();
         let taken = sim.mem_read_u64(node, flag).unwrap() == 1;
-        println!("x = {x}, y = {y}  ->  branch {}", if taken { "TAKEN" } else { "not taken" });
+        println!(
+            "x = {x}, y = {y}  ->  branch {}",
+            if taken { "TAKEN" } else { "not taken" }
+        );
         assert_eq!(taken, x == y);
     }
     println!("\nThe NIC made both decisions by itself — no CPU in the data path.");

@@ -6,15 +6,16 @@
 //! cargo run --example turing_machine
 //! ```
 
-use redn::core::turing::compile::CompiledTm;
+use redn::core::ctx::OffloadCtx;
 use redn::core::turing::machine::TuringMachine;
 use redn::prelude::*;
 use rnic_sim::config::SimConfig;
-use rnic_sim::ids::ProcessId;
 use rnic_sim::time::Time;
 
 fn show(tape: &[u32]) -> String {
-    tape.iter().map(|c| char::from_digit(*c, 10).unwrap()).collect()
+    tape.iter()
+        .map(|c| char::from_digit(*c, 10).unwrap())
+        .collect()
 }
 
 fn main() {
@@ -24,7 +25,8 @@ fn main() {
     let tm = TuringMachine::busy_beaver_2();
     let tape = vec![0u32; 9];
     println!("busy beaver (2 states, 2 symbols), tape {}", show(&tape));
-    let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 4).unwrap();
+    let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+    let compiled = ctx.compile_tm(&mut sim, &tm, &tape, 4).unwrap();
     sim.run().unwrap(); // the ring recycles until the halting rule fires
     println!(
         "  NIC result:  {}  (halted = {}, {} steps, {:.1} us simulated)",
@@ -34,7 +36,11 @@ fn main() {
         sim.now().as_us_f64(),
     );
     let reference = tm.run(&tape, 4, 1000);
-    println!("  reference:   {}  ({} steps)", show(&reference.tape), reference.steps);
+    println!(
+        "  reference:   {}  ({} steps)",
+        show(&reference.tape),
+        reference.steps
+    );
     assert_eq!(compiled.read_tape(&sim).unwrap(), reference.tape);
 
     // 2. Binary increment: 13 + 1, least-significant bit first.
@@ -43,7 +49,8 @@ fn main() {
     let tm = TuringMachine::binary_increment();
     let tape = vec![1u32, 0, 1, 1, 0, 0]; // 13 LSB-first
     println!("\nbinary increment: 13 + 1, tape {}", show(&tape));
-    let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 0).unwrap();
+    let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+    let compiled = ctx.compile_tm(&mut sim, &tm, &tape, 0).unwrap();
     sim.run().unwrap();
     let out = compiled.read_tape(&sim).unwrap();
     let value: u32 = out.iter().enumerate().map(|(i, b)| b << i).sum();
@@ -55,7 +62,8 @@ fn main() {
     let mut sim = Simulator::new(SimConfig::default());
     let node = sim.add_node("nic", HostConfig::default(), NicConfig::connectx5());
     let tm = TuringMachine::spinner();
-    let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &[0, 0], 0).unwrap();
+    let mut ctx = OffloadCtx::new(&mut sim, node).unwrap();
+    let compiled = ctx.compile_tm(&mut sim, &tm, &[0, 0], 0).unwrap();
     sim.run_until(Time::from_ms(1)).unwrap();
     println!(
         "\nspinner after 1 ms of simulated time: {} steps and still going (halted = {})",

@@ -1,8 +1,8 @@
 //! Cross-crate integration: full client→NIC→client offload round trips
 //! spanning rnic-sim, redn-core and redn-kv.
 
+use redn::core::ctx::OffloadCtx;
 use redn::core::offloads::hash_lookup::HashGetVariant;
-use redn::core::program::ConstPool;
 use redn::kv::baselines::{two_sided_get, ClientEndpoint, OneSidedClient, TwoSidedMode};
 use redn::kv::hopscotch::HopscotchTable;
 use redn::kv::memcached::{redn_get, MemcachedServer};
@@ -30,12 +30,15 @@ fn memcached_get_three_frontends_agree() {
 
     // RedN.
     let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 20)
+        .build(&mut sim)
+        .unwrap();
     let mut off = mc
-        .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+        .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
         .unwrap();
     sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
-    let (redn_lat, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, 7).unwrap();
+    let (redn_lat, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &mc, 7).unwrap();
     assert!(found);
     let redn_value = sim.mem_read(c, ep.resp_buf, 1).unwrap()[0];
 
@@ -72,7 +75,10 @@ fn one_sided_and_redn_read_identical_bytes() {
     sim.connect_qps(one.ep.qp, sqp).unwrap();
     let (_, found) = one.get(&mut sim, 99, &table.candidates(99)).unwrap();
     assert!(found);
-    assert_eq!(sim.mem_read(c, one.ep.resp_buf, 64).unwrap(), vec![0xAB; 64]);
+    assert_eq!(
+        sim.mem_read(c, one.ep.resp_buf, 64).unwrap(),
+        vec![0xAB; 64]
+    );
 }
 
 #[test]
@@ -82,14 +88,17 @@ fn offload_serves_many_sequential_requests() {
     let mc = MemcachedServer::create(&mut sim, s, 2048, 64, ProcessId(0)).unwrap();
     mc.populate(&mut sim, 64).unwrap();
     let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 22)
+        .build(&mut sim)
+        .unwrap();
     let mut off = mc
-        .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Sequential)
+        .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Sequential)
         .unwrap();
     sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 22, ProcessId(0)).unwrap();
     for i in 0..50u64 {
         let key = 1 + (i % 64);
-        let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, key).unwrap();
+        let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &mc, key).unwrap();
         assert!(found, "request {i} key {key}");
         assert_eq!(
             sim.mem_read(c, ep.resp_buf, 1).unwrap()[0],
@@ -105,14 +114,17 @@ fn get_miss_never_responds_but_server_stays_healthy() {
     let mc = MemcachedServer::create(&mut sim, s, 1024, 64, ProcessId(0)).unwrap();
     mc.populate(&mut sim, 8).unwrap();
     let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 20)
+        .build(&mut sim)
+        .unwrap();
     let mut off = mc
-        .redn_frontend(&mut sim, ep.resp_buf, ep.resp_rkey, HashGetVariant::Parallel)
+        .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
         .unwrap();
     sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-    let mut pool = ConstPool::create(&mut sim, s, 1 << 20, ProcessId(0)).unwrap();
     // Miss, then hit: the failed CAS must not wedge the offload.
-    let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, 4040).unwrap();
+    let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &mc, 4040).unwrap();
     assert!(!found);
-    let (_, found) = redn_get(&mut sim, &mut off, &mut pool, &ep, &mc, 3).unwrap();
+    let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &mc, 3).unwrap();
     assert!(found);
 }

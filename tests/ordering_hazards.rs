@@ -4,7 +4,7 @@
 //! — the §3.1 consistency hazard that motivates managed queues.
 
 use redn::core::builder::ChainBuilder;
-use redn::core::program::ChainQueue;
+use redn::core::ctx::ChainQueueBuilder;
 use redn::prelude::*;
 use rnic_sim::config::SimConfig;
 use rnic_sim::ids::ProcessId;
@@ -27,8 +27,14 @@ fn rig() -> (Simulator, rnic_sim::ids::NodeId) {
 /// fired.
 fn run_conditional(managed_target: bool) -> bool {
     let (mut sim, node) = rig();
-    let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
-    let act = ChainQueue::create(&mut sim, node, managed_target, 64, None, ProcessId(0)).unwrap();
+    let ctrl = ChainQueueBuilder::new(node, ProcessId(0))
+        .build(&mut sim)
+        .unwrap();
+    let mut act_b = ChainQueueBuilder::new(node, ProcessId(0));
+    if managed_target {
+        act_b = act_b.managed();
+    }
+    let act = act_b.build(&mut sim).unwrap();
     let flag = sim.alloc(node, 8, 8).unwrap();
     let fmr = sim.register_mr(node, flag, 8, Access::all()).unwrap();
     let one = sim.alloc(node, 8, 8).unwrap();
@@ -89,7 +95,9 @@ fn memory_shows_the_modification_either_way() {
     // The hazard is in the *fetch*, not the memory: after the run the
     // header word in host memory is transmuted in both cases.
     let (mut sim, node) = rig();
-    let act = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
+    let act = ChainQueueBuilder::new(node, ProcessId(0))
+        .build(&mut sim)
+        .unwrap();
     let mut placeholder = WorkRequest::noop().with_id(9);
     placeholder.wqe.opcode = Opcode::Noop;
     let mut act_b = ChainBuilder::new(&sim, act);
@@ -97,7 +105,9 @@ fn memory_shows_the_modification_either_way() {
     act_b.post(&mut sim).unwrap();
     sim.run().unwrap();
 
-    let ctrl = ChainQueue::create(&mut sim, node, false, 64, None, ProcessId(0)).unwrap();
+    let ctrl = ChainQueueBuilder::new(node, ProcessId(0))
+        .build(&mut sim)
+        .unwrap();
     let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
     ctrl_b.stage(WorkRequest::cas(
         staged.addr(redn::core::encode::WqeField::Header),
@@ -109,7 +119,9 @@ fn memory_shows_the_modification_either_way() {
     ));
     ctrl_b.post(&mut sim).unwrap();
     sim.run().unwrap();
-    let word = sim.mem_read_u64(node, staged.addr(redn::core::encode::WqeField::Header)).unwrap();
+    let word = sim
+        .mem_read_u64(node, staged.addr(redn::core::encode::WqeField::Header))
+        .unwrap();
     let (op, id) = rnic_sim::wqe::split_header(word);
     assert_eq!(op, Opcode::Write as u16);
     assert_eq!(id, 9);

@@ -6,7 +6,6 @@ use redn::kv::failure::{run_crash_timeline, run_os_panic_probe, CrashPath};
 use redn::kv::isolation::{run_contention, ReaderPath};
 use redn::prelude::*;
 use rnic_sim::config::{LinkConfig, SimConfig};
-use rnic_sim::ids::ProcessId;
 use rnic_sim::qp::QpConfig;
 use rnic_sim::time::Time;
 use rnic_sim::wqe::WorkRequest;
@@ -49,7 +48,12 @@ fn redn_timeline_never_dips() {
     )
     .unwrap();
     for p in &timeline {
-        assert!(p.normalized > 0.5, "dip at t={}: {}", p.t_secs, p.normalized);
+        assert!(
+            p.normalized > 0.5,
+            "dip at t={}: {}",
+            p.t_secs,
+            p.normalized
+        );
     }
 }
 
@@ -116,7 +120,8 @@ fn clients_need_no_rkeys_for_redn_triggers() {
     // SEND needs no keys at all (the server posted a RECV).
     let dst = sim.alloc(s, 8, 8).unwrap();
     let dmr = sim.register_mr(s, dst, 8, Access::all()).unwrap();
-    sim.post_recv(sqp, WorkRequest::recv(dst, dmr.lkey, 8)).unwrap();
+    sim.post_recv(sqp, WorkRequest::recv(dst, dmr.lkey, 8))
+        .unwrap();
     sim.post_send(cqp, WorkRequest::send(buf, bmr.lkey, 8).signaled())
         .unwrap();
     sim.run().unwrap();
@@ -131,28 +136,19 @@ fn offloads_are_auditable_via_completions() {
     // §3.5: "offloaded code can be configured by the servers to be
     // auditable through completion events". Every executed WQE with the
     // signaled flag shows up on the chain's CQ — count them.
-    use redn::core::builder::ChainBuilder;
-    use redn::core::constructs::cond::IfEq;
-    use redn::core::program::ChainQueue;
+    use redn::core::ctx::OffloadCtx;
     let mut sim = Simulator::new(SimConfig::default());
     let n = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
-    let ctrl = ChainQueue::create(&mut sim, n, false, 64, None, ProcessId(0)).unwrap();
-    let act = ChainQueue::create(&mut sim, n, true, 64, None, ProcessId(0)).unwrap();
+    let mut ctx = OffloadCtx::new(&mut sim, n).unwrap();
     let buf = sim.alloc(n, 8, 8).unwrap();
     let mr = sim.register_mr(n, buf, 8, Access::all()).unwrap();
-    let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
-    let mut act_b = ChainBuilder::new(&sim, act);
-    let branch = IfEq::build(
-        &mut ctrl_b,
-        &mut act_b,
-        9,
-        WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey),
-        None,
-    );
-    act_b.post(&mut sim).unwrap();
+    let mut prog = ctx.chain_program(&mut sim).unwrap();
+    let branch = prog.if_eq(9, WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey));
+    let ctrl_cq = prog.ctrl().cq();
+    let armed = prog.deploy(&mut sim).unwrap();
     branch.inject_x(&mut sim, 9).unwrap();
-    ctrl_b.post(&mut sim).unwrap();
+    armed.launch(&mut sim).unwrap();
     sim.run().unwrap();
     // The CAS signaled on the control CQ: the audit trail exists.
-    assert!(sim.cq_total(ctrl.cq) >= 1);
+    assert!(sim.cq_total(ctrl_cq) >= 1);
 }
