@@ -1,0 +1,76 @@
+//! `throughput` — serving-layer throughput sweep, emitting the
+//! `BENCH_throughput.json` artifact.
+//!
+//! ```text
+//! cargo run -p redn_bench --release --bin throughput              # full sweep
+//! cargo run -p redn_bench --release --bin throughput -- --small   # CI-sized
+//! cargo run -p redn_bench --release --bin throughput -- --out x.json
+//! ```
+
+use redn_bench::report::{kops, print_table, us, Row};
+use redn_bench::servebench::{throughput_sweep, SweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--small") {
+        SweepConfig::small()
+    } else {
+        SweepConfig::full()
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    println!(
+        "# Serving-layer throughput sweep ({} clients, depth {}, {} ops/client)",
+        cfg.clients, cfg.pipeline_depth, cfg.ops_per_client
+    );
+    let report = throughput_sweep(&cfg).expect("throughput sweep");
+
+    let mut rows = vec![Row::new(
+        "sync baseline (1 client)",
+        kops(report.sync_baseline_ops_per_sec / 1e3),
+        "—",
+        "back-to-back redn_get",
+    )];
+    for p in &report.closed {
+        let note = p
+            .stats
+            .latency
+            .map(|l| format!("p99 {}", us(l.p99_us)))
+            .unwrap_or_default();
+        rows.push(Row::new(
+            format!("closed loop K={}", p.k),
+            kops(p.stats.ops_per_sec / 1e3),
+            "—",
+            note,
+        ));
+    }
+    for p in &report.open {
+        let note = p
+            .stats
+            .latency
+            .map(|l| format!("p99 {}", us(l.p99_us)))
+            .unwrap_or_default();
+        rows.push(Row::new(
+            format!("open loop @ {}", kops(p.offered / 1e3)),
+            kops(p.stats.ops_per_sec / 1e3),
+            "—",
+            note,
+        ));
+    }
+    print_table(
+        "Serving-layer throughput",
+        ["run", "achieved", "paper", "note"],
+        &rows,
+    );
+    println!(
+        "\npipelining speedup vs sync baseline: {:.2}x",
+        report.speedup_vs_sync()
+    );
+
+    std::fs::write(&out_path, report.to_json()).expect("write artifact");
+    println!("wrote {out_path}");
+}

@@ -16,6 +16,7 @@
 //! | [`contention`] | Fig 15 |
 //! | [`crash`] | Fig 16, Table 6 |
 //! | [`turingbench`] | Appendix A (mov + TM on the NIC) |
+//! | [`servebench`] | serving-layer throughput sweep (`BENCH_throughput.json`) |
 
 #![warn(missing_docs)]
 
@@ -26,6 +27,7 @@ pub mod listbench;
 pub mod mcbench;
 pub mod micro;
 pub mod report;
+pub mod servebench;
 pub mod turingbench;
 
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};

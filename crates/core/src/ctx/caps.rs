@@ -52,16 +52,6 @@ impl TableRegion {
     pub fn rkey(&self) -> u32 {
         self.rkey
     }
-
-    /// Compatibility escape hatch for the deprecated raw-key config
-    /// structs; geometry unknown.
-    pub(crate) fn from_raw_rkey(rkey: u32) -> TableRegion {
-        TableRegion {
-            base: 0,
-            len: u64::MAX,
-            rkey,
-        }
-    }
 }
 
 /// Local-gather authority over the server-side value heap, plus the value
@@ -86,12 +76,6 @@ impl ValueSource {
     /// The local key response WQEs gather with.
     pub fn lkey(&self) -> u32 {
         self.lkey
-    }
-
-    /// Compatibility escape hatch for the deprecated raw-key config
-    /// structs.
-    pub(crate) fn from_raw_lkey(lkey: u32, value_len: u32) -> ValueSource {
-        ValueSource { lkey, value_len }
     }
 }
 

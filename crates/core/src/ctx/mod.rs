@@ -35,9 +35,10 @@
 //! keys (see [`caps`]): `ctx.hash_get().table(t).values(v).respond_to(d)
 //! .variant(Parallel).build(&mut sim)`.
 //!
-//! The raw constructors this module replaces
-//! (`ChainQueue::create*`, `TriggerPoint::create*`, `HashGetConfig`,
-//! `ListWalkConfig`) remain as deprecated shims for one release.
+//! This module is the *only* construction path: the raw constructors it
+//! replaced (`ChainQueue::create*`, `TriggerPoint::create*`,
+//! `HashGetConfig`, `ListWalkConfig`) lived on as deprecated shims for
+//! one release and have since been removed.
 
 mod caps;
 mod offloads;

@@ -1,8 +1,9 @@
 //! Fluent, capability-typed deployment builders for the §5 offloads.
 //!
-//! These replace the raw config structs (`HashGetConfig`,
-//! `ListWalkConfig`) whose loose `u32` key fields were the sharpest edge
-//! of the old API. A builder collects typed capabilities
+//! These replaced the raw config structs (`HashGetConfig`,
+//! `ListWalkConfig`, both since removed) whose loose `u32` key fields
+//! were the sharpest edge of the old API. A builder collects typed
+//! capabilities
 //! ([`TableRegion`], [`ValueSource`], [`ClientDest`]) and refuses to
 //! deploy until every authority the offload needs has been granted.
 
@@ -15,7 +16,7 @@ use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use crate::offloads::list::ListWalkOffload;
 
 /// Resolved deployment parameters of a hash-get offload (internal; built
-/// only by [`HashGetBuilder`] and the deprecated config shim).
+/// only by [`HashGetBuilder`]).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct HashGetSpec {
     pub(crate) table: TableRegion,
@@ -23,6 +24,8 @@ pub(crate) struct HashGetSpec {
     pub(crate) dest: ClientDest,
     pub(crate) variant: HashGetVariant,
     pub(crate) port: usize,
+    pub(crate) pipeline_depth: u32,
+    pub(crate) pu_base: usize,
 }
 
 /// Fluent builder for the hash-table `get` offload (Fig 9). Obtain from
@@ -36,6 +39,8 @@ pub struct HashGetBuilder {
     values: Option<ValueSource>,
     dest: Option<ClientDest>,
     variant: HashGetVariant,
+    pipeline_depth: u32,
+    pu_base: usize,
 }
 
 impl HashGetBuilder {
@@ -48,6 +53,8 @@ impl HashGetBuilder {
             values: None,
             dest: None,
             variant: HashGetVariant::Single,
+            pipeline_depth: 1,
+            pu_base: 0,
         }
     }
 
@@ -82,9 +89,30 @@ impl HashGetBuilder {
         self
     }
 
+    /// Instances the client may keep in flight concurrently (default 1,
+    /// the synchronous path). Each in-flight instance gets its own slot
+    /// of the client's response buffer, which must therefore hold at
+    /// least `n * value_len.max(8)` bytes; the instance id rides the
+    /// response's immediate so completions can be matched to requests.
+    pub fn pipeline_depth(mut self, n: u32) -> HashGetBuilder {
+        self.pipeline_depth = n;
+        self
+    }
+
+    /// First processing unit this offload's queues occupy; a fleet
+    /// deploying one offload per client spreads them over the NIC's PUs
+    /// with distinct bases (wraps modulo the NIC's PU count).
+    pub fn on_pu(mut self, pu_base: usize) -> HashGetBuilder {
+        self.pu_base = pu_base;
+        self
+    }
+
     /// Deploy the offload's queues. The caller connects a client QP to
     /// `offload.tp.qp` and [`arm`](HashGetOffload::arm)s instances.
     pub fn build(self, sim: &mut Simulator) -> Result<HashGetOffload> {
+        if self.pipeline_depth == 0 {
+            return Err(Error::InvalidWr("hash-get pipeline_depth must be >= 1"));
+        }
         let spec = HashGetSpec {
             table: self
                 .table
@@ -97,6 +125,8 @@ impl HashGetBuilder {
             ))?,
             variant: self.variant,
             port: self.port,
+            pipeline_depth: self.pipeline_depth,
+            pu_base: self.pu_base,
         };
         HashGetOffload::deploy(sim, self.node, self.owner, spec)
     }

@@ -2,9 +2,8 @@
 //! trigger points, and constant pools.
 //!
 //! These builders are the **only** place in the crate that performs the
-//! underlying QP/CQ/MR plumbing; the old free-standing constructors
-//! (`ChainQueue::create*`, `TriggerPoint::create*`) are deprecated shims
-//! over them.
+//! underlying QP/CQ/MR plumbing (the old free-standing constructors were
+//! shims over them and have been removed).
 
 use rnic_sim::error::Result;
 use rnic_sim::ids::{NodeId, ProcessId};

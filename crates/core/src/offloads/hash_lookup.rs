@@ -21,16 +21,14 @@
 //! run **sequentially** on one chain queue or in **parallel** on two
 //! queues pinned to different processing units.
 
-use rnic_sim::error::Result;
+use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::{Sge, WorkRequest};
 
 use crate::builder::ChainBuilder;
-use crate::ctx::{
-    ChainQueueBuilder, ClientDest, HashGetSpec, TableRegion, TriggerPointBuilder, ValueSource,
-};
+use crate::ctx::{ChainQueueBuilder, HashGetSpec, TriggerPointBuilder};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
@@ -72,32 +70,13 @@ impl HashGetVariant {
     }
 }
 
-/// Configuration of the get offload.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `OffloadCtx::hash_get()` with typed capabilities (`TableRegion`, `ValueSource`, `ClientDest`) instead"
-)]
-#[derive(Clone, Copy, Debug)]
-pub struct HashGetConfig {
-    /// rkey of the hash-table region (bucket READs).
-    pub table_rkey: u32,
-    /// lkey of the values region (response gather).
-    pub value_lkey: u32,
-    /// Value size returned to the client.
-    pub value_len: u32,
-    /// Client-side response buffer.
-    pub client_resp_addr: u64,
-    /// Client rkey for the response buffer.
-    pub client_rkey: u32,
-    /// Probe variant.
-    pub variant: HashGetVariant,
-    /// NIC port the offload's queues bind to (Table 4 sweeps dual-port).
-    pub port: usize,
-}
-
 /// The server-side get offload. One [`HashGetOffload::arm`] call stages
 /// the chain for one future request; requests consume armed instances in
-/// order.
+/// order. Arming `pipeline_depth` instances up front keeps that many
+/// requests in flight concurrently: each instance lands its response in
+/// its own client-side slot (`dest.addr + (instance % depth) * stride`)
+/// and carries its instance id in the WRITE_IMM immediate, so a client
+/// can post several gets back-to-back and match completions to requests.
 pub struct HashGetOffload {
     /// Client-facing trigger endpoint (responses ride its managed SQ).
     pub tp: TriggerPoint,
@@ -109,6 +88,9 @@ pub struct HashGetOffload {
     ctrls: Vec<ChainQueue>,
     merge: ChainQueue,
     armed: u64,
+    /// Instances handed out to in-flight requests (see
+    /// [`HashGetOffload::take_instance`]).
+    posted: u64,
     /// recv CQ completion count at creation: instance k's trigger WAIT
     /// uses `trigger_base + k + 1` (absolute, monotonic).
     trigger_base: u64,
@@ -116,33 +98,6 @@ pub struct HashGetOffload {
 }
 
 impl HashGetOffload {
-    /// Create the offload's queues on `node`. The caller connects a
-    /// client QP to `self.tp.qp`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::hash_get().table(..).values(..).respond_to(..).build(sim)` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn create(
-        sim: &mut Simulator,
-        node: NodeId,
-        owner: ProcessId,
-        cfg: HashGetConfig,
-    ) -> Result<HashGetOffload> {
-        HashGetOffload::deploy(
-            sim,
-            node,
-            owner,
-            HashGetSpec {
-                table: TableRegion::from_raw_rkey(cfg.table_rkey),
-                values: ValueSource::from_raw_lkey(cfg.value_lkey, cfg.value_len),
-                dest: ClientDest::new(cfg.client_resp_addr, cfg.client_rkey),
-                variant: cfg.variant,
-                port: cfg.port,
-            },
-        )
-    }
-
     /// Deploy the offload's queues (called by
     /// [`HashGetBuilder`](crate::ctx::HashGetBuilder)).
     pub(crate) fn deploy(
@@ -151,8 +106,13 @@ impl HashGetOffload {
         owner: ProcessId,
         spec: HashGetSpec,
     ) -> Result<HashGetOffload> {
+        // PU sharding: a fleet deploys one offload per client and spreads
+        // them over the NIC's processing units via `pu_base` (§3.5
+        // "Parallelism"; §5.5 gives each client its own trigger point).
+        let npus = sim.nic_config(node).pus_per_port;
+        let pu = |off: usize| (spec.pu_base + off) % npus;
         let tp = TriggerPointBuilder::new(node, owner)
-            .on_pu(0)
+            .on_pu(pu(0))
             .on_port(spec.port)
             .build(sim)?;
         let nchains = match spec.variant {
@@ -171,15 +131,15 @@ impl HashGetOffload {
                 .depth(2048)
                 .on_port(spec.port);
             if spec.variant == HashGetVariant::Parallel {
-                chain_b = chain_b.on_pu(i + 1);
-                ctrl_b = ctrl_b.on_pu(i + 1);
+                chain_b = chain_b.on_pu(pu(i + 1));
+                ctrl_b = ctrl_b.on_pu(pu(i + 1));
             }
             chains.push(chain_b.build(sim)?);
             ctrls.push(ctrl_b.build(sim)?);
         }
         let merge = ChainQueueBuilder::new(node, owner)
             .depth(2048)
-            .on_pu(0)
+            .on_pu(pu(0))
             .on_port(spec.port)
             .build(sim)?;
         let trigger_base = sim.cq_total(tp.recv_cq);
@@ -190,15 +150,23 @@ impl HashGetOffload {
             ctrls,
             merge,
             armed: 0,
+            posted: 0,
             trigger_base,
             node,
         })
     }
 
     /// Stage the chain for one future get request. Instances trigger in
-    /// arming order, one per client SEND.
+    /// arming order, one per client SEND. With `pipeline_depth > 1` the
+    /// instance's response lands in its own client slot and carries the
+    /// instance id as immediate data, so several instances can be armed
+    /// (and in flight) at once; the host re-arms consumed instances as
+    /// completions drain.
     pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
         let trigger_count = self.trigger_base + self.armed + 1;
+        let instance = self.armed;
+        let slot = instance % self.spec.pipeline_depth as u64;
+        let resp_addr = self.spec.dest.addr + slot * self.response_stride();
         let nbuckets = self.spec.variant.buckets();
         let seq_two = self.spec.variant == HashGetVariant::Sequential;
         let probes = if seq_two {
@@ -247,13 +215,15 @@ impl HashGetOffload {
 
             // Response placeholder: NOOP carrying the WRITE_IMM response.
             // Its source address and id are patched by the bucket READ.
+            // The immediate carries the instance id so pipelined clients
+            // can match completions to requests.
             let mut resp = WorkRequest::write_imm(
                 0, // patched: value pointer from the bucket
                 self.spec.values.lkey(),
                 self.spec.values.value_len,
-                self.spec.dest.addr,
+                resp_addr,
                 self.spec.dest.rkey(),
-                p as u32,
+                instance as u32,
             )
             .signaled();
             resp.wqe.opcode = Opcode::Noop;
@@ -360,22 +330,45 @@ impl HashGetOffload {
         self.spec.variant
     }
 
-    /// The offload configuration, reconstructed for old callers.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `variant()` and the typed capabilities instead"
-    )]
-    #[allow(deprecated)]
-    pub fn config(&self) -> HashGetConfig {
-        HashGetConfig {
-            table_rkey: self.spec.table.rkey(),
-            value_lkey: self.spec.values.lkey(),
-            value_len: self.spec.values.value_len,
-            client_resp_addr: self.spec.dest.addr,
-            client_rkey: self.spec.dest.rkey(),
-            variant: self.spec.variant,
-            port: self.spec.port,
+    /// Instances a pipelined client may keep in flight concurrently (the
+    /// `.pipeline_depth(n)` deployment knob; 1 = the synchronous path).
+    pub fn pipeline_depth(&self) -> u32 {
+        self.spec.pipeline_depth
+    }
+
+    /// Byte distance between consecutive client response slots. Matches
+    /// the slot layout of a client response buffer holding
+    /// `pipeline_depth` values (8-byte minimum, as response buffers are).
+    pub fn response_stride(&self) -> u64 {
+        self.spec.values.value_len.max(8) as u64
+    }
+
+    /// Client response-slot address for `instance` (slot `instance %
+    /// pipeline_depth` of the advertised destination buffer).
+    pub fn response_slot(&self, instance: u64) -> u64 {
+        self.spec.dest.addr + (instance % self.spec.pipeline_depth as u64) * self.response_stride()
+    }
+
+    /// Claim the next armed instance for a request about to be posted.
+    /// Trigger RECVs are consumed in arming order, so the k-th client
+    /// SEND consumes instance k; this is the host-side half of that
+    /// accounting. Errors when every armed instance already has a request
+    /// in flight (the caller should re-arm first).
+    pub fn take_instance(&mut self) -> Result<u64> {
+        if self.posted >= self.armed {
+            return Err(Error::InvalidWr(
+                "no armed hash-get instance available (re-arm before posting)",
+            ));
         }
+        let instance = self.posted;
+        self.posted += 1;
+        Ok(instance)
+    }
+
+    /// Armed instances not yet claimed by [`take_instance`]
+    /// (`HashGetOffload::take_instance`).
+    pub fn instances_available(&self) -> u64 {
+        self.armed - self.posted
     }
 }
 
@@ -562,6 +555,78 @@ mod tests {
         let got2 = do_get(&mut r, &mut off, &mut pool, 222, &[b1]);
         assert_eq!(got2, Some(0xB0));
         assert_eq!(off.armed(), 2);
+    }
+
+    #[test]
+    fn pipelined_instances_land_in_distinct_slots() {
+        let mut r = rig();
+        for i in 0..4u64 {
+            fill_bucket(&mut r, i, 100 + i, 0xA0 + i);
+        }
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let mut off = ctx
+            .hash_get()
+            .table(crate::ctx::TableRegion::of(&r.tmr))
+            .values(crate::ctx::ValueSource::of(&r.vmr, 8))
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .variant(HashGetVariant::Single)
+            .pipeline_depth(4)
+            .build(&mut r.sim)
+            .unwrap();
+        assert_eq!(off.pipeline_depth(), 4);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        for _ in 0..4 {
+            off.arm(&mut r.sim, &mut pool).unwrap();
+        }
+        assert_eq!(off.instances_available(), 4);
+        // Four gets posted back-to-back *before* the simulator runs: the
+        // pipelined case the synchronous do_get helper can never produce.
+        for i in 0..4u64 {
+            assert_eq!(off.take_instance().unwrap(), i);
+            r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+            let payload = off.client_payload(100 + i, &[r.table + i * BUCKET_SIZE]);
+            let src = r.csrc + i * 16;
+            r.sim.mem_write(r.client, src, &payload).unwrap();
+            r.sim
+                .post_send(
+                    r.cqp,
+                    WorkRequest::send(src, r.csrc_lkey, payload.len() as u32),
+                )
+                .unwrap();
+        }
+        assert_eq!(off.instances_available(), 0);
+        assert!(off.take_instance().is_err());
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        assert_eq!(cqes.len(), 4, "all four pipelined responses complete");
+        let imms: Vec<u32> = cqes.iter().map(|c| c.imm.expect("instance id")).collect();
+        for i in 0..4u64 {
+            assert!(imms.contains(&(i as u32)), "instance {i} reported");
+            assert_eq!(
+                r.sim.mem_read_u64(r.client, off.response_slot(i)).unwrap(),
+                0xA0 + i,
+                "instance {i} value in its own slot"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_pipeline_depth() {
+        let mut r = rig();
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let err = ctx
+            .hash_get()
+            .table(crate::ctx::TableRegion::of(&r.tmr))
+            .values(crate::ctx::ValueSource::of(&r.vmr, 8))
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .pipeline_depth(0)
+            .build(&mut r.sim);
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => panic!("pipeline_depth 0 must be rejected"),
+        };
+        assert!(format!("{err}").contains("pipeline_depth"));
     }
 
     #[test]

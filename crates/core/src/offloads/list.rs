@@ -24,7 +24,7 @@ use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED};
 
 use crate::builder::ChainBuilder;
-use crate::ctx::{ChainQueueBuilder, ClientDest, ListWalkSpec, TableRegion, TriggerPointBuilder};
+use crate::ctx::{ChainQueueBuilder, ListWalkSpec, TriggerPointBuilder};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
@@ -49,27 +49,6 @@ pub fn encode_node(next: u64, key: u64, value: &[u8]) -> Vec<u8> {
     b
 }
 
-/// Configuration for the list-walk offload.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `OffloadCtx::list_walk()` with typed capabilities (`TableRegion`, `ClientDest`) instead"
-)]
-#[derive(Clone, Copy, Debug)]
-pub struct ListWalkConfig {
-    /// rkey of the region holding the list nodes.
-    pub list_rkey: u32,
-    /// Value bytes per node (returned to the client on a match).
-    pub value_len: u32,
-    /// Client response buffer.
-    pub client_resp_addr: u64,
-    /// Client rkey.
-    pub client_rkey: u32,
-    /// Maximum nodes walked (the unroll factor; the paper uses 8).
-    pub max_nodes: usize,
-    /// Compile the Fig 13 `+break` variant.
-    pub break_on_match: bool,
-}
-
 /// The server-side list-walk offload.
 pub struct ListWalkOffload {
     /// Client-facing trigger endpoint.
@@ -88,32 +67,6 @@ pub struct ListWalkOffload {
 }
 
 impl ListWalkOffload {
-    /// Create the offload's queues.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::list_walk().list(..).respond_to(..).build(sim)` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn create(
-        sim: &mut Simulator,
-        node: NodeId,
-        owner: ProcessId,
-        cfg: ListWalkConfig,
-    ) -> Result<ListWalkOffload> {
-        ListWalkOffload::deploy(
-            sim,
-            node,
-            owner,
-            ListWalkSpec {
-                list: TableRegion::from_raw_rkey(cfg.list_rkey),
-                value_len: cfg.value_len,
-                dest: ClientDest::new(cfg.client_resp_addr, cfg.client_rkey),
-                max_nodes: cfg.max_nodes,
-                break_on_match: cfg.break_on_match,
-            },
-        )
-    }
-
     /// Deploy the offload's queues (called by
     /// [`ListWalkBuilder`](crate::ctx::ListWalkBuilder)).
     pub(crate) fn deploy(

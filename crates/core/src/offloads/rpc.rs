@@ -11,12 +11,11 @@
 //! the server's memory, unlike one-sided designs such as FaRM.
 
 use rnic_sim::error::Result;
-use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId};
+use rnic_sim::ids::{CqId, NodeId, QpId};
 use rnic_sim::mem::MemoryRegion;
 use rnic_sim::sim::Simulator;
 use rnic_sim::wqe::{Sge, WorkRequest, SGE_SIZE};
 
-use crate::ctx::TriggerPointBuilder;
 use crate::program::ConstPool;
 
 /// A server-side trigger endpoint: the client-facing QP whose receive CQ
@@ -37,45 +36,6 @@ pub struct TriggerPoint {
 }
 
 impl TriggerPoint {
-    /// Create the endpoint. The send queue is managed: response WQEs are
-    /// NOOPs transmuted by the offload program, so they must not be
-    /// prefetched.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::trigger_point()` (or `ctx::TriggerPointBuilder`) instead"
-    )]
-    pub fn create(
-        sim: &mut Simulator,
-        node: NodeId,
-        owner: ProcessId,
-        pu: Option<usize>,
-    ) -> Result<TriggerPoint> {
-        let mut b = TriggerPointBuilder::new(node, owner);
-        if let Some(pu) = pu {
-            b = b.on_pu(pu);
-        }
-        b.build(sim)
-    }
-
-    /// As [`TriggerPoint::create`], bound to a specific NIC port.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::trigger_point().on_port(..)` (or `ctx::TriggerPointBuilder`) instead"
-    )]
-    pub fn create_on_port(
-        sim: &mut Simulator,
-        node: NodeId,
-        owner: ProcessId,
-        pu: Option<usize>,
-        port: usize,
-    ) -> Result<TriggerPoint> {
-        let mut b = TriggerPointBuilder::new(node, owner).on_port(port);
-        if let Some(pu) = pu {
-            b = b.on_pu(pu);
-        }
-        b.build(sim)
-    }
-
     /// Post a trigger RECV whose scatter list injects the incoming
     /// payload into the given `(addr, lkey, len)` targets, in order.
     /// Builds the SGE table in the constant pool. Returns the RECV index.
@@ -115,7 +75,9 @@ pub fn trigger_send(addr: u64, lkey: u32, len: u32) -> WorkRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::TriggerPointBuilder;
     use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+    use rnic_sim::ids::ProcessId;
     use rnic_sim::mem::Access;
     use rnic_sim::qp::QpConfig;
 

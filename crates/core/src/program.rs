@@ -19,7 +19,6 @@ use rnic_sim::mem::{Access, MemoryRegion};
 use rnic_sim::sim::Simulator;
 use rnic_sim::wqe::WQE_SIZE;
 
-use crate::ctx::ChainQueueBuilder;
 use crate::encode::WqeField;
 
 /// A loopback chain queue: the home of an offloaded WR chain.
@@ -44,61 +43,6 @@ pub struct ChainQueue {
 }
 
 impl ChainQueue {
-    /// Create a chain queue on `node`: a QP pair connected in loopback,
-    /// with the send-queue ring registered for RDMA access.
-    ///
-    /// `pu` optionally pins the queue to a processing unit — RedN places
-    /// independent chains on different PUs to parallelize (§3.5, Fig 11).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::chain_queue()` (or `ctx::ChainQueueBuilder`) instead"
-    )]
-    pub fn create(
-        sim: &mut Simulator,
-        node: NodeId,
-        managed: bool,
-        depth: u32,
-        pu: Option<usize>,
-        owner: ProcessId,
-    ) -> Result<ChainQueue> {
-        let mut b = ChainQueueBuilder::new(node, owner).depth(depth);
-        if managed {
-            b = b.managed();
-        }
-        if let Some(pu) = pu {
-            b = b.on_pu(pu);
-        }
-        b.build(sim)
-    }
-
-    /// As [`ChainQueue::create`], on a specific NIC port (Table 4's
-    /// dual-port configuration places chains on both ports).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `OffloadCtx::chain_queue().on_port(..)` (or `ctx::ChainQueueBuilder`) instead"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn create_on_port(
-        sim: &mut Simulator,
-        node: NodeId,
-        managed: bool,
-        depth: u32,
-        pu: Option<usize>,
-        owner: ProcessId,
-        port: usize,
-    ) -> Result<ChainQueue> {
-        let mut b = ChainQueueBuilder::new(node, owner)
-            .depth(depth)
-            .on_port(port);
-        if managed {
-            b = b.managed();
-        }
-        if let Some(pu) = pu {
-            b = b.on_pu(pu);
-        }
-        b.build(sim)
-    }
-
     /// Address of the slot WQE index `idx` occupies.
     pub fn slot_addr(&self, idx: u64) -> u64 {
         self.ring.addr + (idx % self.depth as u64) * WQE_SIZE
@@ -180,6 +124,7 @@ impl ConstPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::ChainQueueBuilder;
     use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
     use rnic_sim::wqe::WorkRequest;
 
@@ -237,12 +182,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_create_shims_still_work() {
-        // One-release compatibility: the old constructors delegate to the
-        // ctx builders.
-        #![allow(deprecated)]
+    fn ctx_builder_is_the_construction_path() {
+        // Successor of the removed `ChainQueue::create*` shim test: the
+        // same configuration, expressed through the ctx builder.
         let (mut sim, n) = sim_one();
-        let q = ChainQueue::create(&mut sim, n, true, 16, Some(1), ProcessId(0)).unwrap();
+        let q = ChainQueueBuilder::new(n, ProcessId(0))
+            .managed()
+            .depth(16)
+            .on_pu(1)
+            .build(&mut sim)
+            .unwrap();
         assert!(q.managed);
         assert_eq!(q.depth, 16);
     }

@@ -12,7 +12,7 @@
 //!   ("to adhere to the sockets API, VMA has to memcpy data from send and
 //!   receive buffers").
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use rnic_sim::cq::Cqe;
@@ -41,6 +41,14 @@ pub fn run_until_cqe(sim: &mut Simulator, cq: CqId) -> Result<Option<Cqe>> {
 }
 
 /// A client endpoint: QP pair plus registered request/response buffers.
+///
+/// An endpoint created with [`ClientEndpoint::create_pipelined`] carves
+/// its request and response buffers into `slots` independent slots so
+/// that many requests can be in flight at once (one slot per in-flight
+/// instance — the client-side mirror of the offload's `pipeline_depth`).
+/// The response-slot stride matches
+/// [`HashGetOffload::response_stride`](redn_core::offloads::hash_lookup::HashGetOffload::response_stride):
+/// `max_value.max(8)` bytes.
 pub struct ClientEndpoint {
     /// Client node.
     pub node: NodeId,
@@ -50,16 +58,29 @@ pub struct ClientEndpoint {
     pub cq: CqId,
     /// Receive CQ (response completions).
     pub recv_cq: CqId,
-    /// Request staging buffer.
+    /// Request staging buffer (base of the slot array).
     pub req_buf: u64,
     /// lkey for the request buffer.
     pub req_lkey: u32,
-    /// Response buffer.
+    /// Response buffer (base of the slot array; what [`dest`] advertises).
+    ///
+    /// [`dest`]: ClientEndpoint::dest
     pub resp_buf: u64,
     /// rkey for the response buffer (given to the server).
     pub resp_rkey: u32,
     /// lkey for the response buffer (for local reads).
     pub resp_lkey: u32,
+    /// Pipelined request/response slots (1 for synchronous endpoints).
+    pub slots: u32,
+    req_slot_len: u64,
+    resp_slot_len: u64,
+    /// RedN-path RECV/response bookkeeping (see `reserve_response_recv`):
+    /// RECVs posted, responses reaped, requests posted, requests
+    /// abandoned (timed-out misses whose RECV is recycled).
+    recvs_posted: Cell<u64>,
+    responses_reaped: Cell<u64>,
+    requests_posted: Cell<u64>,
+    requests_abandoned: Cell<u64>,
 }
 
 impl ClientEndpoint {
@@ -69,8 +90,22 @@ impl ClientEndpoint {
         redn_core::ctx::ClientDest::new(self.resp_buf, self.resp_rkey)
     }
 
-    /// Create an endpoint with buffers big enough for `max_value` bytes.
+    /// Create an endpoint with buffers big enough for `max_value` bytes
+    /// and a single request/response slot (the synchronous case).
     pub fn create(sim: &mut Simulator, node: NodeId, max_value: u32) -> Result<ClientEndpoint> {
+        ClientEndpoint::create_pipelined(sim, node, max_value, 1)
+    }
+
+    /// Create an endpoint with `slots` independent request/response slots
+    /// for pipelined use (pair with a hash-get offload deployed with the
+    /// same `pipeline_depth` and `value_len == max_value`).
+    pub fn create_pipelined(
+        sim: &mut Simulator,
+        node: NodeId,
+        max_value: u32,
+        slots: u32,
+    ) -> Result<ClientEndpoint> {
+        assert!(slots >= 1, "an endpoint needs at least one slot");
         let cq = sim.create_cq(node, 1024)?;
         let recv_cq = sim.create_cq(node, 1024)?;
         let qp = sim.create_qp(
@@ -80,11 +115,14 @@ impl ClientEndpoint {
                 .sq_depth(1024)
                 .rq_depth(1024),
         )?;
-        let req_len = 64u64 + max_value as u64;
+        let req_slot_len = 64u64 + max_value as u64;
+        let req_len = req_slot_len * slots as u64;
         let req_buf = sim.alloc(node, req_len, 8)?;
         let req_mr = sim.register_mr(node, req_buf, req_len, Access::all())?;
-        let resp_buf = sim.alloc(node, max_value.max(8) as u64, 8)?;
-        let resp_mr = sim.register_mr(node, resp_buf, max_value.max(8) as u64, Access::all())?;
+        let resp_slot_len = max_value.max(8) as u64;
+        let resp_len = resp_slot_len * slots as u64;
+        let resp_buf = sim.alloc(node, resp_len, 8)?;
+        let resp_mr = sim.register_mr(node, resp_buf, resp_len, Access::all())?;
         Ok(ClientEndpoint {
             node,
             qp,
@@ -95,7 +133,70 @@ impl ClientEndpoint {
             resp_buf,
             resp_rkey: resp_mr.rkey,
             resp_lkey: resp_mr.lkey,
+            slots,
+            req_slot_len,
+            resp_slot_len,
+            recvs_posted: Cell::new(0),
+            responses_reaped: Cell::new(0),
+            requests_posted: Cell::new(0),
+            requests_abandoned: Cell::new(0),
         })
+    }
+
+    /// Request staging address of `slot` (wraps modulo the slot count).
+    pub fn req_slot(&self, slot: u64) -> u64 {
+        self.req_buf + (slot % self.slots as u64) * self.req_slot_len
+    }
+
+    /// Response address of `slot` (wraps modulo the slot count).
+    pub fn resp_slot(&self, slot: u64) -> u64 {
+        self.resp_buf + (slot % self.slots as u64) * self.resp_slot_len
+    }
+
+    // -- RedN-path RECV accounting ------------------------------------
+    //
+    // Every RedN response (a WRITE_IMM) consumes one posted RECV, but a
+    // *missed* key produces no response at all, so one RECV per request
+    // would leak a RECV per miss and eventually exhaust the RQ into RNR.
+    // Instead the endpoint reserves a RECV per *live* request and
+    // recycles the RECVs stranded by abandoned (timed-out) requests.
+
+    /// Account one request about to be posted, topping up posted RECVs
+    /// so every live (posted, not reaped, not abandoned) request has
+    /// one. Reuses RECVs stranded by earlier abandoned requests instead
+    /// of posting unconditionally.
+    pub fn reserve_response_recv(&self, sim: &mut Simulator) -> Result<()> {
+        let live_after = self.requests_posted.get() + 1
+            - self.responses_reaped.get()
+            - self.requests_abandoned.get();
+        if self.outstanding_recvs() < live_after {
+            sim.post_recv(self.qp, WorkRequest::recv(0, 0, 0))?;
+            self.recvs_posted.set(self.recvs_posted.get() + 1);
+        }
+        self.requests_posted.set(self.requests_posted.get() + 1);
+        Ok(())
+    }
+
+    /// Account one reaped response completion (consumed one RECV).
+    pub fn note_response_reaped(&self) {
+        self.responses_reaped.set(self.responses_reaped.get() + 1);
+    }
+
+    /// Account one request given up on (a missed key never responds);
+    /// its RECV stays posted and is reused by the next request.
+    pub fn note_request_abandoned(&self) {
+        self.requests_abandoned
+            .set(self.requests_abandoned.get() + 1);
+    }
+
+    /// RECVs posted but not yet consumed by a response.
+    pub fn outstanding_recvs(&self) -> u64 {
+        self.recvs_posted.get() - self.responses_reaped.get()
+    }
+
+    /// Requests posted and neither reaped nor abandoned.
+    pub fn live_requests(&self) -> u64 {
+        self.requests_posted.get() - self.responses_reaped.get() - self.requests_abandoned.get()
     }
 }
 

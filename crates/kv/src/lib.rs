@@ -14,6 +14,9 @@
 //!   (polling / event-driven / VMA socket-stack flavors);
 //! * [`memcached`] — a Memcached-like server assembled from the pieces,
 //!   servable through any of the three frontends;
+//! * [`serving`] — the pipelined multi-client serving layer: a
+//!   [`ServingFleet`](serving::ServingFleet) of per-client offloads with
+//!   closed-loop and open-loop load generators (§5.4's traffic shape);
 //! * [`workload`] — Memtier-like request generators;
 //! * [`isolation`] — the §5.5 contention harness (writer storms vs one
 //!   reader);
@@ -29,6 +32,7 @@ pub mod failure;
 pub mod hopscotch;
 pub mod isolation;
 pub mod memcached;
+pub mod serving;
 pub mod store;
 pub mod workload;
 
@@ -38,6 +42,7 @@ pub mod prelude {
     pub use crate::cuckoo::CuckooTable;
     pub use crate::hopscotch::HopscotchTable;
     pub use crate::memcached::MemcachedServer;
+    pub use crate::serving::{FleetSpec, FleetStats, ServingFleet};
     pub use crate::store::{hash_key, ValueHeap};
     pub use crate::workload::Workload;
 }

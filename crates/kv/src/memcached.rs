@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use redn_core::ctx::{ClientDest, OffloadCtx, TableRegion, ValueSource};
+use redn_core::ctx::{ClientDest, HashGetBuilder, OffloadCtx, TableRegion, ValueSource};
 use redn_core::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use redn_core::offloads::rpc;
 use redn_core::program::ConstPool;
@@ -24,7 +24,6 @@ use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::time::Time;
-use rnic_sim::wqe::WorkRequest;
 
 use crate::baselines::{ClientEndpoint, TwoSidedMode, TwoSidedServer};
 use crate::cuckoo::CuckooTable;
@@ -70,16 +69,12 @@ impl MemcachedServer {
         Ok(())
     }
 
-    /// Stand up the RedN get offload, deploying through `ctx` (which must
-    /// live on this server's node). `dest` is the client-advertised
-    /// response capability — see [`ClientEndpoint::dest`].
-    pub fn redn_frontend(
-        &self,
-        sim: &mut Simulator,
-        ctx: &OffloadCtx,
-        dest: ClientDest,
-        variant: HashGetVariant,
-    ) -> Result<HashGetOffload> {
+    /// A hash-get deployment builder pre-granting this server's table and
+    /// value-heap capabilities through `ctx` (which must live on this
+    /// server's node). Callers add the per-client pieces — `respond_to`,
+    /// `variant`, `pipeline_depth`, `on_pu` — and `build`; the serving
+    /// layer uses this to deploy one offload per fleet client.
+    pub fn redn_builder(&self, ctx: &OffloadCtx) -> HashGetBuilder {
         assert_eq!(
             ctx.node(),
             self.node,
@@ -100,9 +95,20 @@ impl MemcachedServer {
                 ValueSource::of(&t.heap.mr(), t.heap.slot_len),
             )
         };
-        ctx.hash_get()
-            .table(table)
-            .values(values)
+        ctx.hash_get().table(table).values(values)
+    }
+
+    /// Stand up the RedN get offload, deploying through `ctx`. `dest` is
+    /// the client-advertised response capability — see
+    /// [`ClientEndpoint::dest`].
+    pub fn redn_frontend(
+        &self,
+        sim: &mut Simulator,
+        ctx: &OffloadCtx,
+        dest: ClientDest,
+        variant: HashGetVariant,
+    ) -> Result<HashGetOffload> {
+        self.redn_builder(ctx)
             .respond_to(dest)
             .variant(variant)
             .build(sim)
@@ -123,8 +129,95 @@ impl MemcachedServer {
     }
 }
 
+/// A posted, not-yet-reaped pipelined get (returned by [`redn_get_nb`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingGet {
+    /// Offload instance this request consumed; the response CQE carries
+    /// it as immediate data, and `instance % pipeline_depth` names the
+    /// client slot the value lands in.
+    pub instance: u64,
+    /// The requested key.
+    pub key: u64,
+    /// Client-side request/response slot index.
+    pub slot: u64,
+    /// When the request was handed to the NIC (for latency accounting;
+    /// open-loop generators may backdate this to the scheduled time).
+    pub posted_at: Time,
+}
+
+/// A reaped pipelined-get completion (returned by [`redn_reap`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ReapedGet {
+    /// The completed instance (from the response's immediate data).
+    pub instance: u64,
+    /// Simulated completion time.
+    pub at: Time,
+}
+
+/// Non-blocking RedN get: claims the next armed offload instance, stages
+/// the payload in that instance's request slot and fires the trigger
+/// SEND, returning without stepping the simulator. Completions are
+/// collected with [`redn_reap`]; the caller re-arms drained instances
+/// ([`HashGetOffload::arm`]) to keep the pipeline full. Errors when no
+/// armed instance is available, or when the endpoint has fewer slots
+/// than the offload's pipeline depth (instance responses would land
+/// outside the endpoint's registered slots).
+pub fn redn_get_nb(
+    sim: &mut Simulator,
+    off: &mut HashGetOffload,
+    ep: &ClientEndpoint,
+    server: &MemcachedServer,
+    key: u64,
+) -> Result<PendingGet> {
+    if ep.slots < off.pipeline_depth() {
+        return Err(Error::InvalidWr(
+            "client endpoint has fewer slots than the offload's pipeline depth",
+        ));
+    }
+    let instance = off.take_instance()?;
+    let slot = instance % off.pipeline_depth() as u64;
+    ep.reserve_response_recv(sim)?;
+    let cands = server.candidate_addrs(key);
+    let n = off.variant().buckets();
+    let payload = off.client_payload(key, &cands[..n]);
+    let req = ep.req_slot(slot);
+    sim.mem_write(ep.node, req, &payload)?;
+    sim.post_send(
+        ep.qp,
+        rpc::trigger_send(req, ep.req_lkey, payload.len() as u32),
+    )?;
+    Ok(PendingGet {
+        instance,
+        key,
+        slot,
+        posted_at: sim.now(),
+    })
+}
+
+/// Reap up to `max` completed pipelined gets from `ep`'s receive CQ,
+/// keeping the endpoint's RECV accounting in step. Does not step the
+/// simulator.
+pub fn redn_reap(sim: &mut Simulator, ep: &ClientEndpoint, max: usize) -> Vec<ReapedGet> {
+    sim.poll_cq(ep.recv_cq, max)
+        .into_iter()
+        .map(|cqe| {
+            ep.note_response_reaped();
+            ReapedGet {
+                instance: cqe.imm.unwrap_or(0) as u64,
+                at: cqe.time,
+            }
+        })
+        .collect()
+}
+
 /// Synchronous RedN get: arms one instance, triggers it, waits for the
 /// response WRITE_IMM. Returns `(latency, found)`.
+///
+/// A missed key produces no response at all (the CAS fails and the
+/// response WQE stays a NOOP), so the wait is bounded; the RECV posted
+/// for the missing response is *kept* and reused by the next get rather
+/// than leaked — repeated misses no longer accumulate stale RECVs until
+/// the RQ runs into RNR.
 pub fn redn_get(
     sim: &mut Simulator,
     off: &mut HashGetOffload,
@@ -134,24 +227,16 @@ pub fn redn_get(
     key: u64,
 ) -> Result<(Time, bool)> {
     off.arm(sim, pool)?;
-    sim.post_recv(ep.qp, WorkRequest::recv(0, 0, 0))?;
-    let cands = server.candidate_addrs(key);
-    let n = off.variant().buckets();
-    let payload = off.client_payload(key, &cands[..n]);
-    sim.mem_write(ep.node, ep.req_buf, &payload)?;
     let start = sim.now();
-    sim.post_send(
-        ep.qp,
-        rpc::trigger_send(ep.req_buf, ep.req_lkey, payload.len() as u32),
-    )?;
-    // A missing key produces no response at all (the CAS fails and the
-    // response WQE stays a NOOP): bound the wait.
+    let _pending = redn_get_nb(sim, off, ep, server, key)?;
     let deadline = sim.now() + Time::from_us(200);
     loop {
-        if let Some(_cqe) = sim.poll_cq(ep.recv_cq, 1).pop() {
+        // A single get is outstanding, so any completion is ours.
+        if !redn_reap(sim, ep, 1).is_empty() {
             return Ok((sim.now() - start, true));
         }
         if sim.now() > deadline || !sim.step()? {
+            ep.note_request_abandoned();
             return Ok((sim.now() - start, false));
         }
     }
@@ -196,6 +281,43 @@ mod tests {
         // Miss: no response.
         let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 9999).unwrap();
         assert!(!found);
+    }
+
+    #[test]
+    fn missed_gets_reuse_the_outstanding_recv() {
+        // Regression: the miss path used to return without consuming the
+        // posted RECV, yet the next get posted another one — every miss
+        // leaked a RECV until the RQ filled into RNR. Misses now strand
+        // exactly one RECV, which the next get reuses.
+        let (mut sim, c, s) = setup();
+        let server = MemcachedServer::create(&mut sim, s, 1024, 64, ProcessId(0)).unwrap();
+        server.populate(&mut sim, 10).unwrap();
+        let ep = ClientEndpoint::create(&mut sim, c, 64).unwrap();
+        let mut ctx = OffloadCtx::new(&mut sim, s).unwrap();
+        let mut off = server
+            .redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)
+            .unwrap();
+        sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+
+        let before = sim.rq_posted(ep.qp);
+        for _ in 0..5 {
+            let (_, found) =
+                redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 9999).unwrap();
+            assert!(!found);
+        }
+        assert_eq!(
+            sim.rq_posted(ep.qp) - before,
+            1,
+            "misses 2..5 must reuse the RECV stranded by miss 1"
+        );
+        assert_eq!(ep.outstanding_recvs(), 1);
+        assert_eq!(ep.live_requests(), 0);
+
+        // A hit consumes the recycled RECV and still completes.
+        let (_, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, 5).unwrap();
+        assert!(found);
+        assert_eq!(sim.rq_posted(ep.qp) - before, 1);
+        assert_eq!(ep.outstanding_recvs(), 0);
     }
 
     #[test]

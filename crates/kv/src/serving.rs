@@ -1,0 +1,469 @@
+//! Pipelined, multi-client serving layer (§5.4–§5.5 traffic shape).
+//!
+//! The paper's headline Memcached numbers come from 1M-operation,
+//! multi-client runs over *pipelined* offload instances — not from the
+//! one-at-a-time synchronous path. This module supplies that serving
+//! shape on top of the substrate:
+//!
+//! * a [`ServingFleet`] deploys one hash-get offload (trigger point +
+//!   probe chains) per client through an [`OffloadCtx`], sharded across
+//!   the NIC's processing units, and keeps `pipeline_depth` instances
+//!   armed per trigger point;
+//! * requests are posted with the non-blocking
+//!   [`redn_get_nb`](crate::memcached::redn_get_nb) API and reaped with
+//!   [`redn_reap`](crate::memcached::redn_reap); consumed instances are
+//!   re-armed from the host as completions drain, so the pipeline never
+//!   empties;
+//! * two load generators built on [`Workload`]: **closed-loop** (each
+//!   client keeps K requests outstanding, the Memtier-style generator of
+//!   §5.4) and **open-loop** (each client fires at a fixed offered rate;
+//!   latency is charged from the *scheduled* time, so queueing delay
+//!   under overload is not hidden by coordinated omission).
+//!
+//! Fleet workloads are expected to hit (the population step covers the
+//! key set): a missed key yields no response, which a pipelined client
+//! only notices as a drained-simulator timeout.
+
+use std::collections::VecDeque;
+
+use redn_core::ctx::OffloadCtx;
+use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_core::program::ConstPool;
+use rnic_sim::error::{Error, Result};
+use rnic_sim::ids::NodeId;
+use rnic_sim::sim::Simulator;
+use rnic_sim::time::Time;
+
+use crate::baselines::ClientEndpoint;
+use crate::memcached::{redn_get, redn_get_nb, redn_reap, MemcachedServer, PendingGet};
+use crate::workload::{latency_stats, LatencyStats, Workload};
+
+/// Fleet geometry and per-request parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSpec {
+    /// Client endpoints (one offload / trigger point each).
+    pub clients: usize,
+    /// Armed instances kept in flight per client.
+    pub pipeline_depth: u32,
+    /// Probe scheduling of every deployed offload.
+    pub variant: HashGetVariant,
+    /// Value bytes per get (must match the server's slot length).
+    pub value_len: u32,
+}
+
+impl Default for FleetSpec {
+    fn default() -> FleetSpec {
+        FleetSpec {
+            clients: 4,
+            pipeline_depth: 4,
+            variant: HashGetVariant::Parallel,
+            value_len: 64,
+        }
+    }
+}
+
+/// Aggregate result of one fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetStats {
+    /// Gets completed (reaped responses across all clients).
+    pub ops: u64,
+    /// Wall-clock (simulated) span of the run.
+    pub elapsed: Time,
+    /// Completed throughput.
+    pub ops_per_sec: f64,
+    /// Per-get latency statistics (`None` when no op completed).
+    pub latency: Option<LatencyStats>,
+    /// Requests abandoned because the simulator drained or the run
+    /// deadline passed before their response arrived.
+    pub timeouts: u64,
+    /// Offered load of an open-loop run (`None` for closed loop).
+    pub offered_ops_per_sec: Option<f64>,
+}
+
+/// One serving client: endpoint, its dedicated offload, its key stream
+/// and its in-flight window.
+struct FleetClient {
+    ep: ClientEndpoint,
+    off: redn_core::offloads::hash_lookup::HashGetOffload,
+    workload: Workload,
+    inflight: VecDeque<PendingGet>,
+    posted: u64,
+    reaped: u64,
+}
+
+/// A deployed fleet of pipelined serving clients (see the module docs).
+pub struct ServingFleet {
+    spec: FleetSpec,
+    clients: Vec<FleetClient>,
+    latencies: Vec<Time>,
+}
+
+/// Safety net for runs wedged by a lost completion: simulated time spent
+/// past this bound aborts the run and reports the remainder as timeouts.
+const RUN_DEADLINE: Time = Time::from_secs(5);
+
+impl ServingFleet {
+    /// Deploy one offload per client through `ctx` (which must live on
+    /// the server's node) and pre-arm `pipeline_depth` instances each.
+    /// `workloads` supplies one key stream per client (§5.5 gives each
+    /// client a disjoint sequential range; §5.4 shares a random set).
+    pub fn deploy(
+        sim: &mut Simulator,
+        ctx: &mut OffloadCtx,
+        server: &MemcachedServer,
+        client_node: NodeId,
+        spec: FleetSpec,
+        workloads: Vec<Workload>,
+    ) -> Result<ServingFleet> {
+        if spec.clients == 0 || spec.pipeline_depth == 0 {
+            return Err(Error::InvalidWr("fleet needs >= 1 client and depth >= 1"));
+        }
+        if workloads.len() != spec.clients {
+            return Err(Error::InvalidWr("one workload per fleet client"));
+        }
+        let ports = sim.nic_config(server.node).ports;
+        let npus = sim.nic_config(server.node).pus_per_port;
+        let mut clients = Vec::with_capacity(spec.clients);
+        for (i, workload) in workloads.into_iter().enumerate() {
+            let ep = ClientEndpoint::create_pipelined(
+                sim,
+                client_node,
+                spec.value_len,
+                spec.pipeline_depth,
+            )?;
+            // Shard clients round-robin over the NIC's ports first (each
+            // port has its own WQE-fetch engine and PU pool — the Table 4
+            // dual-port scaling), then stride PU bases within a port:
+            // each offload occupies up to 3 PUs (trigger/merge + two
+            // parallel probe chains), so clients sharing a port spread
+            // over its PUs instead of stacking on PU 0.
+            let mut off = server
+                .redn_builder(ctx)
+                .respond_to(ep.dest())
+                .variant(spec.variant)
+                .pipeline_depth(spec.pipeline_depth)
+                .on_port(i % ports)
+                .on_pu(((i / ports) * 3) % npus)
+                .build(sim)?;
+            sim.connect_qps(ep.qp, off.tp.qp)?;
+            for _ in 0..spec.pipeline_depth {
+                off.arm(sim, ctx.pool_mut())?;
+            }
+            clients.push(FleetClient {
+                ep,
+                off,
+                workload,
+                inflight: VecDeque::new(),
+                posted: 0,
+                reaped: 0,
+            });
+        }
+        Ok(ServingFleet {
+            spec,
+            clients,
+            latencies: Vec::new(),
+        })
+    }
+
+    /// The fleet's geometry.
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// Closed-loop run: every client keeps `k_outstanding` gets in
+    /// flight (capped at the pipeline depth) until it has completed
+    /// `ops_per_client` gets. Returns aggregate throughput and latency.
+    pub fn run_closed_loop(
+        &mut self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        server: &MemcachedServer,
+        ops_per_client: u64,
+        k_outstanding: u32,
+    ) -> Result<FleetStats> {
+        let k = k_outstanding.clamp(1, self.spec.pipeline_depth) as u64;
+        let start = sim.now();
+        let deadline = start + RUN_DEADLINE;
+        self.latencies.clear();
+        self.replenish(sim, pool)?;
+        for c in &mut self.clients {
+            c.posted = 0;
+            c.reaped = 0;
+            for _ in 0..k.min(ops_per_client) {
+                let key = c.workload.next_key();
+                c.inflight
+                    .push_back(redn_get_nb(sim, &mut c.off, &c.ep, server, key)?);
+                c.posted += 1;
+            }
+        }
+        loop {
+            let mut all_done = true;
+            for c in &mut self.clients {
+                for done in redn_reap(sim, &c.ep, 1024) {
+                    if let Some(pos) = c.inflight.iter().position(|p| p.instance == done.instance) {
+                        let pending = c.inflight.remove(pos).expect("position just found");
+                        self.latencies.push(done.at - pending.posted_at);
+                        c.reaped += 1;
+                    }
+                    if c.posted < ops_per_client {
+                        // Re-arm the drained instance, then refill the
+                        // window with the next key.
+                        c.off.arm(sim, pool)?;
+                        let key = c.workload.next_key();
+                        c.inflight
+                            .push_back(redn_get_nb(sim, &mut c.off, &c.ep, server, key)?);
+                        c.posted += 1;
+                    }
+                }
+                if c.reaped < ops_per_client {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            if sim.now() > deadline || !sim.step()? {
+                break;
+            }
+        }
+        Ok(self.finish(sim, start, None))
+    }
+
+    /// Open-loop run: every client *schedules* a get every
+    /// `1/offered_per_client` seconds (staggered across clients) and
+    /// posts it as soon as a pipeline slot is free. Under overload the
+    /// window stays full and requests queue; their latency is charged
+    /// from the scheduled time, so the achieved-vs-offered gap and the
+    /// latency blow-up are both visible.
+    pub fn run_open_loop(
+        &mut self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        server: &MemcachedServer,
+        ops_per_client: u64,
+        offered_per_client: f64,
+    ) -> Result<FleetStats> {
+        if !offered_per_client.is_finite() || offered_per_client <= 0.0 {
+            return Err(Error::InvalidWr("open-loop offered rate must be positive"));
+        }
+        let interval_ps = (1e12 / offered_per_client).round() as u64;
+        let nclients = self.clients.len() as u64;
+        let start = sim.now();
+        let deadline = start + RUN_DEADLINE;
+        self.latencies.clear();
+        self.replenish(sim, pool)?;
+        for c in &mut self.clients {
+            c.posted = 0;
+            c.reaped = 0;
+        }
+        // Client i's j-th get is scheduled at start + j*interval + i*stagger.
+        let sched = |i: u64, j: u64| {
+            start + Time::from_ps(j * interval_ps + i * (interval_ps / nclients.max(1)))
+        };
+        let depth = self.spec.pipeline_depth as u64;
+        loop {
+            let mut all_done = true;
+            let mut next_due: Option<Time> = None;
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                for done in redn_reap(sim, &c.ep, 1024) {
+                    if let Some(pos) = c.inflight.iter().position(|p| p.instance == done.instance) {
+                        let pending = c.inflight.remove(pos).expect("position just found");
+                        self.latencies.push(done.at - pending.posted_at);
+                        c.reaped += 1;
+                    }
+                    if c.posted < ops_per_client {
+                        c.off.arm(sim, pool)?;
+                    }
+                }
+                // Post every due request the window has room for.
+                while c.posted < ops_per_client
+                    && sched(i as u64, c.posted) <= sim.now()
+                    && (c.inflight.len() as u64) < depth
+                {
+                    let scheduled_at = sched(i as u64, c.posted);
+                    let key = c.workload.next_key();
+                    let mut pending = redn_get_nb(sim, &mut c.off, &c.ep, server, key)?;
+                    pending.posted_at = scheduled_at; // charge queueing delay
+                    c.inflight.push_back(pending);
+                    c.posted += 1;
+                }
+                if c.reaped < ops_per_client {
+                    all_done = false;
+                }
+                if c.posted < ops_per_client && (c.inflight.len() as u64) < depth {
+                    let due = sched(i as u64, c.posted);
+                    next_due = Some(next_due.map_or(due, |t: Time| t.min(due)));
+                }
+            }
+            if all_done {
+                break;
+            }
+            if sim.now() > deadline {
+                break;
+            }
+            match next_due {
+                // Nothing to do until the next scheduled post: jump there.
+                Some(t) if t > sim.now() => sim.run_until(t)?,
+                // A post is due now (window full) or only reaps remain.
+                _ => {
+                    if !sim.step()? {
+                        break;
+                    }
+                }
+            }
+        }
+        let offered = offered_per_client * self.clients.len() as f64;
+        Ok(self.finish(sim, start, Some(offered)))
+    }
+
+    /// Top every client's pipeline back up to `pipeline_depth` armed,
+    /// unclaimed instances. A run consumes its window's worth of armed
+    /// instances (the final K posts re-arm nothing), so back-to-back
+    /// runs on one fleet would otherwise drain the pipeline dry.
+    fn replenish(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
+        let depth = self.spec.pipeline_depth as u64;
+        for c in &mut self.clients {
+            while c.off.instances_available() < depth {
+                c.off.arm(sim, pool)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect stats and abandon whatever is still in flight.
+    fn finish(&mut self, sim: &Simulator, start: Time, offered: Option<f64>) -> FleetStats {
+        let mut timeouts = 0u64;
+        for c in &mut self.clients {
+            timeouts += c.inflight.len() as u64;
+            for _ in c.inflight.drain(..) {
+                c.ep.note_request_abandoned();
+            }
+        }
+        let ops: u64 = self.clients.iter().map(|c| c.reaped).sum();
+        let elapsed = sim.now() - start;
+        let secs = elapsed.as_us_f64() / 1e6;
+        FleetStats {
+            ops,
+            elapsed,
+            ops_per_sec: if secs > 0.0 { ops as f64 / secs } else { 0.0 },
+            latency: if self.latencies.is_empty() {
+                None
+            } else {
+                Some(latency_stats(&self.latencies))
+            },
+            timeouts,
+            offered_ops_per_sec: offered,
+        }
+    }
+}
+
+/// Back-to-back synchronous [`redn_get`]s on a single client — the
+/// pre-serving-layer request path, measured the same way fleet runs are
+/// so the two are directly comparable. Returns ops/sec.
+pub fn sync_baseline_ops_per_sec(
+    sim: &mut Simulator,
+    ctx: &mut OffloadCtx,
+    server: &MemcachedServer,
+    client_node: NodeId,
+    variant: HashGetVariant,
+    ops: u64,
+    workload: &mut Workload,
+) -> Result<f64> {
+    let value_len = server.table.borrow().heap.slot_len;
+    let ep = ClientEndpoint::create(sim, client_node, value_len)?;
+    let mut off = server
+        .redn_builder(ctx)
+        .respond_to(ep.dest())
+        .variant(variant)
+        .build(sim)?;
+    sim.connect_qps(ep.qp, off.tp.qp)?;
+    let start = sim.now();
+    for _ in 0..ops {
+        let key = workload.next_key();
+        let (_, found) = redn_get(sim, &mut off, ctx.pool_mut(), &ep, server, key)?;
+        if !found {
+            return Err(Error::InvalidWr("sync baseline key missed"));
+        }
+    }
+    let secs = (sim.now() - start).as_us_f64() / 1e6;
+    Ok(ops as f64 / secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+    use rnic_sim::ids::ProcessId;
+
+    fn rig(nkeys: u64) -> (Simulator, NodeId, MemcachedServer, OffloadCtx) {
+        let mut sim = Simulator::new(SimConfig::default());
+        let c = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+        let s = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
+        sim.connect_nodes(c, s, LinkConfig::back_to_back());
+        let server = MemcachedServer::create(&mut sim, s, 4096, 64, ProcessId(0)).unwrap();
+        server.populate(&mut sim, nkeys).unwrap();
+        let ctx = OffloadCtx::builder(s)
+            .pool_capacity(1 << 23)
+            .build(&mut sim)
+            .unwrap();
+        (sim, c, server, ctx)
+    }
+
+    fn per_client_workloads(clients: usize, nkeys: u64) -> Vec<Workload> {
+        Workload::split_sequential(nkeys, clients)
+    }
+
+    #[test]
+    fn closed_loop_completes_every_op() {
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let spec = FleetSpec::default();
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            spec,
+            per_client_workloads(spec.clients, 512),
+        )
+        .unwrap();
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50, 4)
+            .unwrap();
+        assert_eq!(stats.ops, 4 * 50);
+        assert_eq!(stats.timeouts, 0);
+        assert!(stats.ops_per_sec > 0.0);
+        let lat = stats.latency.expect("latency recorded");
+        assert_eq!(lat.count, 200);
+        assert!(lat.avg_us > 1.0, "latency {lat:?}");
+    }
+
+    #[test]
+    fn open_loop_tracks_offered_load_when_underloaded() {
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let spec = FleetSpec {
+            clients: 2,
+            ..FleetSpec::default()
+        };
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            spec,
+            per_client_workloads(spec.clients, 512),
+        )
+        .unwrap();
+        // 20K ops/s/client is far below capacity: achieved ≈ offered.
+        let stats = fleet
+            .run_open_loop(&mut sim, ctx.pool_mut(), &server, 40, 20_000.0)
+            .unwrap();
+        assert_eq!(stats.ops, 80);
+        assert_eq!(stats.timeouts, 0);
+        let offered = stats.offered_ops_per_sec.unwrap();
+        assert!(
+            (stats.ops_per_sec - offered).abs() / offered < 0.25,
+            "achieved {} vs offered {offered}",
+            stats.ops_per_sec
+        );
+    }
+}

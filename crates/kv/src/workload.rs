@@ -6,6 +6,8 @@
 //! ... accessed by the clients sequentially" (§5.5). Both patterns are
 //! reproduced here with a deterministic RNG.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rnic_sim::time::Time;
@@ -23,9 +25,12 @@ impl Workload {
     pub fn random(seed: u64, nkeys: usize) -> Workload {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut keys = Vec::with_capacity(nkeys);
+        // Set-based dedup: the paper's workloads are 1M keys, where a
+        // linear `contains` scan per draw (O(n^2) total) takes minutes.
+        let mut seen = HashSet::with_capacity(nkeys);
         while keys.len() < nkeys {
             let k = rng.random::<u64>() & 0xFFFF_FFFF_FFFF;
-            if k != 0 && !keys.contains(&k) {
+            if k != 0 && seen.insert(k) {
                 keys.push(k);
             }
         }
@@ -46,6 +51,16 @@ impl Workload {
             cursor: 0,
             sequential: true,
         }
+    }
+
+    /// Split the populated key space `[1, nkeys]` into `clients` disjoint
+    /// sequential ranges — one [`Workload::sequential`] per serving-fleet
+    /// client (any remainder keys beyond an even split go unused).
+    pub fn split_sequential(nkeys: u64, clients: usize) -> Vec<Workload> {
+        let span = nkeys / clients as u64;
+        (0..clients as u64)
+            .map(|i| Workload::sequential(1 + i * span, span as usize))
+            .collect()
     }
 
     /// The key set (for populating the store).
@@ -112,6 +127,19 @@ mod tests {
         }
         assert_eq!(a.keys().len(), 100);
         assert!(a.keys().iter().all(|&k| k != 0 && k <= 0xFFFF_FFFF_FFFF));
+    }
+
+    #[test]
+    fn random_workload_scales_to_paper_key_counts() {
+        // 200K unique keys must generate near-instantly (the old
+        // `Vec::contains` dedup was quadratic and took minutes at the
+        // paper's 1M-key scale; the set-based dedup is linear).
+        let n = 200_000;
+        let w = Workload::random(42, n);
+        assert_eq!(w.keys().len(), n);
+        let unique: std::collections::HashSet<u64> = w.keys().iter().copied().collect();
+        assert_eq!(unique.len(), n, "keys are unique");
+        assert!(w.keys().iter().all(|&k| k != 0));
     }
 
     #[test]

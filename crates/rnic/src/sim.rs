@@ -563,6 +563,16 @@ impl Simulator {
         self.cqs[cq.index()].total
     }
 
+    /// Whether the CQ has ever dropped a pollable entry because it was
+    /// full. The monotonic [`cq_total`](Simulator::cq_total) count (and
+    /// with it every WAIT threshold) keeps advancing through an overrun —
+    /// only host-pollable entries are lost — so a pipelined fleet stalls
+    /// visibly on missing completions rather than wedging the NIC; hosts
+    /// check this flag to learn that polling undercounted.
+    pub fn cq_overrun(&self, cq: CqId) -> bool {
+        self.cqs[cq.index()].overrun
+    }
+
     // ------------------------------------------------------------------
     // Host-side scheduling
     // ------------------------------------------------------------------
@@ -1945,6 +1955,73 @@ mod tests {
         // Fig 7: remote 64 B READ ≈ 1.8 us.
         let t = cqes[0].time.as_us_f64();
         assert!((t - 1.8).abs() < 0.05, "READ latency {t}");
+    }
+
+    #[test]
+    fn cq_overrun_is_observable_and_wait_counting_survives_it() {
+        // A pipelined fleet drives far more completions than a host may
+        // poll; when a CQ fills, pollable entries drop (observably — the
+        // overrun flag) but the monotonic count that WAIT thresholds use
+        // keeps advancing, so chains parked past the overrun still fire.
+        let (mut sim, a, b) = two_nodes();
+        let small = sim.create_cq(a, 2).unwrap();
+        let qp1 = sim.create_qp(a, QpConfig::new(small)).unwrap();
+        let qp2 = sim.create_qp(a, QpConfig::new(small)).unwrap();
+        let peer1 = {
+            let cq_b = sim.create_cq(b, 64).unwrap();
+            sim.create_qp(b, QpConfig::new(cq_b)).unwrap()
+        };
+        let peer2 = {
+            let cq_b = sim.create_cq(b, 64).unwrap();
+            sim.create_qp(b, QpConfig::new(cq_b)).unwrap()
+        };
+        sim.connect_qps(qp1, peer1).unwrap();
+        sim.connect_qps(qp2, peer2).unwrap();
+        let src = sim.alloc(a, 64, 8).unwrap();
+        let smr = sim.register_mr(a, src, 64, Access::all()).unwrap();
+        let dst = sim.alloc(b, 64, 8).unwrap();
+        let dmr = sim.register_mr(b, dst, 64, Access::all()).unwrap();
+
+        // Six signaled writes through a depth-2 CQ: four entries drop.
+        for _ in 0..6 {
+            sim.post_send(
+                qp1,
+                WorkRequest::write(src, smr.lkey, 8, dst, dmr.rkey).signaled(),
+            )
+            .unwrap();
+        }
+        sim.run().unwrap();
+        assert!(sim.cq_overrun(small), "overrun must be observable");
+        assert_eq!(sim.cq_total(small), 6, "monotonic count keeps advancing");
+        assert_eq!(sim.poll_cq(small, 16).len(), 2, "only depth entries poll");
+
+        // A WAIT parked beyond the overrun still releases: threshold 8
+        // needs two more completions, which arrive via the second QP.
+        sim.mem_write_u64(b, dst + 8, 0).unwrap();
+        sim.post_send(qp1, WorkRequest::wait(small, 8)).unwrap();
+        sim.post_send(qp1, WorkRequest::write(src, smr.lkey, 8, dst + 8, dmr.rkey))
+            .unwrap();
+        sim.run().unwrap();
+        assert_eq!(
+            sim.mem_read_u64(b, dst + 8).unwrap(),
+            0,
+            "flag write must stay parked behind the WAIT"
+        );
+        for _ in 0..2 {
+            sim.post_send(
+                qp2,
+                WorkRequest::write(src, smr.lkey, 8, dst, dmr.rkey).signaled(),
+            )
+            .unwrap();
+        }
+        sim.mem_write_u64(a, src, 0x5EED).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.cq_total(small), 8);
+        assert_eq!(
+            sim.mem_read_u64(b, dst + 8).unwrap(),
+            0x5EED,
+            "WAIT threshold crossed the overrun and released the chain"
+        );
     }
 
     #[test]

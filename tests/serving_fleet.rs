@@ -1,0 +1,163 @@
+//! End-to-end coverage of the pipelined serving layer: the ISSUE-2
+//! acceptance bar (a fleet of >= 4 clients at pipeline depth >= 4
+//! sustains >= 3x the throughput of back-to-back synchronous gets on
+//! the same sim config) plus the non-blocking post/reap API.
+
+use redn::core::ctx::OffloadCtx;
+use redn::core::offloads::hash_lookup::HashGetVariant;
+use redn::kv::baselines::ClientEndpoint;
+use redn::kv::memcached::{redn_get_nb, redn_reap, MemcachedServer};
+use redn::kv::serving::{sync_baseline_ops_per_sec, FleetSpec, ServingFleet};
+use redn::kv::workload::Workload;
+use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
+use rnic_sim::ids::{NodeId, ProcessId};
+use rnic_sim::sim::Simulator;
+
+/// The serving testbed: dual-port server CX5 (Table 4's configuration —
+/// the fleet shards trigger points across both ports' fetch engines).
+fn testbed() -> (Simulator, NodeId, NodeId) {
+    let mut sim = Simulator::new(SimConfig::default());
+    let c = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
+    let s = sim.add_node(
+        "server",
+        HostConfig::default(),
+        NicConfig::connectx5().dual_port(),
+    );
+    sim.connect_nodes(c, s, LinkConfig::back_to_back());
+    (sim, c, s)
+}
+
+fn stand_up(nkeys: u64) -> (Simulator, NodeId, MemcachedServer, OffloadCtx) {
+    let (mut sim, c, s) = testbed();
+    let server = MemcachedServer::create(&mut sim, s, 4096, 64, ProcessId(0)).unwrap();
+    server.populate(&mut sim, nkeys).unwrap();
+    let ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)
+        .unwrap();
+    (sim, c, server, ctx)
+}
+
+#[test]
+fn fleet_sustains_3x_the_synchronous_throughput() {
+    const NKEYS: u64 = 1024;
+    const OPS_PER_CLIENT: u64 = 150;
+
+    // Baseline: back-to-back synchronous gets, same sim config.
+    let sync_ops_per_sec = {
+        let (mut sim, c, server, mut ctx) = stand_up(NKEYS);
+        let mut workload = Workload::sequential(1, NKEYS as usize);
+        sync_baseline_ops_per_sec(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            HashGetVariant::Parallel,
+            OPS_PER_CLIENT,
+            &mut workload,
+        )
+        .unwrap()
+    };
+
+    // Fleet: 4 clients, pipeline depth 4, closed loop with K=4.
+    let (mut sim, c, server, mut ctx) = stand_up(NKEYS);
+    let spec = FleetSpec {
+        clients: 4,
+        pipeline_depth: 4,
+        variant: HashGetVariant::Parallel,
+        value_len: 64,
+    };
+    let workloads = Workload::split_sequential(NKEYS, spec.clients);
+    let mut fleet = ServingFleet::deploy(&mut sim, &mut ctx, &server, c, spec, workloads).unwrap();
+    let stats = fleet
+        .run_closed_loop(&mut sim, ctx.pool_mut(), &server, OPS_PER_CLIENT, 4)
+        .unwrap();
+
+    assert_eq!(stats.ops, spec.clients as u64 * OPS_PER_CLIENT);
+    assert_eq!(stats.timeouts, 0, "hit-only workload must not time out");
+    let speedup = stats.ops_per_sec / sync_ops_per_sec;
+    assert!(
+        speedup >= 3.0,
+        "fleet {:.0} ops/s must be >= 3x sync {:.0} ops/s (got {:.2}x)",
+        stats.ops_per_sec,
+        sync_ops_per_sec,
+        speedup
+    );
+}
+
+#[test]
+fn nb_post_reap_round_trips_values_through_instance_slots() {
+    let (mut sim, c, server, mut ctx) = stand_up(64);
+    let depth = 4u32;
+    let ep = ClientEndpoint::create_pipelined(&mut sim, c, 64, depth).unwrap();
+    let mut off = server
+        .redn_builder(&ctx)
+        .respond_to(ep.dest())
+        .variant(HashGetVariant::Parallel)
+        .pipeline_depth(depth)
+        .build(&mut sim)
+        .unwrap();
+    sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+    for _ in 0..depth {
+        off.arm(&mut sim, ctx.pool_mut()).unwrap();
+    }
+
+    // Post four gets back-to-back, then run and reap.
+    let keys = [3u64, 17, 42, 60];
+    let mut pending = Vec::new();
+    for &k in &keys {
+        pending.push(redn_get_nb(&mut sim, &mut off, &ep, &server, k).unwrap());
+    }
+    assert_eq!(ep.live_requests(), 4);
+    sim.run().unwrap();
+    let reaped = redn_reap(&mut sim, &ep, 16);
+    assert_eq!(reaped.len(), 4);
+    assert_eq!(ep.live_requests(), 0);
+    assert_eq!(ep.outstanding_recvs(), 0);
+    for done in reaped {
+        let p = pending
+            .iter()
+            .find(|p| p.instance == done.instance)
+            .expect("completion matches a posted request");
+        // Each instance's value landed in its own slot, tagged by key.
+        assert_eq!(
+            sim.mem_read(c, ep.resp_slot(p.slot), 1).unwrap()[0],
+            (p.key & 0xFF) as u8,
+            "key {} in slot {}",
+            p.key,
+            p.slot
+        );
+    }
+}
+
+#[test]
+fn open_loop_saturates_at_capacity_instead_of_wedging() {
+    let (mut sim, c, server, mut ctx) = stand_up(512);
+    let spec = FleetSpec {
+        clients: 4,
+        pipeline_depth: 4,
+        variant: HashGetVariant::Parallel,
+        value_len: 64,
+    };
+    let workloads = Workload::split_sequential(512, spec.clients);
+    let mut fleet = ServingFleet::deploy(&mut sim, &mut ctx, &server, c, spec, workloads).unwrap();
+    // Offer ~3x the plausible capacity: the fleet must finish every op
+    // (queueing, not dropping) with achieved throughput below offered.
+    let stats = fleet
+        .run_open_loop(&mut sim, ctx.pool_mut(), &server, 60, 600_000.0)
+        .unwrap();
+    assert_eq!(stats.ops, 4 * 60);
+    assert_eq!(stats.timeouts, 0);
+    let offered = stats.offered_ops_per_sec.unwrap();
+    assert!(
+        stats.ops_per_sec < offered,
+        "overload must show achieved {} < offered {offered}",
+        stats.ops_per_sec
+    );
+    // Queueing delay is charged from the scheduled time.
+    let lat = stats.latency.unwrap();
+    assert!(
+        lat.p99_us > lat.p50_us,
+        "overload latency distribution has a tail"
+    );
+}
