@@ -1,0 +1,73 @@
+//! Bottleneck probe for the serving fleet: runs one closed-loop sweep
+//! point in each serving mode and prints the server-NIC resource
+//! utilization breakdown, so perf work can see which engine the knee
+//! sits on (fetch engine, PUs, atomics, link, PCIe).
+//!
+//! `cargo run -p redn_bench --release --bin probe`
+
+use redn_bench::testbed_with;
+use redn_core::ctx::OffloadCtx;
+use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_kv::memcached::MemcachedServer;
+use redn_kv::serving::{FleetSpec, ServingFleet};
+use redn_kv::workload::Workload;
+use rnic_sim::config::NicConfig;
+use rnic_sim::ids::ProcessId;
+use rnic_sim::time::Time;
+
+fn run(self_recycling: bool) {
+    let (mut sim, client, server_node) = testbed_with(NicConfig::connectx5().dual_port());
+    let nkeys = 1024u64;
+    let server = MemcachedServer::create(&mut sim, server_node, 4096, 64, ProcessId(0)).unwrap();
+    server.populate(&mut sim, nkeys).unwrap();
+    let mut ctx = OffloadCtx::builder(server_node)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)
+        .unwrap();
+    let spec = FleetSpec {
+        clients: 8,
+        pipeline_depth: 16,
+        variant: if self_recycling {
+            HashGetVariant::Sequential
+        } else {
+            HashGetVariant::Parallel
+        },
+        value_len: 64,
+        self_recycling,
+    };
+    let workloads = Workload::split_sequential(nkeys, spec.clients);
+    let mut fleet =
+        ServingFleet::deploy(&mut sim, &mut ctx, &server, client, spec, workloads).unwrap();
+    let u0 = sim.utilization(server_node);
+    let t0 = sim.now();
+    let stats = fleet
+        .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 1000, 16)
+        .unwrap();
+    let u1 = sim.utilization(server_node);
+    let elapsed = (sim.now() - t0).as_us_f64();
+    println!(
+        "mode={} ops {} ops/s {:.0} elapsed_us {:.1} arms {} srv_doorbells {} srv_posts {} cli_doorbells {}",
+        if self_recycling { "recycled" } else { "host-armed" },
+        stats.ops,
+        stats.ops_per_sec,
+        elapsed,
+        stats.host_arm_calls,
+        stats.server_doorbells,
+        stats.server_posts,
+        stats.client_doorbells,
+    );
+    let pct = |a: Time, b: Time| 100.0 * (b - a).as_us_f64() / elapsed;
+    println!(
+        "  pu_busy {:6.1}%  fetch_busy {:6.1}%  atomic_busy {:6.1}%  link {:5.1}%  pcie {:5.1}%",
+        pct(u0.pu_busy, u1.pu_busy),
+        pct(u0.fetch_busy, u1.fetch_busy),
+        pct(u0.atomic_busy, u1.atomic_busy),
+        pct(u0.link_busy, u1.link_busy),
+        pct(u0.pcie_busy, u1.pcie_busy),
+    );
+}
+
+fn main() {
+    run(true);
+    run(false);
+}

@@ -220,6 +220,11 @@ pub struct RecycledLoopBuilder {
     /// Indices (relative) of staged WAITs whose `operand` needs per-round
     /// bumping.
     wait_slots: Vec<usize>,
+    /// Slots whose `operand` needs a *caller-chosen* per-round bump:
+    /// WAITs on foreign CQs and ENABLEs of foreign queues, whose deltas
+    /// the self-CQ accounting cannot know (see
+    /// [`RecycledLoopBuilder::stage_bumped`]).
+    custom_bumps: Vec<(usize, u64)>,
     /// Slots to restore each round, with their pristine images.
     restore_slots: Vec<usize>,
     signaled: u64,
@@ -258,6 +263,7 @@ impl RecycledLoopBuilder {
             queue,
             wrs: Vec::new(),
             wait_slots: Vec::new(),
+            custom_bumps: Vec::new(),
             restore_slots: Vec::new(),
             signaled: 0,
             cq_base: sim.cq_total(queue.cq),
@@ -295,6 +301,19 @@ impl RecycledLoopBuilder {
         let count = self.cq_base + self.signaled;
         let idx = self.stage(WorkRequest::wait(self.queue.cq, count));
         self.wait_slots.push(idx);
+        idx
+    }
+
+    /// Stage a WR whose `operand` word advances by `per_round_delta` each
+    /// round — WAITs on *foreign* CQs (trigger counts) and ENABLEs of
+    /// *foreign* queues (response-ring release points), whose deltas this
+    /// ring's own completion accounting cannot derive. `finish` emits one
+    /// FETCH_ADD per such slot in the round's fix-up section, executing a
+    /// full ring ahead of the slot's re-fetch (§3.4's monotonic
+    /// `wqe_count` fix-ups, generalized across queues).
+    pub fn stage_bumped(&mut self, wr: WorkRequest, per_round_delta: u64) -> usize {
+        let idx = self.stage(wr);
+        self.custom_bumps.push((idx, per_round_delta));
         idx
     }
 
@@ -341,8 +360,8 @@ impl RecycledLoopBuilder {
         let restore_list = std::mem::take(&mut self.restore_slots);
         for rel in &restore_list {
             assert!(
-                !self.wait_slots.contains(rel),
-                "restoring a WAIT slot would clobber its bumped threshold"
+                !self.wait_slots.contains(rel) && !self.custom_bumps.iter().any(|(i, _)| i == rel),
+                "restoring a bumped slot would clobber its advanced threshold"
             );
             let pristine = self.wrs[*rel].wqe.encode();
             let image_addr = pool.push_bytes(sim, &pristine)?;
@@ -353,16 +372,23 @@ impl RecycledLoopBuilder {
         }
 
         // 2. S is known once every signaled WR is staged. Remaining to
-        // stage: one signaled FADD per body WAIT; the tail WAIT/ENABLE are
-        // unsignaled.
-        let s_per_round = self.signaled + self.wait_slots.len() as u64;
+        // stage: one signaled FADD per bumped slot (body WAITs plus
+        // custom-delta slots); the tail WAIT/ENABLE are unsignaled.
+        let s_per_round =
+            self.signaled + self.wait_slots.len() as u64 + self.custom_bumps.len() as u64;
 
-        // Body-WAIT fix-ups: executed after their WAITs, preparing the
-        // next round.
+        // Fix-ups: executed after the slots they patch, preparing the next
+        // round — body WAITs advance by S, custom slots by their own
+        // deltas.
         let wait_list = self.wait_slots.clone();
         for rel in &wait_list {
             let target = self.slot_field_addr(*rel, WqeField::Operand);
             self.stage(WorkRequest::fetch_add(target, ring_rkey, s_per_round, 0, 0).signaled());
+        }
+        let bump_list = std::mem::take(&mut self.custom_bumps);
+        for (rel, delta) in &bump_list {
+            let target = self.slot_field_addr(*rel, WqeField::Operand);
+            self.stage(WorkRequest::fetch_add(target, ring_rkey, *delta, 0, 0).signaled());
         }
         debug_assert_eq!(self.signaled, s_per_round);
 

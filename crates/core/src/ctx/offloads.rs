@@ -14,6 +14,7 @@ use rnic_sim::sim::Simulator;
 use crate::ctx::caps::{ClientDest, TableRegion, ValueSource};
 use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use crate::offloads::list::ListWalkOffload;
+use crate::program::ConstPool;
 
 /// Resolved deployment parameters of a hash-get offload (internal; built
 /// only by [`HashGetBuilder`]).
@@ -110,10 +111,37 @@ impl HashGetBuilder {
     /// Deploy the offload's queues. The caller connects a client QP to
     /// `offload.tp.qp` and [`arm`](HashGetOffload::arm)s instances.
     pub fn build(self, sim: &mut Simulator) -> Result<HashGetOffload> {
+        let spec = self.resolve()?;
+        HashGetOffload::deploy(sim, self.node, self.owner, spec)
+    }
+
+    /// Deploy the **self-recycling** variant (§3.4 WQ recycling applied
+    /// to serving): all `pipeline_depth` instances are staged once into a
+    /// recycled round — pristine response images in `pool`, a per-round
+    /// restore chain, FETCH_ADD threshold fix-ups, a cyclic trigger-RECV
+    /// ring — and the NIC re-arms everything itself between rounds. After
+    /// this call the host never posts, never rings a doorbell, and never
+    /// pushes pool bytes for this offload again; it only claims slots
+    /// ([`HashGetOffload::take_instance`]) and retires them
+    /// ([`HashGetOffload::complete_instance`]) as responses drain. Runs
+    /// unbounded until halted or the simulation ends.
+    ///
+    /// Probes run back-to-back on one ring, so `Parallel` is rejected —
+    /// use `Sequential` for two-candidate tables.
+    pub fn build_recycled(
+        self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+    ) -> Result<HashGetOffload> {
+        let spec = self.resolve()?;
+        HashGetOffload::deploy_recycled(sim, self.node, self.owner, spec, pool)
+    }
+
+    fn resolve(&self) -> Result<HashGetSpec> {
         if self.pipeline_depth == 0 {
             return Err(Error::InvalidWr("hash-get pipeline_depth must be >= 1"));
         }
-        let spec = HashGetSpec {
+        Ok(HashGetSpec {
             table: self
                 .table
                 .ok_or(Error::InvalidWr("hash-get deployment needs .table(...)"))?,
@@ -127,8 +155,7 @@ impl HashGetBuilder {
             port: self.port,
             pipeline_depth: self.pipeline_depth,
             pu_base: self.pu_base,
-        };
-        HashGetOffload::deploy(sim, self.node, self.owner, spec)
+        })
     }
 }
 

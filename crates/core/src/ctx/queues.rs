@@ -117,18 +117,36 @@ pub struct TriggerPointBuilder {
     owner: ProcessId,
     pu: Option<usize>,
     port: usize,
+    sq_depth: u32,
+    rq_depth: u32,
 }
 
 impl TriggerPointBuilder {
     /// Start building a trigger endpoint on `node` owned by `owner`.
-    /// Defaults: NIC port 0, no PU pinning.
+    /// Defaults: NIC port 0, no PU pinning, 1024-deep queues.
     pub fn new(node: NodeId, owner: ProcessId) -> TriggerPointBuilder {
         TriggerPointBuilder {
             node,
             owner,
             pu: None,
             port: 0,
+            sq_depth: 1024,
+            rq_depth: 1024,
         }
+    }
+
+    /// Response (send) ring depth. Self-recycling offloads size this to
+    /// exactly one round of response WQEs so the ring wraps per round.
+    pub fn sq_depth(mut self, depth: u32) -> TriggerPointBuilder {
+        self.sq_depth = depth;
+        self
+    }
+
+    /// Trigger (receive) ring depth. Self-recycling offloads size this to
+    /// one round of trigger RECVs and mark the ring cyclic.
+    pub fn rq_depth(mut self, depth: u32) -> TriggerPointBuilder {
+        self.rq_depth = depth;
+        self
     }
 
     /// Pin the response queue to a processing unit.
@@ -151,8 +169,8 @@ impl TriggerPointBuilder {
         let send_cq = sim.create_cq(self.node, 16384)?;
         let mut cfg = QpConfig::new(send_cq)
             .recv_cq(recv_cq)
-            .sq_depth(1024)
-            .rq_depth(1024)
+            .sq_depth(self.sq_depth)
+            .rq_depth(self.rq_depth)
             .on_port(self.port)
             .managed();
         if let Some(pu) = self.pu {

@@ -20,14 +20,30 @@
 //! Variants (Fig 11): with two candidate buckets (hopscotch H=2), probes
 //! run **sequentially** on one chain queue or in **parallel** on two
 //! queues pinned to different processing units.
+//!
+//! Two deployment modes:
+//!
+//! * **host-armed** ([`HashGetBuilder::build`]): every instance is
+//!   staged by a host [`HashGetOffload::arm`] call — the latency-bench
+//!   mode (it keeps the Fig 11 PU-parallel probes);
+//! * **self-recycling** ([`HashGetBuilder::build_recycled`]): one round
+//!   of `pipeline_depth` instances is staged at deploy and the NIC
+//!   re-arms it forever (§3.4 WQ recycling — restore WRITEs from
+//!   pristine [`ConstPool`] images, FETCH_ADD threshold fix-ups, a
+//!   cyclic trigger-RECV ring), leaving zero host work on the serving
+//!   path.
+//!
+//! [`HashGetBuilder::build`]: crate::ctx::HashGetBuilder::build
+//! [`HashGetBuilder::build_recycled`]: crate::ctx::HashGetBuilder::build_recycled
 
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{Sge, WorkRequest};
+use rnic_sim::wqe::{Sge, WorkRequest, WQE_SIZE};
 
 use crate::builder::ChainBuilder;
+use crate::constructs::loops::RecycledLoopBuilder;
 use crate::ctx::{ChainQueueBuilder, HashGetSpec, TriggerPointBuilder};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
 use crate::offloads::rpc::TriggerPoint;
@@ -81,13 +97,6 @@ pub struct HashGetOffload {
     /// Client-facing trigger endpoint (responses ride its managed SQ).
     pub tp: TriggerPoint,
     spec: HashGetSpec,
-    /// Bucket-probe chain queues (1 for Single/Sequential, 2 for
-    /// Parallel).
-    chains: Vec<ChainQueue>,
-    /// Unmanaged control queues (one per chain) plus a merge queue.
-    ctrls: Vec<ChainQueue>,
-    merge: ChainQueue,
-    armed: u64,
     /// Instances handed out to in-flight requests (see
     /// [`HashGetOffload::take_instance`]).
     posted: u64,
@@ -95,6 +104,50 @@ pub struct HashGetOffload {
     /// uses `trigger_base + k + 1` (absolute, monotonic).
     trigger_base: u64,
     node: NodeId,
+    backend: Backend,
+}
+
+/// Pool allocations one `arm` call produced, memoized by ring-cycle
+/// position: once every ring has wrapped, later instances land on the
+/// same slots and reuse the same SGE tables instead of pushing fresh
+/// bytes — long host-armed runs no longer consume pool capacity.
+struct ArmTables {
+    /// READ scatter table per probe.
+    read_tables: Vec<u64>,
+    /// Trigger-RECV scatter table (address, entry count).
+    trigger_table: (u64, u32),
+}
+
+/// How armed instances come to exist.
+enum Backend {
+    /// Every instance is staged by a host `arm` call (the pre-§3.4 mode;
+    /// still used by the synchronous path and the latency benches).
+    HostArmed {
+        /// Bucket-probe chain queues (1 for Single/Sequential, 2 for
+        /// Parallel).
+        chains: Vec<ChainQueue>,
+        /// Unmanaged control queues (one per chain) plus a merge queue.
+        ctrls: Vec<ChainQueue>,
+        merge: ChainQueue,
+        armed: u64,
+        /// Memoized pool allocations, keyed by `instance % cycle`.
+        cache: Vec<ArmTables>,
+        /// Instances until every ring returns to the same slot layout.
+        cycle: u64,
+    },
+    /// One ring of `slots` instances built at deploy time re-arms itself
+    /// on the NIC every round (§3.4 WQ recycling): zero host work and
+    /// zero pool churn per request.
+    Recycled {
+        /// The probe/control ring (managed, self-enabling).
+        ring: ChainQueue,
+        /// Instances per round (== pipeline depth).
+        slots: u64,
+        /// Responses handed back by the client (frees ring slots).
+        completed: u64,
+        /// Ring slots per round, for round accounting.
+        round_len: u64,
+    },
 }
 
 impl HashGetOffload {
@@ -143,36 +196,285 @@ impl HashGetOffload {
             .on_port(spec.port)
             .build(sim)?;
         let trigger_base = sim.cq_total(tp.recv_cq);
+        // Pool-table reuse cycle: instances whose ring slots coincide can
+        // share SGE tables. The probe chains advance by `cw` slots per
+        // instance, the response ring by `probes`.
+        let probes = spec.variant.buckets() as u64;
+        let cw = if spec.variant == HashGetVariant::Sequential {
+            4
+        } else {
+            2
+        };
+        let chain_cycle = chains[0].depth as u64 / cw;
+        let resp_cycle = sim.wq_depth(sim.sq_of(tp.qp)) as u64 / probes;
+        let cycle = lcm(chain_cycle, resp_cycle);
         Ok(HashGetOffload {
             tp,
             spec,
-            chains,
-            ctrls,
-            merge,
-            armed: 0,
             posted: 0,
             trigger_base,
             node,
+            backend: Backend::HostArmed {
+                chains,
+                ctrls,
+                merge,
+                armed: 0,
+                cache: Vec::new(),
+                cycle,
+            },
         })
     }
 
-    /// Stage the chain for one future get request. Instances trigger in
-    /// arming order, one per client SEND. With `pipeline_depth > 1` the
-    /// instance's response lands in its own client slot and carries the
-    /// instance id as immediate data, so several instances can be armed
-    /// (and in flight) at once; the host re-arms consumed instances as
-    /// completions drain.
+    /// Deploy the self-recycling variant (§3.4 applied to serving): one
+    /// ring of `pipeline_depth` instances is staged **once**, and the NIC
+    /// re-arms it between rounds — restore WRITE re-copying the pristine
+    /// response images, FETCH_ADDs advancing every WAIT/ENABLE threshold,
+    /// a cyclic trigger-RECV ring re-arming the scatter programs. In
+    /// steady state the host neither posts, rings doorbells, nor touches
+    /// the constant pool; it only hands out instance slots
+    /// ([`HashGetOffload::take_instance`]) and retires them
+    /// ([`HashGetOffload::complete_instance`]) as responses drain.
+    ///
+    /// Layout per instance `k` on the probe ring (probes run back-to-back
+    /// on one managed ring; `wait_prev` supplies the completion-order
+    /// gates the host-armed mode builds from WAIT/ENABLE ladders):
+    ///
+    /// ```text
+    /// WAIT(recv_cq, T_k)      -- released by trigger k   (+K per round)
+    /// READ_p  (per probe)     -- bucket -> resp WQE fields
+    /// CAS_p   (wait_prev)     -- match? NOOP -> WRITE_IMM
+    /// ENABLE(resp, (k+1)*P)   -- wait_prev: after every CAS completed
+    ///                                                    (+P*K per round)
+    /// ```
+    ///
+    /// and per round, after all K instances:
+    ///
+    /// ```text
+    /// WAIT(send_cq, resps)    -- all P*K responses executed (+P*K)
+    /// WRITE(image -> resp ring) -- restore every response slot
+    /// FETCH_ADD fix-ups, tail WAIT + self-ENABLE (RecycledLoopBuilder)
+    /// ```
+    pub(crate) fn deploy_recycled(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        spec: HashGetSpec,
+        pool: &mut ConstPool,
+    ) -> Result<HashGetOffload> {
+        if spec.variant == HashGetVariant::Parallel {
+            return Err(Error::InvalidWr(
+                "self-recycling hash-get runs probes on one ring; use Sequential (or Single)",
+            ));
+        }
+        let npus = sim.nic_config(node).pus_per_port;
+        let pu = |off: usize| (spec.pu_base + off) % npus;
+        let k = spec.pipeline_depth as u64;
+        let probes = spec.variant.buckets() as u64;
+        let resp_slots = k * probes;
+
+        let tp = TriggerPointBuilder::new(node, owner)
+            .on_pu(pu(0))
+            .on_port(spec.port)
+            .sq_depth(resp_slots as u32)
+            .rq_depth(k as u32)
+            .build(sim)?;
+        let trigger_base = sim.cq_total(tp.recv_cq);
+        let send_base = sim.cq_total(tp.send_cq);
+        let tp_queue = ChainQueue {
+            qp: tp.qp,
+            peer: tp.qp, // unused
+            sq: sim.sq_of(tp.qp),
+            cq: tp.send_cq,
+            ring: tp.ring,
+            managed: true,
+            depth: resp_slots as u32,
+            node,
+        };
+
+        // Response ring: P*K pristine WRITE_IMM-carrying NOOPs, posted
+        // once. Their concatenated images are the restore source.
+        let stride = spec.values.value_len.max(8) as u64;
+        let mut image = Vec::with_capacity((resp_slots * WQE_SIZE) as usize);
+        for inst in 0..k {
+            for _ in 0..probes {
+                let mut resp = WorkRequest::write_imm(
+                    0, // patched per request: value pointer from the bucket
+                    spec.values.lkey(),
+                    spec.values.value_len,
+                    spec.dest.addr + inst * stride,
+                    spec.dest.rkey(),
+                    inst as u32,
+                )
+                .signaled();
+                resp.wqe.opcode = Opcode::Noop;
+                image.extend_from_slice(&resp.wqe.encode());
+                sim.post_send_quiet(tp.qp, resp)?;
+            }
+        }
+        let image_addr = pool.push_bytes(sim, &image)?;
+
+        // The probe ring: body + tail sized exactly (no padding needed,
+        // but the depth math must match what finish() appends).
+        let body = k * (2 + 2 * probes);
+        let fixups = 2 * k + 1;
+        let depth = 2 + body + 2 + fixups + 2;
+        let ring_q = ChainQueueBuilder::new(node, owner)
+            .managed()
+            .depth(depth as u32)
+            .on_pu(pu(1))
+            .on_port(spec.port)
+            .build(sim)?;
+        let mut lb = RecycledLoopBuilder::new(sim, ring_q);
+        let mut scatters: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(k as usize);
+        for inst in 0..k {
+            let mut scatter = Vec::new();
+            lb.stage_bumped(WorkRequest::wait(tp.recv_cq, trigger_base + inst + 1), k);
+            // Both probes' READs first (they overlap in flight), then the
+            // CASes, each gated on every prior completion.
+            let mut cas_slots = Vec::new();
+            for p in 0..probes {
+                let resp_slot = tp_queue.slot_addr(inst * probes + p);
+                let table = [
+                    Sge {
+                        addr: resp_slot + WqeField::LocalAddr.offset(),
+                        lkey: tp.ring.lkey,
+                        len: 8,
+                    },
+                    Sge {
+                        addr: resp_slot + WqeField::Id.offset(),
+                        lkey: tp.ring.lkey,
+                        len: 6,
+                    },
+                ];
+                let mut tbytes = Vec::new();
+                for e in &table {
+                    tbytes.extend_from_slice(&e.encode());
+                }
+                let table_addr = pool.push_bytes(sim, &tbytes)?;
+                let read = lb.stage(
+                    WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, spec.table.rkey())
+                        .signaled(),
+                );
+                scatter.push((
+                    lb.slot_field_addr(read, WqeField::RemoteAddr),
+                    ring_q.ring.lkey,
+                    8,
+                ));
+                cas_slots.push((resp_slot, read));
+            }
+            for (resp_slot, _) in &cas_slots {
+                let mut cas = WorkRequest::cas(
+                    resp_slot + WqeField::Header.offset(),
+                    tp.ring.rkey,
+                    cond_compare(0), // low 6 bytes patched with x
+                    cond_swap(Opcode::WriteImm, 0),
+                    0,
+                    0,
+                )
+                .signaled()
+                .wait_prev();
+                cas.wqe.operand = cond_compare(0);
+                let cas_slot = lb.stage(cas);
+                scatter.push((
+                    lb.slot_field_addr(cas_slot, WqeField::Operand) + 2,
+                    ring_q.ring.lkey,
+                    6,
+                ));
+            }
+            lb.stage_bumped(
+                WorkRequest::enable(tp_queue.sq, (inst + 1) * probes).wait_prev(),
+                resp_slots,
+            );
+            // Trigger payload is probe-major ([addr, key] per probe);
+            // reorder the scatter to match: addr_p, key_p, addr_p+1, ...
+            let n = probes as usize;
+            let mut ordered = Vec::with_capacity(2 * n);
+            for p in 0..n {
+                ordered.push(scatter[p]);
+                ordered.push(scatter[n + p]);
+            }
+            scatters.push(ordered);
+        }
+        // Round tail: all of this round's responses executed, then restore
+        // the whole response ring with one WRITE.
+        lb.stage_bumped(
+            WorkRequest::wait(tp.send_cq, send_base + resp_slots),
+            resp_slots,
+        );
+        lb.stage(
+            WorkRequest::write(
+                image_addr,
+                pool.mr().lkey,
+                (resp_slots * WQE_SIZE) as u32,
+                tp_queue.slot_addr(0),
+                tp.ring.rkey,
+            )
+            .signaled(),
+        );
+        let ring = lb.finish(sim, pool)?;
+        debug_assert_eq!(ring.round_len, depth);
+
+        // The trigger-RECV ring: one scatter program per instance, posted
+        // once and recycled by the NIC as the ring wraps.
+        for scatter in &scatters {
+            tp.post_trigger_recv(sim, pool, scatter)?;
+        }
+        sim.set_rq_cyclic(tp.qp)?;
+
+        Ok(HashGetOffload {
+            tp,
+            spec,
+            posted: 0,
+            trigger_base,
+            node,
+            backend: Backend::Recycled {
+                ring: ring.queue,
+                slots: k,
+                completed: 0,
+                round_len: ring.round_len,
+            },
+        })
+    }
+
+    /// Stage the chain for one future get request (host-armed mode only;
+    /// self-recycling offloads are primed once at deploy). Instances
+    /// trigger in arming order, one per client SEND. With
+    /// `pipeline_depth > 1` the instance's response lands in its own
+    /// client slot and carries the instance id as immediate data, so
+    /// several instances can be armed (and in flight) at once; the host
+    /// re-arms consumed instances as completions drain. SGE tables are
+    /// memoized per ring-cycle position, so steady-state re-arms push no
+    /// new bytes into the pool.
     pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
-        let trigger_count = self.trigger_base + self.armed + 1;
-        let instance = self.armed;
+        let resp_depth = sim.wq_depth(sim.sq_of(self.tp.qp));
+        let Backend::HostArmed {
+            ref chains,
+            ref ctrls,
+            merge,
+            armed,
+            ref mut cache,
+            cycle,
+        } = self.backend
+        else {
+            return Err(Error::InvalidWr(
+                "self-recycling offloads are primed once at deploy; arm() is host-armed only",
+            ));
+        };
+        let trigger_count = self.trigger_base + armed + 1;
+        let instance = armed;
         let slot = instance % self.spec.pipeline_depth as u64;
-        let resp_addr = self.spec.dest.addr + slot * self.response_stride();
+        let resp_addr = self.spec.dest.addr + slot * self.spec.values.value_len.max(8) as u64;
         let nbuckets = self.spec.variant.buckets();
         let seq_two = self.spec.variant == HashGetVariant::Sequential;
         let probes = if seq_two {
             2
         } else {
-            nbuckets.min(self.chains.len())
+            nbuckets.min(chains.len())
+        };
+        let cached = (instance >= cycle).then(|| &cache[(instance % cycle) as usize]);
+        let mut fresh = ArmTables {
+            read_tables: Vec::new(),
+            trigger_table: (0, 0),
         };
 
         // Response WQEs live on the trigger QP's managed SQ.
@@ -185,26 +487,26 @@ impl HashGetOffload {
                 cq: self.tp.send_cq,
                 ring: self.tp.ring,
                 managed: true,
-                depth: 1024,
+                depth: resp_depth,
                 node: self.node,
             },
         );
 
         let mut scatter: Vec<(u64, u32, u32)> = Vec::new();
-        let mut merge_b = ChainBuilder::new(sim, self.merge);
+        let mut merge_b = ChainBuilder::new(sim, merge);
         let mut chain_done_waits: Vec<(rnic_sim::ids::CqId, u64)> = Vec::new();
         let mut resp_handles = Vec::new();
 
         for p in 0..probes {
             let chain_q = if seq_two {
-                self.chains[0]
+                chains[0]
             } else {
-                self.chains[p % self.chains.len()]
+                chains[p % chains.len()]
             };
             let ctrl_q = if seq_two {
-                self.ctrls[0]
+                ctrls[0]
             } else {
-                self.ctrls[p % self.ctrls.len()]
+                ctrls[p % ctrls.len()]
             };
             let mut chain_b = ChainBuilder::new(sim, chain_q);
             let mut ctrl_b = ChainBuilder::new(sim, ctrl_q);
@@ -230,24 +532,33 @@ impl HashGetOffload {
             let resp_staged = resp_b.stage(resp);
             resp_handles.push(resp_staged);
 
-            // Bucket READ: one READ, two local scatter targets.
-            let table = [
-                Sge {
-                    addr: resp_staged.addr(WqeField::LocalAddr),
-                    lkey: self.tp.ring.lkey,
-                    len: 8,
-                },
-                Sge {
-                    addr: resp_staged.addr(WqeField::Id),
-                    lkey: self.tp.ring.lkey,
-                    len: 6,
-                },
-            ];
-            let mut tbytes = Vec::new();
-            for e in &table {
-                tbytes.extend_from_slice(&e.encode());
-            }
-            let table_addr = pool.push_bytes(sim, &tbytes)?;
+            // Bucket READ: one READ, two local scatter targets. The table
+            // depends only on the response slot, which repeats every
+            // `cycle` instances — reuse the staged bytes when it does.
+            let table_addr = match cached {
+                Some(t) => t.read_tables[p],
+                None => {
+                    let table = [
+                        Sge {
+                            addr: resp_staged.addr(WqeField::LocalAddr),
+                            lkey: self.tp.ring.lkey,
+                            len: 8,
+                        },
+                        Sge {
+                            addr: resp_staged.addr(WqeField::Id),
+                            lkey: self.tp.ring.lkey,
+                            len: 6,
+                        },
+                    ];
+                    let mut tbytes = Vec::new();
+                    for e in &table {
+                        tbytes.extend_from_slice(&e.encode());
+                    }
+                    let addr = pool.push_bytes(sim, &tbytes)?;
+                    fresh.read_tables.push(addr);
+                    addr
+                }
+            };
             let read = chain_b.stage(
                 WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, self.spec.table.rkey())
                     .signaled(),
@@ -296,9 +607,29 @@ impl HashGetOffload {
         merge_b.post(sim)?;
         resp_b.post(sim)?;
 
-        // The trigger RECV for this instance.
-        self.tp.post_trigger_recv(sim, pool, &scatter)?;
-        self.armed += 1;
+        // The trigger RECV for this instance (scatter table likewise
+        // memoized per cycle position).
+        match cached {
+            Some(t) => {
+                let (addr, n) = t.trigger_table;
+                self.tp.post_trigger_recv_prebuilt(sim, addr, n)?;
+            }
+            None => {
+                fresh.trigger_table = self.tp.post_trigger_recv_staged(sim, pool, &scatter)?;
+            }
+        }
+        let Backend::HostArmed {
+            ref mut armed,
+            ref mut cache,
+            ..
+        } = self.backend
+        else {
+            unreachable!("checked above");
+        };
+        if instance < cycle {
+            cache.push(fresh);
+        }
+        *armed += 1;
         Ok(())
     }
 
@@ -320,9 +651,42 @@ impl HashGetOffload {
         p
     }
 
-    /// Number of armed (not necessarily consumed) instances.
+    /// Number of armed (not necessarily consumed) instances. A
+    /// self-recycling offload re-arms itself, so its horizon is always
+    /// `posted + instances_available`.
     pub fn armed(&self) -> u64 {
-        self.armed
+        match self.backend {
+            Backend::HostArmed { armed, .. } => armed,
+            Backend::Recycled { .. } => self.posted + self.instances_available(),
+        }
+    }
+
+    /// Whether this offload re-arms itself on the NIC (zero host work per
+    /// request) rather than through host `arm` calls.
+    pub fn is_recycled(&self) -> bool {
+        matches!(self.backend, Backend::Recycled { .. })
+    }
+
+    /// Recycle rounds the probe ring has completed (0 for host-armed
+    /// offloads).
+    pub fn rounds(&self, sim: &Simulator) -> u64 {
+        match self.backend {
+            Backend::Recycled {
+                ring, round_len, ..
+            } => sim.wq_executed(ring.sq) / round_len,
+            Backend::HostArmed { .. } => 0,
+        }
+    }
+
+    /// The immediate a response for `instance` carries: the global
+    /// instance id when host-armed, the ring slot when self-recycling
+    /// (slot images are restored verbatim every round, so the id is
+    /// slot-stable).
+    pub fn response_tag(&self, instance: u64) -> u32 {
+        match self.backend {
+            Backend::HostArmed { .. } => instance as u32,
+            Backend::Recycled { slots, .. } => (instance % slots) as u32,
+        }
     }
 
     /// The probe variant this offload was deployed with.
@@ -353,11 +717,12 @@ impl HashGetOffload {
     /// Trigger RECVs are consumed in arming order, so the k-th client
     /// SEND consumes instance k; this is the host-side half of that
     /// accounting. Errors when every armed instance already has a request
-    /// in flight (the caller should re-arm first).
+    /// in flight (host-armed callers re-arm; recycled callers retire a
+    /// completed instance first — [`HashGetOffload::complete_instance`]).
     pub fn take_instance(&mut self) -> Result<u64> {
-        if self.posted >= self.armed {
+        if self.instances_available() == 0 {
             return Err(Error::InvalidWr(
-                "no armed hash-get instance available (re-arm before posting)",
+                "no armed hash-get instance available (re-arm or complete before posting)",
             ));
         }
         let instance = self.posted;
@@ -365,11 +730,44 @@ impl HashGetOffload {
         Ok(instance)
     }
 
-    /// Armed instances not yet claimed by [`take_instance`]
-    /// (`HashGetOffload::take_instance`).
-    pub fn instances_available(&self) -> u64 {
-        self.armed - self.posted
+    /// Retire one in-flight instance of a self-recycling offload — its
+    /// response was reaped (or the request abandoned), so its ring slot
+    /// is free for the next round. Pure host-side accounting: the NIC
+    /// already re-armed the slot itself. No-op for host-armed offloads,
+    /// whose slots are replenished by `arm`.
+    pub fn complete_instance(&mut self) {
+        if let Backend::Recycled {
+            ref mut completed, ..
+        } = self.backend
+        {
+            *completed = (*completed + 1).min(self.posted);
+        }
     }
+
+    /// Armed instances not yet claimed by
+    /// [`take_instance`](HashGetOffload::take_instance).
+    pub fn instances_available(&self) -> u64 {
+        match self.backend {
+            Backend::HostArmed { armed, .. } => armed - self.posted,
+            Backend::Recycled {
+                slots, completed, ..
+            } => slots - (self.posted - completed),
+        }
+    }
+}
+
+/// Greatest common divisor (for the arm-table reuse cycle).
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (for the arm-table reuse cycle).
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
 }
 
 #[cfg(test)]
@@ -627,6 +1025,239 @@ mod tests {
             Ok(_) => panic!("pipeline_depth 0 must be rejected"),
         };
         assert!(format!("{err}").contains("pipeline_depth"));
+    }
+
+    /// Deploy a self-recycling offload with `depth` instance slots.
+    fn deploy_recycled(
+        r: &mut Rig,
+        variant: HashGetVariant,
+        depth: u32,
+        pool: &mut ConstPool,
+    ) -> HashGetOffload {
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        ctx.hash_get()
+            .table(crate::ctx::TableRegion::of(&r.tmr))
+            .values(crate::ctx::ValueSource::of(&r.vmr, 8))
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .variant(variant)
+            .pipeline_depth(depth)
+            .build_recycled(&mut r.sim, pool)
+            .unwrap()
+    }
+
+    /// One synchronous get through a recycled offload (no arm call).
+    fn do_get_recycled(
+        r: &mut Rig,
+        off: &mut HashGetOffload,
+        key: u64,
+        buckets: &[u64],
+    ) -> Option<u64> {
+        let instance = off.take_instance().unwrap();
+        r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+        let payload = off.client_payload(key, buckets);
+        r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
+        r.sim
+            .post_send(
+                r.cqp,
+                WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32),
+            )
+            .unwrap();
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        off.complete_instance();
+        match cqes.first() {
+            None => None,
+            Some(cqe) => {
+                assert_eq!(
+                    cqe.imm,
+                    Some(off.response_tag(instance)),
+                    "response immediate must be the slot-stable tag"
+                );
+                let slot = off.response_slot(instance);
+                Some(r.sim.mem_read_u64(r.client, slot).unwrap())
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_single_serves_across_rounds_with_stable_slots() {
+        let mut r = rig();
+        for i in 0..8u64 {
+            fill_bucket(&mut r, i, 100 + i, 0xA0 + i);
+        }
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Single, 2, &mut pool);
+        assert!(off.is_recycled());
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        // 8 gets through 2 slots = 4 recycle rounds, zero host re-arms and
+        // zero pool churn after the prime.
+        let pool_used = pool.used();
+        let table = r.table;
+        for g in 0..8u64 {
+            let key = 100 + g % 8;
+            let b = table + (g % 8) * BUCKET_SIZE;
+            let got = do_get_recycled(&mut r, &mut off, key, &[b]);
+            assert_eq!(got, Some(0xA0 + g % 8), "get {g}");
+        }
+        assert_eq!(pool.used(), pool_used, "steady state pushes no pool bytes");
+        assert!(off.rounds(&r.sim) >= 3, "rounds {}", off.rounds(&r.sim));
+    }
+
+    #[test]
+    fn recycled_sequential_probes_both_buckets() {
+        let mut r = rig();
+        fill_bucket(&mut r, 1, 0xAAAA, 0x11);
+        fill_bucket(&mut r, 5, 0xFACE, 0x5555);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Sequential, 2, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let (b1, b5) = (r.table + BUCKET_SIZE, r.table + 5 * BUCKET_SIZE);
+        // Second-bucket hit, first-bucket hit, and again across a round
+        // boundary.
+        assert_eq!(
+            do_get_recycled(&mut r, &mut off, 0xFACE, &[b1, b5]),
+            Some(0x5555)
+        );
+        assert_eq!(
+            do_get_recycled(&mut r, &mut off, 0xAAAA, &[b1, b5]),
+            Some(0x11)
+        );
+        assert_eq!(
+            do_get_recycled(&mut r, &mut off, 0xFACE, &[b1, b5]),
+            Some(0x5555)
+        );
+    }
+
+    #[test]
+    fn recycled_miss_does_not_poison_next_round() {
+        let mut r = rig();
+        fill_bucket(&mut r, 3, 0xFACE, 0x7777);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Single, 1, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let b3 = r.table + 3 * BUCKET_SIZE;
+        // Round 0: miss (CAS fails, response stays NOOP, no completion).
+        assert_eq!(do_get_recycled(&mut r, &mut off, 0xBEEF, &[b3]), None);
+        // Rounds 1..3: hits — the restore chain re-armed the response slot.
+        for _ in 0..3 {
+            assert_eq!(
+                do_get_recycled(&mut r, &mut off, 0xFACE, &[b3]),
+                Some(0x7777)
+            );
+        }
+        // And a miss again, still clean.
+        assert_eq!(do_get_recycled(&mut r, &mut off, 0x1234, &[b3]), None);
+    }
+
+    #[test]
+    fn recycled_wait_thresholds_stay_absolute_and_monotonic() {
+        // The §3.4 fix-up invariant, observed directly in ring memory: the
+        // trigger WAIT of instance 0 advances by exactly K per round and
+        // never resets.
+        let mut r = rig();
+        for i in 0..4u64 {
+            fill_bucket(&mut r, i, 100 + i, 0xB0 + i);
+        }
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Single, 2, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let ring = match off.backend {
+            Backend::Recycled { ring, .. } => ring,
+            _ => unreachable!(),
+        };
+        // Slot 2 is instance 0's trigger WAIT (after the two head FADDs).
+        let wait_operand = ring.slot_addr(2) + WqeField::Operand.offset();
+        let before = r.sim.mem_read_u64(r.server, wait_operand).unwrap();
+        let rounds = 3u64;
+        let table = r.table;
+        for g in 0..(2 * rounds) {
+            let i = g % 4;
+            let got = do_get_recycled(&mut r, &mut off, 100 + i, &[table + i * BUCKET_SIZE]);
+            assert_eq!(got, Some(0xB0 + i));
+        }
+        let after = r.sim.mem_read_u64(r.server, wait_operand).unwrap();
+        assert_eq!(
+            after,
+            before + 2 * rounds,
+            "trigger WAIT advances by K per round, monotonically"
+        );
+    }
+
+    #[test]
+    fn recycled_steady_state_needs_no_host_doorbells_or_posts() {
+        let mut r = rig();
+        for i in 0..4u64 {
+            fill_bucket(&mut r, i, 100 + i, 0xC0 + i);
+        }
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Single, 2, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        // Warm up one full round, then measure.
+        let table = r.table;
+        for i in 0..2u64 {
+            do_get_recycled(&mut r, &mut off, 100 + i, &[table + i * BUCKET_SIZE]).unwrap();
+        }
+        let doorbells = r.sim.node_doorbells(r.server);
+        let posts = r.sim.node_posts(r.server);
+        for g in 0..6u64 {
+            let i = g % 4;
+            do_get_recycled(&mut r, &mut off, 100 + i, &[table + i * BUCKET_SIZE]).unwrap();
+        }
+        assert_eq!(
+            r.sim.node_doorbells(r.server),
+            doorbells,
+            "the server CPU rings no doorbells in steady state"
+        );
+        assert_eq!(
+            r.sim.node_posts(r.server),
+            posts,
+            "the server CPU posts no WQEs in steady state"
+        );
+    }
+
+    #[test]
+    fn recycled_rejects_parallel_and_arm() {
+        let mut r = rig();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 18, ProcessId(0)).unwrap();
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let err = ctx
+            .hash_get()
+            .table(crate::ctx::TableRegion::of(&r.tmr))
+            .values(crate::ctx::ValueSource::of(&r.vmr, 8))
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .variant(HashGetVariant::Parallel)
+            .build_recycled(&mut r.sim, &mut pool);
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => panic!("parallel must be rejected in recycling mode"),
+        };
+        assert!(format!("{err}").contains("Sequential"));
+        let mut off = deploy_recycled(&mut r, HashGetVariant::Single, 2, &mut pool);
+        assert!(off.arm(&mut r.sim, &mut pool).is_err(), "arm is host-only");
+    }
+
+    #[test]
+    fn host_armed_pool_usage_flattens_after_one_cycle() {
+        // The re-arm churn fix: once every ring has wrapped, arm() reuses
+        // the SGE tables staged on the first pass.
+        let mut r = rig();
+        fill_bucket(&mut r, 0, 7, 0xD0);
+        let mut off = deploy(&mut r, HashGetVariant::Single);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 22, ProcessId(0)).unwrap();
+        // One full cycle of arm+get round trips fills the cache (the
+        // response ring is 1024 deep with one WQE per instance)...
+        let cycle = 1024usize;
+        let b0 = r.table;
+        for _ in 0..cycle {
+            assert_eq!(do_get(&mut r, &mut off, &mut pool, 7, &[b0]), Some(0xD0));
+        }
+        let used = pool.used();
+        // ...after which arming pushes nothing.
+        for _ in 0..48 {
+            assert_eq!(do_get(&mut r, &mut off, &mut pool, 7, &[b0]), Some(0xD0));
+        }
+        assert_eq!(pool.used(), used, "steady-state arms push no pool bytes");
     }
 
     #[test]

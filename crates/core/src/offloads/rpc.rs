@@ -47,16 +47,39 @@ impl TriggerPoint {
         pool: &mut ConstPool,
         scatter: &[(u64, u32, u32)],
     ) -> Result<u64> {
+        self.post_trigger_recv_staged(sim, pool, scatter)?;
+        Ok(sim.rq_posted(self.qp) - 1)
+    }
+
+    /// Like [`TriggerPoint::post_trigger_recv`], but also returns the
+    /// staged SGE table's `(address, entry count)` so callers that re-arm
+    /// the same injection targets can re-post without consuming pool
+    /// capacity ([`TriggerPoint::post_trigger_recv_prebuilt`]).
+    pub fn post_trigger_recv_staged(
+        &self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        scatter: &[(u64, u32, u32)],
+    ) -> Result<(u64, u32)> {
         assert!(scatter.len() <= 16, "RECVs can only perform 16 scatters");
         let mut table = Vec::with_capacity(scatter.len() * SGE_SIZE as usize);
         for &(addr, lkey, len) in scatter {
             table.extend_from_slice(&Sge { addr, lkey, len }.encode());
         }
         let table_addr = pool.push_bytes(sim, &table)?;
-        sim.post_recv(
-            self.qp,
-            WorkRequest::recv_sgl(table_addr, scatter.len() as u32),
-        )
+        self.post_trigger_recv_prebuilt(sim, table_addr, scatter.len() as u32)?;
+        Ok((table_addr, scatter.len() as u32))
+    }
+
+    /// Post a trigger RECV over an SGE table staged earlier — the
+    /// pool-flat re-arm path.
+    pub fn post_trigger_recv_prebuilt(
+        &self,
+        sim: &mut Simulator,
+        table_addr: u64,
+        entries: u32,
+    ) -> Result<u64> {
+        sim.post_recv(self.qp, WorkRequest::recv_sgl(table_addr, entries))
     }
 
     /// The WAIT threshold that corresponds to "the next `n`-th trigger

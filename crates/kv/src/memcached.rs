@@ -169,29 +169,72 @@ pub fn redn_get_nb(
     server: &MemcachedServer,
     key: u64,
 ) -> Result<PendingGet> {
+    let mut burst = redn_get_burst(sim, off, ep, server, &[key])?;
+    Ok(burst.pop().expect("one request posted"))
+}
+
+/// Batched non-blocking RedN gets: stage every request's payload and
+/// trigger SEND, then ring **one** doorbell for the whole burst — a
+/// closed-loop generator refilling a K-deep window pays one MMIO per
+/// tick instead of K. Otherwise identical to [`redn_get_nb`] (which is
+/// this with a one-element burst).
+///
+/// The burst is validated against the offload's available instances
+/// *before* anything is staged, so an over-sized burst errors cleanly
+/// with nothing posted. (A mid-burst simulator error still rings the
+/// doorbell for the already-staged requests — they are on the wire —
+/// but their handles are lost with the error; that path indicates a
+/// programming bug, not a capacity condition.)
+pub fn redn_get_burst(
+    sim: &mut Simulator,
+    off: &mut HashGetOffload,
+    ep: &ClientEndpoint,
+    server: &MemcachedServer,
+    keys: &[u64],
+) -> Result<Vec<PendingGet>> {
     if ep.slots < off.pipeline_depth() {
         return Err(Error::InvalidWr(
             "client endpoint has fewer slots than the offload's pipeline depth",
         ));
     }
-    let instance = off.take_instance()?;
-    let slot = instance % off.pipeline_depth() as u64;
-    ep.reserve_response_recv(sim)?;
-    let cands = server.candidate_addrs(key);
-    let n = off.variant().buckets();
-    let payload = off.client_payload(key, &cands[..n]);
-    let req = ep.req_slot(slot);
-    sim.mem_write(ep.node, req, &payload)?;
-    sim.post_send(
-        ep.qp,
-        rpc::trigger_send(req, ep.req_lkey, payload.len() as u32),
-    )?;
-    Ok(PendingGet {
-        instance,
-        key,
-        slot,
-        posted_at: sim.now(),
-    })
+    if off.instances_available() < keys.len() as u64 {
+        return Err(Error::InvalidWr(
+            "burst exceeds the offload's available instances (re-arm or complete first)",
+        ));
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    let mut post = |sim: &mut Simulator, off: &mut HashGetOffload, key: u64| -> Result<()> {
+        let instance = off.take_instance()?;
+        let slot = instance % off.pipeline_depth() as u64;
+        ep.reserve_response_recv(sim)?;
+        let cands = server.candidate_addrs(key);
+        let n = off.variant().buckets();
+        let payload = off.client_payload(key, &cands[..n]);
+        let req = ep.req_slot(slot);
+        sim.mem_write(ep.node, req, &payload)?;
+        sim.post_send_quiet(
+            ep.qp,
+            rpc::trigger_send(req, ep.req_lkey, payload.len() as u32),
+        )?;
+        out.push(PendingGet {
+            instance,
+            key,
+            slot,
+            posted_at: sim.now(),
+        });
+        Ok(())
+    };
+    let mut result = Ok(());
+    for &key in keys {
+        if let Err(e) = post(sim, off, key) {
+            result = Err(e);
+            break;
+        }
+    }
+    if !out.is_empty() {
+        sim.ring_doorbell(ep.qp)?;
+    }
+    result.map(|()| out)
 }
 
 /// Reap up to `max` completed pipelined gets from `ep`'s receive CQ,

@@ -5,15 +5,20 @@
 //! one-at-a-time synchronous path. This module supplies that serving
 //! shape on top of the substrate:
 //!
-//! * a [`ServingFleet`] deploys one hash-get offload (trigger point +
-//!   probe chains) per client through an [`OffloadCtx`], sharded across
-//!   the NIC's processing units, and keeps `pipeline_depth` instances
-//!   armed per trigger point;
-//! * requests are posted with the non-blocking
-//!   [`redn_get_nb`](crate::memcached::redn_get_nb) API and reaped with
-//!   [`redn_reap`](crate::memcached::redn_reap); consumed instances are
-//!   re-armed from the host as completions drain, so the pipeline never
-//!   empties;
+//! * a [`ServingFleet`] deploys one hash-get offload per client through
+//!   an [`OffloadCtx`], sharded across the NIC's ports and processing
+//!   units, with `pipeline_depth` instances in flight per trigger
+//!   point. By default the offloads are **self-recycling** (§3.4 WQ
+//!   recycling): the instance ring is primed once and the NIC re-arms
+//!   it between rounds, so steady-state serving involves zero host arm
+//!   calls, doorbells, posts, or pool pushes on the server — the
+//!   [`FleetStats`] counters prove it per run;
+//! * requests are posted with the batched non-blocking
+//!   [`redn_get_burst`](crate::memcached::redn_get_burst) API (one
+//!   doorbell per generator tick) and reaped with
+//!   [`redn_reap`](crate::memcached::redn_reap); reaping retires the
+//!   instance slot — pure accounting when self-recycling, a host
+//!   re-arm in the legacy `self_recycling: false` mode;
 //! * two load generators built on [`Workload`]: **closed-loop** (each
 //!   client keeps K requests outstanding, the Memtier-style generator of
 //!   §5.4) and **open-loop** (each client fires at a fixed offered rate;
@@ -22,7 +27,14 @@
 //!
 //! Fleet workloads are expected to hit (the population step covers the
 //! key set): a missed key yields no response, which a pipelined client
-//! only notices as a drained-simulator timeout.
+//! only notices as a drained-simulator timeout. This contract matters
+//! doubly for self-recycling fleets: responses carry only the
+//! slot-stable tag (`instance % depth`), and slot reuse within the
+//! window means completions are attributed oldest-first per tag — exact
+//! for hit-only workloads (a slot's responses release in ring-round
+//! order), but a *missed* request lingering in the window would absorb
+//! the next same-slot completion's attribution (stats only; values
+//! always land in the right client slot).
 
 use std::collections::VecDeque;
 
@@ -35,7 +47,7 @@ use rnic_sim::sim::Simulator;
 use rnic_sim::time::Time;
 
 use crate::baselines::ClientEndpoint;
-use crate::memcached::{redn_get, redn_get_nb, redn_reap, MemcachedServer, PendingGet};
+use crate::memcached::{redn_get, redn_get_burst, redn_reap, MemcachedServer, PendingGet};
 use crate::workload::{latency_stats, LatencyStats, Workload};
 
 /// Fleet geometry and per-request parameters.
@@ -45,10 +57,17 @@ pub struct FleetSpec {
     pub clients: usize,
     /// Armed instances kept in flight per client.
     pub pipeline_depth: u32,
-    /// Probe scheduling of every deployed offload.
+    /// Probe scheduling of every deployed offload. Self-recycling
+    /// offloads run probes back-to-back on one ring, so `Parallel` is
+    /// only valid with `self_recycling: false`.
     pub variant: HashGetVariant,
     /// Value bytes per get (must match the server's slot length).
     pub value_len: u32,
+    /// Deploy §3.4 self-recycling offloads (the default): each client's
+    /// instance ring is primed once and the NIC re-arms it between
+    /// rounds — zero host arm calls, doorbells, posts, or pool pushes
+    /// per request. `false` restores the host-re-armed mode.
+    pub self_recycling: bool,
 }
 
 impl Default for FleetSpec {
@@ -56,8 +75,9 @@ impl Default for FleetSpec {
         FleetSpec {
             clients: 4,
             pipeline_depth: 4,
-            variant: HashGetVariant::Parallel,
+            variant: HashGetVariant::Sequential,
             value_len: 64,
+            self_recycling: true,
         }
     }
 }
@@ -78,6 +98,18 @@ pub struct FleetStats {
     pub timeouts: u64,
     /// Offered load of an open-loop run (`None` for closed loop).
     pub offered_ops_per_sec: Option<f64>,
+    /// Host `arm` calls during the run — the §3.4 proof metric: a
+    /// self-recycling fleet reports 0 in steady state.
+    pub host_arm_calls: u64,
+    /// Doorbells (MMIO writes, including host enables) the *server* CPU
+    /// rang during the run. 0 for a self-recycling fleet.
+    pub server_doorbells: u64,
+    /// WQEs the *server* CPU posted during the run. 0 for a
+    /// self-recycling fleet (the NIC re-executes without re-posting).
+    pub server_posts: u64,
+    /// Doorbells the client CPUs rang — batched trigger SENDs make this
+    /// ~1 per generator tick rather than 1 per request.
+    pub client_doorbells: u64,
 }
 
 /// One serving client: endpoint, its dedicated offload, its key stream
@@ -96,6 +128,9 @@ pub struct ServingFleet {
     spec: FleetSpec,
     clients: Vec<FleetClient>,
     latencies: Vec<Time>,
+    server_node: NodeId,
+    client_node: NodeId,
+    arm_calls: u64,
 }
 
 /// Safety net for runs wedged by a lost completion: simulated time spent
@@ -133,21 +168,29 @@ impl ServingFleet {
             )?;
             // Shard clients round-robin over the NIC's ports first (each
             // port has its own WQE-fetch engine and PU pool — the Table 4
-            // dual-port scaling), then stride PU bases within a port:
-            // each offload occupies up to 3 PUs (trigger/merge + two
-            // parallel probe chains), so clients sharing a port spread
-            // over its PUs instead of stacking on PU 0.
-            let mut off = server
+            // dual-port scaling), then stride PU bases within a port so
+            // clients sharing a port spread over its PUs instead of
+            // stacking on PU 0. A self-recycling offload occupies 2 PUs
+            // (trigger + probe ring); a host-armed one up to 3
+            // (trigger/merge + two parallel probe chains).
+            let stride = if spec.self_recycling { 2 } else { 3 };
+            let builder = server
                 .redn_builder(ctx)
                 .respond_to(ep.dest())
                 .variant(spec.variant)
                 .pipeline_depth(spec.pipeline_depth)
                 .on_port(i % ports)
-                .on_pu(((i / ports) * 3) % npus)
-                .build(sim)?;
+                .on_pu(((i / ports) * stride) % npus);
+            let mut off = if spec.self_recycling {
+                builder.build_recycled(sim, ctx.pool_mut())?
+            } else {
+                builder.build(sim)?
+            };
             sim.connect_qps(ep.qp, off.tp.qp)?;
-            for _ in 0..spec.pipeline_depth {
-                off.arm(sim, ctx.pool_mut())?;
+            if !spec.self_recycling {
+                for _ in 0..spec.pipeline_depth {
+                    off.arm(sim, ctx.pool_mut())?;
+                }
             }
             clients.push(FleetClient {
                 ep,
@@ -162,6 +205,9 @@ impl ServingFleet {
             spec,
             clients,
             latencies: Vec::new(),
+            server_node: server.node,
+            client_node,
+            arm_calls: 0,
         })
     }
 
@@ -186,34 +232,50 @@ impl ServingFleet {
         let deadline = start + RUN_DEADLINE;
         self.latencies.clear();
         self.replenish(sim, pool)?;
+        let base = self.counter_base(sim);
         for c in &mut self.clients {
             c.posted = 0;
             c.reaped = 0;
-            for _ in 0..k.min(ops_per_client) {
-                let key = c.workload.next_key();
-                c.inflight
-                    .push_back(redn_get_nb(sim, &mut c.off, &c.ep, server, key)?);
-                c.posted += 1;
-            }
+            let fill: Vec<u64> = (0..k.min(ops_per_client))
+                .map(|_| c.workload.next_key())
+                .collect();
+            c.inflight
+                .extend(redn_get_burst(sim, &mut c.off, &c.ep, server, &fill)?);
+            c.posted += fill.len() as u64;
         }
         loop {
             let mut all_done = true;
             for c in &mut self.clients {
                 for done in redn_reap(sim, &c.ep, 1024) {
-                    if let Some(pos) = c.inflight.iter().position(|p| p.instance == done.instance) {
+                    let tag = done.instance;
+                    if let Some(pos) = c
+                        .inflight
+                        .iter()
+                        .position(|p| u64::from(c.off.response_tag(p.instance)) == tag)
+                    {
                         let pending = c.inflight.remove(pos).expect("position just found");
                         self.latencies.push(done.at - pending.posted_at);
                         c.reaped += 1;
+                        c.off.complete_instance();
                     }
-                    if c.posted < ops_per_client {
-                        // Re-arm the drained instance, then refill the
-                        // window with the next key.
-                        c.off.arm(sim, pool)?;
-                        let key = c.workload.next_key();
-                        c.inflight
-                            .push_back(redn_get_nb(sim, &mut c.off, &c.ep, server, key)?);
-                        c.posted += 1;
+                }
+                // Refill the window up to K with the next keys — host
+                // re-arms for a host-armed fleet (counted), nothing but
+                // accounting for a self-recycling one — and fire the whole
+                // burst under a single doorbell.
+                let room = k.saturating_sub(c.inflight.len() as u64);
+                let refill = room.min(ops_per_client - c.posted);
+                if refill > 0 {
+                    if !self.spec.self_recycling {
+                        for _ in 0..refill {
+                            c.off.arm(sim, pool)?;
+                        }
+                        self.arm_calls += refill;
                     }
+                    let keys: Vec<u64> = (0..refill).map(|_| c.workload.next_key()).collect();
+                    c.inflight
+                        .extend(redn_get_burst(sim, &mut c.off, &c.ep, server, &keys)?);
+                    c.posted += refill;
                 }
                 if c.reaped < ops_per_client {
                     all_done = false;
@@ -226,7 +288,7 @@ impl ServingFleet {
                 break;
             }
         }
-        Ok(self.finish(sim, start, None))
+        Ok(self.finish(sim, start, None, base))
     }
 
     /// Open-loop run: every client *schedules* a get every
@@ -252,6 +314,7 @@ impl ServingFleet {
         let deadline = start + RUN_DEADLINE;
         self.latencies.clear();
         self.replenish(sim, pool)?;
+        let base = self.counter_base(sim);
         for c in &mut self.clients {
             c.posted = 0;
             c.reaped = 0;
@@ -266,26 +329,40 @@ impl ServingFleet {
             let mut next_due: Option<Time> = None;
             for (i, c) in self.clients.iter_mut().enumerate() {
                 for done in redn_reap(sim, &c.ep, 1024) {
-                    if let Some(pos) = c.inflight.iter().position(|p| p.instance == done.instance) {
+                    let tag = done.instance;
+                    if let Some(pos) = c
+                        .inflight
+                        .iter()
+                        .position(|p| u64::from(c.off.response_tag(p.instance)) == tag)
+                    {
                         let pending = c.inflight.remove(pos).expect("position just found");
                         self.latencies.push(done.at - pending.posted_at);
                         c.reaped += 1;
+                        c.off.complete_instance();
                     }
-                    if c.posted < ops_per_client {
+                    if c.posted < ops_per_client && !self.spec.self_recycling {
                         c.off.arm(sim, pool)?;
+                        self.arm_calls += 1;
                     }
                 }
-                // Post every due request the window has room for.
-                while c.posted < ops_per_client
-                    && sched(i as u64, c.posted) <= sim.now()
-                    && (c.inflight.len() as u64) < depth
+                // Post every due request the window has room for, as one
+                // burst under a single doorbell.
+                let mut due: Vec<(u64, Time)> = Vec::new();
+                while c.posted + (due.len() as u64) < ops_per_client
+                    && sched(i as u64, c.posted + due.len() as u64) <= sim.now()
+                    && c.inflight.len() + due.len() < depth as usize
                 {
-                    let scheduled_at = sched(i as u64, c.posted);
-                    let key = c.workload.next_key();
-                    let mut pending = redn_get_nb(sim, &mut c.off, &c.ep, server, key)?;
-                    pending.posted_at = scheduled_at; // charge queueing delay
-                    c.inflight.push_back(pending);
-                    c.posted += 1;
+                    let scheduled_at = sched(i as u64, c.posted + due.len() as u64);
+                    due.push((c.workload.next_key(), scheduled_at));
+                }
+                if !due.is_empty() {
+                    let keys: Vec<u64> = due.iter().map(|(key, _)| *key).collect();
+                    let burst = redn_get_burst(sim, &mut c.off, &c.ep, server, &keys)?;
+                    for (mut pending, (_, scheduled_at)) in burst.into_iter().zip(&due) {
+                        pending.posted_at = *scheduled_at; // charge queueing delay
+                        c.inflight.push_back(pending);
+                        c.posted += 1;
+                    }
                 }
                 if c.reaped < ops_per_client {
                     all_done = false;
@@ -313,14 +390,19 @@ impl ServingFleet {
             }
         }
         let offered = offered_per_client * self.clients.len() as f64;
-        Ok(self.finish(sim, start, Some(offered)))
+        Ok(self.finish(sim, start, Some(offered), base))
     }
 
     /// Top every client's pipeline back up to `pipeline_depth` armed,
-    /// unclaimed instances. A run consumes its window's worth of armed
-    /// instances (the final K posts re-arm nothing), so back-to-back
-    /// runs on one fleet would otherwise drain the pipeline dry.
+    /// unclaimed instances. A host-armed run consumes its window's worth
+    /// of armed instances (the final K posts re-arm nothing), so
+    /// back-to-back runs on one fleet would otherwise drain the pipeline
+    /// dry. Self-recycling fleets re-arm on the NIC — nothing to do.
     fn replenish(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
+        self.arm_calls = 0;
+        if self.spec.self_recycling {
+            return Ok(());
+        }
         let depth = self.spec.pipeline_depth as u64;
         for c in &mut self.clients {
             while c.off.instances_available() < depth {
@@ -330,13 +412,29 @@ impl ServingFleet {
         Ok(())
     }
 
+    /// Snapshot the host-involvement counters at run start.
+    fn counter_base(&self, sim: &Simulator) -> (u64, u64, u64) {
+        (
+            sim.node_doorbells(self.server_node),
+            sim.node_posts(self.server_node),
+            sim.node_doorbells(self.client_node),
+        )
+    }
+
     /// Collect stats and abandon whatever is still in flight.
-    fn finish(&mut self, sim: &Simulator, start: Time, offered: Option<f64>) -> FleetStats {
+    fn finish(
+        &mut self,
+        sim: &Simulator,
+        start: Time,
+        offered: Option<f64>,
+        base: (u64, u64, u64),
+    ) -> FleetStats {
         let mut timeouts = 0u64;
         for c in &mut self.clients {
             timeouts += c.inflight.len() as u64;
             for _ in c.inflight.drain(..) {
                 c.ep.note_request_abandoned();
+                c.off.complete_instance();
             }
         }
         let ops: u64 = self.clients.iter().map(|c| c.reaped).sum();
@@ -353,6 +451,10 @@ impl ServingFleet {
             },
             timeouts,
             offered_ops_per_sec: offered,
+            host_arm_calls: self.arm_calls,
+            server_doorbells: sim.node_doorbells(self.server_node) - base.0,
+            server_posts: sim.node_posts(self.server_node) - base.1,
+            client_doorbells: sim.node_doorbells(self.client_node) - base.2,
         }
     }
 }
@@ -465,5 +567,106 @@ mod tests {
             "achieved {} vs offered {offered}",
             stats.ops_per_sec
         );
+    }
+
+    #[test]
+    fn burst_posting_rings_one_doorbell_per_tick() {
+        // K requests posted in one generator tick must ring one client
+        // doorbell, not K (asserted via the sim's doorbell counter).
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let ep = crate::baselines::ClientEndpoint::create_pipelined(&mut sim, c, 64, 8).unwrap();
+        let mut off = server
+            .redn_builder(&ctx)
+            .respond_to(ep.dest())
+            .variant(HashGetVariant::Sequential)
+            .pipeline_depth(8)
+            .build_recycled(&mut sim, ctx.pool_mut())
+            .unwrap();
+        sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+        let before = sim.node_doorbells(c);
+        let keys: Vec<u64> = (1..=8).collect();
+        let pending = redn_get_burst(&mut sim, &mut off, &ep, &server, &keys).unwrap();
+        assert_eq!(pending.len(), 8);
+        assert_eq!(
+            sim.node_doorbells(c) - before,
+            1,
+            "a burst of 8 requests is one doorbell"
+        );
+        sim.run().unwrap();
+        assert_eq!(redn_reap(&mut sim, &ep, 16).len(), 8, "all 8 respond");
+    }
+
+    /// The ISSUE-3 soak: >= 100K ops through one self-recycling fleet,
+    /// with pool usage, server doorbells, and server posts all flat after
+    /// warm-up — the serving loop runs with zero CPU on the server.
+    #[test]
+    fn soak_100k_ops_keeps_pool_and_host_counters_flat() {
+        let (mut sim, c, server, mut ctx) = rig(1024);
+        let spec = FleetSpec {
+            clients: 2,
+            pipeline_depth: 8,
+            ..FleetSpec::default()
+        };
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            spec,
+            per_client_workloads(spec.clients, 1024),
+        )
+        .unwrap();
+        // Warm-up run.
+        fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 100, 8)
+            .unwrap();
+        let pool_used = ctx.pool().used();
+        let server_node = server.node;
+        let doorbells = sim.node_doorbells(server_node);
+        let posts = sim.node_posts(server_node);
+        // The soak: 50K ops per client = 100K total.
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50_000, 8)
+            .unwrap();
+        assert_eq!(stats.ops, 100_000);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.host_arm_calls, 0);
+        assert_eq!(ctx.pool().used(), pool_used, "pool usage stays flat");
+        assert_eq!(
+            sim.node_doorbells(server_node),
+            doorbells,
+            "server doorbells stay flat across 100K ops"
+        );
+        assert_eq!(
+            sim.node_posts(server_node),
+            posts,
+            "server posts stay flat across 100K ops"
+        );
+    }
+
+    #[test]
+    fn host_armed_mode_still_serves_and_reports_its_cost() {
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let spec = FleetSpec {
+            clients: 2,
+            variant: HashGetVariant::Parallel,
+            self_recycling: false,
+            ..FleetSpec::default()
+        };
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            spec,
+            per_client_workloads(spec.clients, 512),
+        )
+        .unwrap();
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50, 4)
+            .unwrap();
+        assert_eq!(stats.ops, 100);
+        assert!(stats.host_arm_calls > 0, "host mode re-arms from the CPU");
+        assert!(stats.server_posts > 0, "host mode posts per re-arm");
     }
 }

@@ -108,13 +108,23 @@ pub struct NicConfig {
     /// prefetch depth is proprietary (§5.1.2 footnote); 16 keeps the fetch
     /// pipeline off the critical path as the paper's Fig 8 implies.
     pub prefetch_batch: usize,
-    /// Serialized fetch-engine occupancy for one *managed* (doorbell-
-    /// ordered) WQE fetch. A managed queue cannot overlap fetch with
-    /// execution, so its per-WR marginal is `t_issue + t_managed_fetch` =
-    /// 0.123 + 0.417 = the paper's 0.54 µs doorbell-order marginal (Fig 8).
-    /// The engine is shared per port and is the "NIC PU" bottleneck of
-    /// Table 4.
+    /// End-to-end latency of one *managed* (doorbell-ordered) WQE fetch —
+    /// a serialized 64 B DMA round trip. A managed queue cannot overlap
+    /// fetch with its own execution, so its per-WR marginal is
+    /// `t_issue + t_managed_fetch` = 0.123 + 0.417 = the paper's 0.54 µs
+    /// doorbell-order marginal (Fig 8). The engine behind it is shared per
+    /// port and is the "NIC PU" bottleneck of Table 4.
     pub t_managed_fetch: Time,
+    /// Outstanding managed fetches the per-port fetch engine pipelines.
+    /// PCIe non-posted reads overlap (tag-level parallelism), so fetches
+    /// of *independent* managed queues need not serialize at full DMA
+    /// latency: each fetch occupies the engine for
+    /// `t_managed_fetch / managed_fetch_pipeline` and completes after the
+    /// full `t_managed_fetch` latency. A single queue still experiences
+    /// the full per-WR latency (its own fetch/execute dependency — the
+    /// Fig 8 doorbell-order marginal and the Table 4 single-offload
+    /// ceilings are unchanged); only cross-queue contention is relieved.
+    pub managed_fetch_pipeline: usize,
     /// Minimum start-to-start gap between consecutive WQEs of the *same*
     /// WQ (serial chain bookkeeping). This is the 0.17 µs WQ-order marginal
     /// of Fig 8; it exceeds the raw PU issue time because a single chain
@@ -188,6 +198,7 @@ impl NicConfig {
             t_fetch_batch: Time::from_ps(350_000),
             prefetch_batch: 16,
             t_managed_fetch: Time::from_ps(417_000),
+            managed_fetch_pipeline: 4,
             t_chain_gap: Time::from_ps(170_000),
             t_cqe: Time::from_ps(20_000),
             t_issue_write: generation.t_issue_write(),
@@ -229,6 +240,14 @@ impl NicConfig {
     pub fn dual_port(mut self) -> NicConfig {
         self.ports = 2;
         self
+    }
+
+    /// Fetch-engine occupancy of one managed WQE fetch: the serialized
+    /// slot a fetch holds while its DMA is in flight. The remaining
+    /// `t_managed_fetch - slot` of latency overlaps with other queues'
+    /// fetches (see [`NicConfig::managed_fetch_pipeline`]).
+    pub fn t_managed_fetch_slot(&self) -> Time {
+        Time::from_ps(self.t_managed_fetch.as_ps() / self.managed_fetch_pipeline.max(1) as u64)
     }
 
     /// Issue time (PU occupancy) for one verb of the given class.

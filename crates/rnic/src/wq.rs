@@ -106,6 +106,12 @@ pub struct WorkQueue {
     pub stat_executed: u64,
     /// Statistics: doorbells observed.
     pub stat_doorbells: u64,
+    /// Cyclic receive ring (receive queues only): once fully posted, the
+    /// NIC re-arms consumed RECVs as the ring wraps — no further host
+    /// posts needed. This is how a recycled offload's trigger RECVs
+    /// persist without CPU (the RQ analogue of §3.4's WQ recycling; real
+    /// NICs offer it as cyclic/striding receive buffers).
+    pub cyclic: bool,
 }
 
 impl WorkQueue {
@@ -145,6 +151,7 @@ impl WorkQueue {
             rate_ops_per_sec: None,
             stat_executed: 0,
             stat_doorbells: 0,
+            cyclic: false,
         }
     }
 
@@ -159,9 +166,11 @@ impl WorkQueue {
     }
 
     /// Whether the host can post another WQE without overwriting one the
-    /// NIC has not executed yet.
+    /// NIC has not executed yet. (A cyclic RQ's `executed` outruns
+    /// `posted`, hence the saturating difference — such rings are full by
+    /// construction and never posted to again.)
     pub fn has_room(&self) -> bool {
-        self.posted - self.executed < self.depth as u64
+        self.posted.saturating_sub(self.executed) < self.depth as u64 && !self.cyclic
     }
 
     /// Highest WQE index (exclusive) the NIC may currently fetch.
