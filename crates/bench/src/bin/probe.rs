@@ -24,24 +24,23 @@ fn run(self_recycling: bool) {
         .pool_capacity(1 << 24)
         .build(&mut sim)
         .unwrap();
-    let spec = FleetSpec {
-        clients: 8,
-        pipeline_depth: 16,
-        variant: if self_recycling {
+    let spec = FleetSpec::gets(
+        8,
+        16,
+        if self_recycling {
             HashGetVariant::Sequential
         } else {
             HashGetVariant::Parallel
         },
-        value_len: 64,
         self_recycling,
-    };
-    let workloads = Workload::split_sequential(nkeys, spec.clients);
+    );
+    let workloads = Workload::split_sequential(nkeys, spec.total_clients());
     let mut fleet =
-        ServingFleet::deploy(&mut sim, &mut ctx, &server, client, spec, workloads).unwrap();
+        ServingFleet::deploy(&mut sim, &mut ctx, &server, None, client, spec, workloads).unwrap();
     let u0 = sim.utilization(server_node);
     let t0 = sim.now();
     let stats = fleet
-        .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 1000, 16)
+        .run_closed_loop(&mut sim, ctx.pool_mut(), 1000, 16)
         .unwrap();
     let u1 = sim.utilization(server_node);
     let elapsed = (sim.now() - t0).as_us_f64();

@@ -49,16 +49,30 @@ fn main() {
         ));
     }
     for p in &report.open {
-        let note = p
-            .stats
-            .latency
-            .map(|l| format!("p99 {}", us(l.p99_us)))
-            .unwrap_or_default();
+        let note = match (p.stats.latency, p.stats.service_latency) {
+            (Some(sched), Some(svc)) => format!(
+                "sched p99 {} / svc p99 {}",
+                us(sched.p99_us),
+                us(svc.p99_us)
+            ),
+            _ => String::new(),
+        };
         rows.push(Row::new(
             format!("open loop @ {}", kops(p.offered / 1e3)),
             kops(p.stats.ops_per_sec / 1e3),
             "—",
             note,
+        ));
+    }
+    if let Some(m) = &report.mixed {
+        rows.push(Row::new(
+            format!(
+                "mixed fleet ({} gets + {} walks) K={}",
+                m.get_clients, m.walk_clients, m.k
+            ),
+            kops(m.stats.ops_per_sec / 1e3),
+            "—",
+            format!("{} gets / {} walks", m.stats.get_ops, m.stats.walk_ops),
         ));
     }
     print_table(
@@ -70,6 +84,9 @@ fn main() {
         "\npipelining speedup vs sync baseline: {:.2}x",
         report.speedup_vs_sync()
     );
+    if let Some(s) = report.mixed_speedup_vs_sync() {
+        println!("mixed (gets + walks) speedup vs sync baseline: {s:.2}x");
+    }
 
     std::fs::write(&out_path, report.to_json()).expect("write artifact");
     println!("wrote {out_path}");

@@ -167,6 +167,9 @@ pub(crate) struct ListWalkSpec {
     pub(crate) dest: ClientDest,
     pub(crate) max_nodes: usize,
     pub(crate) break_on_match: bool,
+    pub(crate) port: usize,
+    pub(crate) pipeline_depth: u32,
+    pub(crate) pu_base: usize,
 }
 
 /// Fluent builder for the linked-list traversal offload (Fig 12/13).
@@ -175,11 +178,14 @@ pub(crate) struct ListWalkSpec {
 pub struct ListWalkBuilder {
     node: NodeId,
     owner: ProcessId,
+    port: usize,
     list: Option<TableRegion>,
     value_len: u32,
     dest: Option<ClientDest>,
     max_nodes: usize,
     break_on_match: bool,
+    pipeline_depth: u32,
+    pu_base: usize,
 }
 
 impl ListWalkBuilder {
@@ -187,11 +193,14 @@ impl ListWalkBuilder {
         ListWalkBuilder {
             node,
             owner,
+            port: 0,
             list: None,
             value_len: 64,
             dest: None,
             max_nodes: 8,
             break_on_match: false,
+            pipeline_depth: 1,
+            pu_base: 0,
         }
     }
 
@@ -221,15 +230,74 @@ impl ListWalkBuilder {
     }
 
     /// Compile the Fig 13 `+break` variant: a match abandons the rest of
-    /// the walk.
+    /// the walk. Break offloads suppress response completions, which is
+    /// incompatible with the absolute completion counts pipelining and
+    /// recycling depend on — they stay single-instance, host-armed.
     pub fn break_on_match(mut self) -> ListWalkBuilder {
         self.break_on_match = true;
         self
     }
 
-    /// Deploy the offload's queues.
+    /// Override the NIC port the offload's queues bind to.
+    pub fn on_port(mut self, port: usize) -> ListWalkBuilder {
+        self.port = port;
+        self
+    }
+
+    /// Instances the client may keep in flight concurrently (default 1,
+    /// the synchronous path). Each in-flight instance lands its response
+    /// in its own slot of the client's response buffer (which must hold
+    /// at least `n * value_len.max(8)` bytes) and carries an instance
+    /// tag in the response's immediate, exactly like the hash-get
+    /// offload — the two are interchangeable behind
+    /// [`OffloadService`](crate::offloads::service::OffloadService).
+    pub fn pipeline_depth(mut self, n: u32) -> ListWalkBuilder {
+        self.pipeline_depth = n;
+        self
+    }
+
+    /// First processing unit this offload's queues occupy; a fleet
+    /// deploying one offload per client spreads them over the NIC's PUs
+    /// with distinct bases (wraps modulo the NIC's PU count).
+    pub fn on_pu(mut self, pu_base: usize) -> ListWalkBuilder {
+        self.pu_base = pu_base;
+        self
+    }
+
+    /// Deploy the offload's queues. The caller connects a client QP to
+    /// `offload.tp.qp` and [`arm`](ListWalkOffload::arm)s instances.
     pub fn build(self, sim: &mut Simulator) -> Result<ListWalkOffload> {
-        let spec = ListWalkSpec {
+        let spec = self.resolve()?;
+        ListWalkOffload::deploy(sim, self.node, self.owner, spec)
+    }
+
+    /// Deploy the **self-recycling** variant (§3.4 WQ recycling applied
+    /// to list traversal): all `pipeline_depth` walk instances are staged
+    /// once into one recycled ring — per-iteration READ→CAS pairs gated
+    /// by `wait_prev`, pristine response images restored per round,
+    /// FETCH_ADD threshold fix-ups, a cyclic trigger-RECV ring — and the
+    /// NIC re-arms everything itself between rounds. The paper's R3
+    /// key-copy WRITE is folded into the trigger RECV's scatter (the
+    /// §5.3 16-SGE observation), which caps `max_nodes` at 15.
+    pub fn build_recycled(
+        self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+    ) -> Result<ListWalkOffload> {
+        let spec = self.resolve()?;
+        ListWalkOffload::deploy_recycled(sim, self.node, self.owner, spec, pool)
+    }
+
+    fn resolve(&self) -> Result<ListWalkSpec> {
+        if self.pipeline_depth == 0 {
+            return Err(Error::InvalidWr("list-walk pipeline_depth must be >= 1"));
+        }
+        if self.break_on_match && self.pipeline_depth > 1 {
+            return Err(Error::InvalidWr(
+                "break_on_match walks suppress completions and are single-instance",
+            ));
+        }
+        Ok(ListWalkSpec {
             list: self
                 .list
                 .ok_or(Error::InvalidWr("list-walk deployment needs .list(...)"))?,
@@ -239,7 +307,9 @@ impl ListWalkBuilder {
             ))?,
             max_nodes: self.max_nodes,
             break_on_match: self.break_on_match,
-        };
-        ListWalkOffload::deploy(sim, self.node, self.owner, spec)
+            port: self.port,
+            pipeline_depth: self.pipeline_depth,
+            pu_base: self.pu_base,
+        })
     }
 }

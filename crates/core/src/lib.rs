@@ -54,6 +54,7 @@ pub mod prelude {
     pub use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
     pub use crate::offloads::list::ListWalkOffload;
     pub use crate::offloads::rpc::TriggerPoint;
+    pub use crate::offloads::service::OffloadService;
     pub use crate::program::{ChainQueue, ConstPool};
     pub use crate::turing::{compile::CompiledTm, machine::TuringMachine};
 }

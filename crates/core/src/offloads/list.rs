@@ -16,14 +16,35 @@
 //!    transmutes a break NOOP whose WRITE suppresses the response's
 //!    completion flag, starving the next iteration's WAIT — the loop
 //!    exits early instead of walking the remaining nodes.
+//!
+//! Two deployment modes, at parity with the hash-get offload (both
+//! implement [`OffloadService`](crate::offloads::service::OffloadService)):
+//!
+//! * **host-armed** ([`ListWalkBuilder::build`]): every walk instance is
+//!   staged by a host [`ListWalkOffload::arm`] call. With
+//!   `pipeline_depth > 1`, armed instances land their responses in
+//!   per-instance client slots and carry the instance id as the
+//!   response immediate, so several walks can be in flight at once.
+//! * **self-recycling** ([`ListWalkBuilder::build_recycled`]): one ring
+//!   of `pipeline_depth` walk instances is staged at deploy and the NIC
+//!   re-arms it forever (§3.4 WQ recycling — restore WRITEs from
+//!   pristine response images, FETCH_ADD threshold fix-ups, a cyclic
+//!   trigger-RECV ring). The R3 key-copy is folded into the trigger
+//!   RECV's scatter (the client repeats `x` once per iteration), which
+//!   caps `max_nodes` at 15 under the 16-SGE RECV limit — exactly the
+//!   trade-off §5.3 describes.
+//!
+//! [`ListWalkBuilder::build`]: crate::ctx::ListWalkBuilder::build
+//! [`ListWalkBuilder::build_recycled`]: crate::ctx::ListWalkBuilder::build_recycled
 
-use rnic_sim::error::Result;
+use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED};
+use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED, WQE_SIZE};
 
 use crate::builder::ChainBuilder;
+use crate::constructs::loops::RecycledLoopBuilder;
 use crate::ctx::{ChainQueueBuilder, ListWalkSpec, TriggerPointBuilder};
 use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
 use crate::offloads::rpc::TriggerPoint;
@@ -38,6 +59,20 @@ pub const NODE_OFF_VALUE: u64 = 16;
 
 /// Node header size (next + key), before the value.
 pub const NODE_HEADER: u64 = 16;
+
+/// Most nodes a *recycled* walk may visit: the folded R3 needs one
+/// 6-byte scatter entry per iteration plus one for the head pointer,
+/// and RECVs scatter at most 16 ways (§5.3).
+pub const RECYCLED_MAX_NODES: usize = 15;
+
+/// Bytes of a walk's client trigger payload for unroll factor
+/// `max_nodes`: `[N0(8B)][x(6B)]` host-armed, `[N0][x(6B) × max_nodes]`
+/// self-recycling (the folded R3 repeats the key per iteration) — what
+/// [`ListWalkOffload::client_payload`] produces, computable before
+/// deployment for endpoint sizing.
+pub fn client_payload_len(max_nodes: usize, recycled: bool) -> usize {
+    8 + 6 * if recycled { max_nodes } else { 1 }
+}
 
 /// Encode a list node.
 pub fn encode_node(next: u64, key: u64, value: &[u8]) -> Vec<u8> {
@@ -54,16 +89,45 @@ pub struct ListWalkOffload {
     /// Client-facing trigger endpoint.
     pub tp: TriggerPoint,
     spec: ListWalkSpec,
-    chain: ChainQueue,
-    ctrl: ChainQueue,
-    /// Loopback queue holding break placeholders (their WRITEs target the
-    /// *server's* response ring, so they cannot ride the client-facing
-    /// QP, whose one-sided verbs address client memory).
-    brk_q: Option<ChainQueue>,
-    armed: u64,
+    /// Instances handed out to in-flight requests (see
+    /// [`ListWalkOffload::take_instance`]).
+    posted: u64,
     /// recv CQ completion count at creation (see hash_lookup).
     trigger_base: u64,
     node: NodeId,
+    backend: Backend,
+}
+
+/// How armed walk instances come to exist.
+enum Backend {
+    /// Every instance is staged by a host `arm` call.
+    HostArmed {
+        chain: ChainQueue,
+        ctrl: ChainQueue,
+        /// Loopback queue holding break placeholders (their WRITEs target
+        /// the *server's* response ring, so they cannot ride the
+        /// client-facing QP, whose one-sided verbs address client memory).
+        brk_q: Option<ChainQueue>,
+        armed: u64,
+        /// ctrl CQ completion count at deploy. Only the per-iteration R3
+        /// WRITEs are signaled on the control queue, so instance `k`'s
+        /// `i`-th R3 completes at exactly `ctrl_cqe_base + k*N + i + 1` —
+        /// absolute and monotonic, robust when many instances are armed
+        /// before any runs (pipelined arming).
+        ctrl_cqe_base: u64,
+    },
+    /// One ring of `slots` walk instances built at deploy re-arms itself
+    /// on the NIC every round (§3.4 WQ recycling).
+    Recycled {
+        /// The walk ring (managed, self-enabling).
+        ring: ChainQueue,
+        /// Instances per round (== pipeline depth).
+        slots: u64,
+        /// Responses handed back by the client (frees ring slots).
+        completed: u64,
+        /// Ring slots per round, for round accounting.
+        round_len: u64,
+    },
 }
 
 impl ListWalkOffload {
@@ -76,45 +140,337 @@ impl ListWalkOffload {
         spec: ListWalkSpec,
     ) -> Result<ListWalkOffload> {
         assert!(spec.max_nodes >= 1);
-        let tp = TriggerPointBuilder::new(node, owner).on_pu(0).build(sim)?;
+        let npus = sim.nic_config(node).pus_per_port;
+        let pu = |off: usize| (spec.pu_base + off) % npus;
+        let tp = TriggerPointBuilder::new(node, owner)
+            .on_pu(pu(0))
+            .on_port(spec.port)
+            .build(sim)?;
         let chain = ChainQueueBuilder::new(node, owner)
             .managed()
             .depth(2048)
+            .on_pu(pu(1))
+            .on_port(spec.port)
             .build(sim)?;
-        let ctrl = ChainQueueBuilder::new(node, owner).depth(4096).build(sim)?;
+        // The control (and break) queues take the third PU of the
+        // client's stride, matching the fleet's host-armed budget of 3
+        // PUs per service — without the pin every client's control
+        // chain would stack on PU 0 of its port.
+        let ctrl = ChainQueueBuilder::new(node, owner)
+            .depth(4096)
+            .on_pu(pu(2))
+            .on_port(spec.port)
+            .build(sim)?;
         let brk_q = if spec.break_on_match {
             Some(
                 ChainQueueBuilder::new(node, owner)
                     .managed()
                     .depth(2048)
+                    .on_pu(pu(2))
+                    .on_port(spec.port)
                     .build(sim)?,
             )
         } else {
             None
         };
         let trigger_base = sim.cq_total(tp.recv_cq);
+        let ctrl_cqe_base = sim.cq_total(ctrl.cq);
         Ok(ListWalkOffload {
             tp,
             spec,
-            chain,
-            ctrl,
-            brk_q,
-            armed: 0,
+            posted: 0,
             trigger_base,
             node,
+            backend: Backend::HostArmed {
+                chain,
+                ctrl,
+                brk_q,
+                armed: 0,
+                ctrl_cqe_base,
+            },
         })
     }
 
-    /// Stage one walk instance. Returns the number of WRs staged (the
-    /// paper reports ~50 WRs without break vs ~30 with, Fig 13).
+    /// Deploy the self-recycling variant (§3.4 applied to list
+    /// traversal): one ring of `pipeline_depth` walk instances is staged
+    /// **once** and the NIC re-arms it between rounds. Per instance `k`
+    /// the ring holds (`N` = `max_nodes`, probes strictly serialized by
+    /// `wait_prev` — a list walk is a pointer chase):
+    ///
+    /// ```text
+    /// WAIT(recv_cq, T_k)            -- released by trigger k  (+K/round)
+    /// READ_0                        -- node -> next READ / resp id / staging
+    /// CAS_0   (wait_prev)           -- key match? NOOP -> WRITE_IMM
+    /// READ_1  (wait_prev)           -- remote addr patched by READ_0
+    /// ...
+    /// ENABLE(resp, (k+1)*N) (wait_prev)                      (+N*K/round)
+    /// ```
+    ///
+    /// and per round, after all K instances, the same tail as the
+    /// recycled hash-get: WAIT for all `K*N` responses, one restore
+    /// WRITE over the pristine response images, FETCH_ADD fix-ups and
+    /// the self-ENABLE appended by [`RecycledLoopBuilder`].
+    ///
+    /// The R3 key-copy is folded into the trigger RECV scatter: the
+    /// client payload is `[N0(8B)][x(6B) × N]` (see
+    /// [`ListWalkOffload::client_payload`]), capping `N` at
+    /// [`RECYCLED_MAX_NODES`].
+    pub(crate) fn deploy_recycled(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        spec: ListWalkSpec,
+        pool: &mut ConstPool,
+    ) -> Result<ListWalkOffload> {
+        assert!(spec.max_nodes >= 1);
+        if spec.break_on_match {
+            return Err(Error::InvalidWr(
+                "break_on_match suppresses completions; recycled walks need absolute counts",
+            ));
+        }
+        if spec.max_nodes > RECYCLED_MAX_NODES {
+            return Err(Error::InvalidWr(
+                "recycled list-walk folds the key into the 16-SGE trigger scatter: max_nodes <= 15",
+            ));
+        }
+        let npus = sim.nic_config(node).pus_per_port;
+        let pu = |off: usize| (spec.pu_base + off) % npus;
+        let k = spec.pipeline_depth as u64;
+        let n = spec.max_nodes as u64;
+        let resp_slots = k * n;
+
+        let tp = TriggerPointBuilder::new(node, owner)
+            .on_pu(pu(0))
+            .on_port(spec.port)
+            .sq_depth(resp_slots as u32)
+            .rq_depth(k as u32)
+            .build(sim)?;
+        let trigger_base = sim.cq_total(tp.recv_cq);
+        let send_base = sim.cq_total(tp.send_cq);
+        let tp_queue = ChainQueue {
+            qp: tp.qp,
+            peer: tp.qp, // unused
+            sq: sim.sq_of(tp.qp),
+            cq: tp.send_cq,
+            ring: tp.ring,
+            managed: true,
+            depth: resp_slots as u32,
+            node,
+        };
+        let pool_mr = pool.mr();
+        let stride = spec.value_len.max(8) as u64;
+
+        // Per-(instance, iteration) value staging buffers plus a shared
+        // scrap sink for final next pointers and key pads.
+        let mut staging = Vec::with_capacity(resp_slots as usize);
+        for _ in 0..resp_slots {
+            staging.push(pool.reserve(sim, spec.value_len as u64)?);
+        }
+        let scratch = pool.reserve(sim, 16)?;
+
+        // Response ring: K*N pristine WRITE_IMM-carrying NOOPs, posted
+        // once; their concatenated images are the restore source. The
+        // local address is the iteration's staging buffer (fixed); only
+        // the id bits (stored key) are patched per request.
+        let mut image = Vec::with_capacity((resp_slots * WQE_SIZE) as usize);
+        for inst in 0..k {
+            for i in 0..n {
+                let mut resp = WorkRequest::write_imm(
+                    staging[(inst * n + i) as usize],
+                    pool_mr.lkey,
+                    spec.value_len,
+                    spec.dest.addr + inst * stride,
+                    spec.dest.rkey(),
+                    inst as u32,
+                )
+                .signaled();
+                resp.wqe.opcode = Opcode::Noop;
+                image.extend_from_slice(&resp.wqe.encode());
+                sim.post_send_quiet(tp.qp, resp)?;
+            }
+        }
+        let image_addr = pool.push_bytes(sim, &image)?;
+
+        // The walk ring: body + tail sized exactly.
+        let body = k * (2 + 2 * n);
+        let fixups = 2 * k + 1;
+        let depth = 2 + body + 2 + fixups + 2;
+        let ring_q = ChainQueueBuilder::new(node, owner)
+            .managed()
+            .depth(depth as u32)
+            .on_pu(pu(1))
+            .on_port(spec.port)
+            .build(sim)?;
+        let mut lb = RecycledLoopBuilder::new(sim, ring_q);
+        let mut scatters: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(k as usize);
+        for inst in 0..k {
+            // Instance body starts after the 2 reserved head slots:
+            // WAIT at `base`, READ_i at `base + 1 + 2i`, CAS_i right
+            // after its READ, the response ENABLE last.
+            let base = 2 + inst * (2 * n + 2);
+            let read_rel = |i: u64| (base + 1 + 2 * i) as usize;
+            lb.stage_bumped(WorkRequest::wait(tp.recv_cq, trigger_base + inst + 1), k);
+            let mut scatter = Vec::with_capacity(1 + n as usize);
+            let mut key_scatter = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let resp_slot = tp_queue.slot_addr(inst * n + i);
+                // READ scatter: next -> next iteration's READ.remote_addr
+                // (or scratch for the last), key(6B) -> response id,
+                // pad(2B) -> scratch, value -> staging.
+                let (next_target, next_lkey) = if i + 1 < n {
+                    (
+                        lb.slot_field_addr(read_rel(i + 1), WqeField::RemoteAddr),
+                        ring_q.ring.lkey,
+                    )
+                } else {
+                    (scratch, pool_mr.lkey)
+                };
+                let entries = [
+                    Sge {
+                        addr: next_target,
+                        lkey: next_lkey,
+                        len: 8,
+                    },
+                    Sge {
+                        addr: resp_slot + WqeField::Id.offset(),
+                        lkey: tp.ring.lkey,
+                        len: 6,
+                    },
+                    Sge {
+                        addr: scratch + 8,
+                        lkey: pool_mr.lkey,
+                        len: 2,
+                    },
+                    Sge {
+                        addr: staging[(inst * n + i) as usize],
+                        lkey: pool_mr.lkey,
+                        len: spec.value_len,
+                    },
+                ];
+                let mut tbytes = Vec::new();
+                for e in &entries {
+                    tbytes.extend_from_slice(&e.encode());
+                }
+                let table_addr = pool.push_bytes(sim, &tbytes)?;
+                let mut read = WorkRequest::read_sgl(
+                    table_addr,
+                    4,
+                    0, // patched: head from the trigger / next from READ i-1
+                    spec.list.rkey(),
+                )
+                .signaled();
+                if i > 0 {
+                    // The pointer chase: READ_i's remote address is
+                    // patched by READ_{i-1}'s scatter.
+                    read = read.wait_prev();
+                }
+                let read_idx = lb.stage(read);
+                debug_assert_eq!(read_idx, read_rel(i));
+                if i == 0 {
+                    scatter.push((
+                        lb.slot_field_addr(read_idx, WqeField::RemoteAddr),
+                        ring_q.ring.lkey,
+                        8,
+                    ));
+                }
+                let mut cas = WorkRequest::cas(
+                    resp_slot + WqeField::Header.offset(),
+                    tp.ring.rkey,
+                    cond_compare(0), // low 6 bytes patched with x
+                    cond_swap(Opcode::WriteImm, 0),
+                    0,
+                    0,
+                )
+                .signaled()
+                .wait_prev();
+                cas.wqe.operand = cond_compare(0);
+                let cas_idx = lb.stage(cas);
+                key_scatter.push((
+                    lb.slot_field_addr(cas_idx, WqeField::Operand) + 2,
+                    ring_q.ring.lkey,
+                    6,
+                ));
+            }
+            lb.stage_bumped(
+                WorkRequest::enable(tp_queue.sq, (inst + 1) * n).wait_prev(),
+                resp_slots,
+            );
+            // Trigger payload is [N0][x × N]: head entry first, then one
+            // key entry per iteration's CAS (the folded R3).
+            scatter.extend(key_scatter);
+            scatters.push(scatter);
+        }
+        // Round tail: all of this round's responses executed, then
+        // restore the whole response ring with one WRITE.
+        lb.stage_bumped(
+            WorkRequest::wait(tp.send_cq, send_base + resp_slots),
+            resp_slots,
+        );
+        lb.stage(
+            WorkRequest::write(
+                image_addr,
+                pool_mr.lkey,
+                (resp_slots * WQE_SIZE) as u32,
+                tp_queue.slot_addr(0),
+                tp.ring.rkey,
+            )
+            .signaled(),
+        );
+        let ring = lb.finish(sim, pool)?;
+        debug_assert_eq!(ring.round_len, depth);
+
+        // The trigger-RECV ring: one scatter program per instance, posted
+        // once and recycled by the NIC as the ring wraps.
+        for scatter in &scatters {
+            tp.post_trigger_recv(sim, pool, scatter)?;
+        }
+        sim.set_rq_cyclic(tp.qp)?;
+
+        Ok(ListWalkOffload {
+            tp,
+            spec,
+            posted: 0,
+            trigger_base,
+            node,
+            backend: Backend::Recycled {
+                ring: ring.queue,
+                slots: k,
+                completed: 0,
+                round_len: ring.round_len,
+            },
+        })
+    }
+
+    /// Stage one walk instance (host-armed mode only; self-recycling
+    /// offloads are primed once at deploy). Returns the number of WRs
+    /// staged (the paper reports ~50 WRs without break vs ~30 with,
+    /// Fig 13). With `pipeline_depth > 1` the instance's response lands
+    /// in its own client slot and carries the instance id as immediate
+    /// data, so several walks can be armed (and in flight) at once.
     pub fn arm(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<usize> {
-        let trigger_count = self.trigger_base + self.armed + 1;
+        let resp_depth = sim.wq_depth(sim.sq_of(self.tp.qp));
+        let Backend::HostArmed {
+            chain,
+            ctrl,
+            brk_q,
+            armed,
+            ctrl_cqe_base,
+        } = self.backend
+        else {
+            return Err(Error::InvalidWr(
+                "self-recycling offloads are primed once at deploy; arm() is host-armed only",
+            ));
+        };
+        let trigger_count = self.trigger_base + armed + 1;
+        let instance = armed;
+        let slot = instance % self.spec.pipeline_depth as u64;
+        let resp_addr = self.spec.dest.addr + slot * self.response_stride();
         let spec = self.spec;
         let pool_mr = pool.mr();
         let mut wr_count = 0usize;
 
-        let mut chain_b = ChainBuilder::new(sim, self.chain);
-        let mut ctrl_b = ChainBuilder::new(sim, self.ctrl);
+        let mut chain_b = ChainBuilder::new(sim, chain);
+        let mut ctrl_b = ChainBuilder::new(sim, ctrl);
         let mut resp_b = ChainBuilder::new(
             sim,
             ChainQueue {
@@ -124,17 +480,17 @@ impl ListWalkOffload {
                 cq: self.tp.send_cq,
                 ring: self.tp.ring,
                 managed: true,
-                depth: 1024,
+                depth: resp_depth,
                 node: self.node,
             },
         );
         // All chain-queue WQEs are signaled: absolute CQE count == posted.
-        let chain_base = sim.sq_posted(self.chain.qp);
+        let chain_base = sim.sq_posted(chain.qp);
         // With breaks, suppressed completions make posted != CQE count, so
         // break offloads are single-shot: gate on the live CQ totals.
         let resp_cqe_base = sim.cq_total(self.tp.send_cq);
-        let brk_base = self.brk_q.map(|q| sim.sq_posted(q.qp)).unwrap_or(0);
-        let mut brk_b = self.brk_q.map(|q| ChainBuilder::new(sim, q));
+        let brk_base = brk_q.map(|q| sim.sq_posted(q.qp)).unwrap_or(0);
+        let mut brk_b = brk_q.map(|q| ChainBuilder::new(sim, q));
 
         // The client's key is scattered once into a pool cell; each
         // iteration's R3 WRITE copies it into that iteration's CAS.
@@ -158,14 +514,14 @@ impl ListWalkOffload {
 
         // Stage responses (and break placeholders) first so READ scatter
         // tables can reference their fields.
-        for (i, &stage_buf) in staging.iter().enumerate() {
+        for &stage_buf in staging.iter() {
             let mut resp = WorkRequest::write_imm(
                 stage_buf,
                 pool_mr.lkey,
                 spec.value_len,
-                spec.dest.addr,
+                resp_addr,
                 spec.dest.rkey(),
-                i as u32,
+                instance as u32,
             );
             resp.wqe.flags |= FLAG_SIGNALED;
             resp.wqe.opcode = Opcode::Noop;
@@ -179,7 +535,7 @@ impl ListWalkOffload {
                 // on a server loopback queue so its WRITE addresses
                 // server memory.
                 let resp_slot =
-                    self.tp.ring.addr + (resp_staged.index % 1024) * rnic_sim::wqe::WQE_SIZE;
+                    self.tp.ring.addr + (resp_staged.index % resp_depth as u64) * WQE_SIZE;
                 let mut image = Vec::with_capacity(12);
                 image.extend_from_slice(&header_word(Opcode::WriteImm, 0).to_le_bytes());
                 image.extend_from_slice(&0u32.to_le_bytes());
@@ -201,12 +557,12 @@ impl ListWalkOffload {
             // scratch for the last), key(6B) -> response id, pad(2B) ->
             // scratch, value -> staging.
             let next_target = if i + 1 < spec.max_nodes {
-                self.chain.slot_addr(read_idx(i + 1)) + WqeField::RemoteAddr.offset()
+                chain.slot_addr(read_idx(i + 1)) + WqeField::RemoteAddr.offset()
             } else {
                 scratch
             };
             let next_lkey = if i + 1 < spec.max_nodes {
-                self.chain.ring.lkey
+                chain.ring.lkey
             } else {
                 pool_mr.lkey
             };
@@ -261,16 +617,10 @@ impl ListWalkOffload {
             // R3: copy the key operand into the CAS compare field (paper
             // Fig 12's WRITE; x lives in a pool cell filled by the RECV).
             let cas_idx = read.index + 1;
-            let cas_compare_addr = self.chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
+            let cas_compare_addr = chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
             ctrl_b.stage(
-                WorkRequest::write(
-                    x_cell,
-                    pool_mr.lkey,
-                    6,
-                    cas_compare_addr,
-                    self.chain.ring.rkey,
-                )
-                .signaled(),
+                WorkRequest::write(x_cell, pool_mr.lkey, 6, cas_compare_addr, chain.ring.rkey)
+                    .signaled(),
             );
             wr_count += 1;
 
@@ -296,17 +646,20 @@ impl ListWalkOffload {
             wr_count += 1;
 
             // Release the READ after (a) trigger/previous iteration and
-            // (b) the R3 write completed. The R3 write is on the control
-            // queue itself (in order), so gating on our own CQ works.
-            ctrl_b.stage(WorkRequest::wait(ctrl_b.cq(), ctrl_b.next_wait_count()));
-            ctrl_b.stage(WorkRequest::enable(self.chain.sq, read.index + 1));
+            // (b) the R3 write completed. Only the R3 WRITEs are signaled
+            // on the control queue, so instance k's i-th R3 completes at
+            // the absolute, monotonic `ctrl_cqe_base + k*N + i + 1` —
+            // correct even with many instances armed before any runs.
+            let r3_done = ctrl_cqe_base + instance * spec.max_nodes as u64 + i as u64 + 1;
+            ctrl_b.stage(WorkRequest::wait(ctrl.cq, r3_done));
+            ctrl_b.stage(WorkRequest::enable(chain.sq, read.index + 1));
             ctrl_b.stage(WorkRequest::wait(
-                self.chain.cq,
+                chain.cq,
                 chain_base + (i * per_iter_chain) as u64 + 1,
             ));
-            ctrl_b.stage(WorkRequest::enable(self.chain.sq, cas_staged.index + 1));
+            ctrl_b.stage(WorkRequest::enable(chain.sq, cas_staged.index + 1));
             ctrl_b.stage(WorkRequest::wait(
-                self.chain.cq,
+                chain.cq,
                 chain_base + (i * per_iter_chain) as u64 + 2,
             ));
             wr_count += 5;
@@ -316,8 +669,8 @@ impl ListWalkOffload {
                 // response; gate the next iteration on the response's
                 // completion (suppressed by a taken break).
                 let brk = break_handles[i];
-                let brk_sq = self.brk_q.expect("break queue").sq;
-                let brk_cq = self.brk_q.expect("break queue").cq;
+                let brk_sq = brk_q.expect("break queue").sq;
+                let brk_cq = brk_q.expect("break queue").cq;
                 ctrl_b.stage(WorkRequest::enable(brk_sq, brk.index + 1));
                 ctrl_b.stage(WorkRequest::wait(brk_cq, brk_base + i as u64 + 1));
                 ctrl_b.stage(WorkRequest::enable(
@@ -350,28 +703,128 @@ impl ListWalkOffload {
         // Trigger RECV: N0 -> first READ's remote address, x -> x_cell.
         let scatter = [
             (
-                self.chain.slot_addr(read_idx(0)) + WqeField::RemoteAddr.offset(),
-                self.chain.ring.lkey,
+                chain.slot_addr(read_idx(0)) + WqeField::RemoteAddr.offset(),
+                chain.ring.lkey,
                 8u32,
             ),
             (x_cell, pool_mr.lkey, 6u32),
         ];
         self.tp.post_trigger_recv(sim, pool, &scatter)?;
-        self.armed += 1;
+        let Backend::HostArmed { ref mut armed, .. } = self.backend else {
+            unreachable!("checked above");
+        };
+        *armed += 1;
         Ok(wr_count)
     }
 
-    /// Client payload: `[N0(8B)][x(6B)]`.
+    /// Client payload: `[N0(8B)][x(6B)]` host-armed, `[N0(8B)][x(6B) × N]`
+    /// self-recycling (the folded R3 scatters the key into every
+    /// iteration's CAS, so the client repeats it once per iteration).
     pub fn client_payload(&self, head: u64, key: u64) -> Vec<u8> {
-        let mut p = Vec::with_capacity(14);
+        let recycled = matches!(self.backend, Backend::Recycled { .. });
+        let reps = if recycled { self.spec.max_nodes } else { 1 };
+        let mut p = Vec::with_capacity(client_payload_len(self.spec.max_nodes, recycled));
         p.extend_from_slice(&head.to_le_bytes());
-        p.extend_from_slice(&operand48(key).to_le_bytes()[..6]);
+        for _ in 0..reps {
+            p.extend_from_slice(&operand48(key).to_le_bytes()[..6]);
+        }
         p
     }
 
-    /// Instances armed so far.
+    /// Instances armed so far. A self-recycling offload re-arms itself,
+    /// so its horizon is always `posted + instances_available`.
     pub fn armed(&self) -> u64 {
-        self.armed
+        match self.backend {
+            Backend::HostArmed { armed, .. } => armed,
+            Backend::Recycled { .. } => self.posted + self.instances_available(),
+        }
+    }
+
+    /// Whether this offload re-arms itself on the NIC (zero host work per
+    /// request) rather than through host `arm` calls.
+    pub fn is_recycled(&self) -> bool {
+        matches!(self.backend, Backend::Recycled { .. })
+    }
+
+    /// Recycle rounds the walk ring has completed (0 for host-armed
+    /// offloads).
+    pub fn rounds(&self, sim: &Simulator) -> u64 {
+        match self.backend {
+            Backend::Recycled {
+                ring, round_len, ..
+            } => sim.wq_executed(ring.sq) / round_len,
+            Backend::HostArmed { .. } => 0,
+        }
+    }
+
+    /// The immediate a response for `instance` carries: the global
+    /// instance id when host-armed, the ring slot when self-recycling.
+    pub fn response_tag(&self, instance: u64) -> u32 {
+        match self.backend {
+            Backend::HostArmed { .. } => instance as u32,
+            Backend::Recycled { slots, .. } => (instance % slots) as u32,
+        }
+    }
+
+    /// Maximum nodes walked per request — the unroll factor.
+    pub fn max_nodes(&self) -> usize {
+        self.spec.max_nodes
+    }
+
+    /// Instances a pipelined client may keep in flight concurrently.
+    pub fn pipeline_depth(&self) -> u32 {
+        self.spec.pipeline_depth
+    }
+
+    /// Byte distance between consecutive client response slots.
+    pub fn response_stride(&self) -> u64 {
+        self.spec.value_len.max(8) as u64
+    }
+
+    /// Client response-slot address for `instance` (slot `instance %
+    /// pipeline_depth` of the advertised destination buffer).
+    pub fn response_slot(&self, instance: u64) -> u64 {
+        self.spec.dest.addr + (instance % self.spec.pipeline_depth as u64) * self.response_stride()
+    }
+
+    /// Claim the next armed instance for a request about to be posted
+    /// (see [`HashGetOffload::take_instance`] — the accounting is
+    /// identical).
+    ///
+    /// [`HashGetOffload::take_instance`]: crate::offloads::hash_lookup::HashGetOffload::take_instance
+    pub fn take_instance(&mut self) -> Result<u64> {
+        if self.instances_available() == 0 {
+            return Err(Error::InvalidWr(
+                "no armed list-walk instance available (re-arm or complete before posting)",
+            ));
+        }
+        let instance = self.posted;
+        self.posted += 1;
+        Ok(instance)
+    }
+
+    /// Retire one in-flight instance of a self-recycling walk — its
+    /// response was reaped (or the request abandoned), so its ring slot
+    /// is free for the next round. No-op for host-armed offloads, whose
+    /// slots are replenished by `arm`.
+    pub fn complete_instance(&mut self) {
+        if let Backend::Recycled {
+            ref mut completed, ..
+        } = self.backend
+        {
+            *completed = (*completed + 1).min(self.posted);
+        }
+    }
+
+    /// Armed instances not yet claimed by
+    /// [`take_instance`](ListWalkOffload::take_instance).
+    pub fn instances_available(&self) -> u64 {
+        match self.backend {
+            Backend::HostArmed { armed, .. } => armed - self.posted,
+            Backend::Recycled {
+                slots, completed, ..
+            } => slots - (self.posted - completed),
+        }
     }
 }
 
@@ -403,6 +856,12 @@ mod tests {
     const NODE_SIZE: u64 = NODE_HEADER + VAL_LEN as u64;
 
     fn rig(list_keys: &[u64]) -> Rig {
+        rig_slots(list_keys, 1)
+    }
+
+    /// Like [`rig`] but with a client response buffer of `slots` slots
+    /// (for pipelined walks).
+    fn rig_slots(list_keys: &[u64], slots: u64) -> Rig {
         let mut sim = Simulator::new(SimConfig::default());
         let client = sim.add_node("client", HostConfig::default(), NicConfig::connectx5());
         let server = sim.add_node("server", HostConfig::default(), NicConfig::connectx5());
@@ -425,12 +884,13 @@ mod tests {
             let bytes = encode_node(next, k, &value);
             sim.mem_write(server, addr, &bytes).unwrap();
         }
-        let resp = sim.alloc(client, VAL_LEN as u64, 8).unwrap();
+        let resp_len = VAL_LEN as u64 * slots;
+        let resp = sim.alloc(client, resp_len, 8).unwrap();
         let rmr = sim
-            .register_mr(client, resp, VAL_LEN as u64, Access::all())
+            .register_mr(client, resp, resp_len, Access::all())
             .unwrap();
-        let csrc = sim.alloc(client, 64, 8).unwrap();
-        let smr = sim.register_mr(client, csrc, 64, Access::all()).unwrap();
+        let csrc = sim.alloc(client, 256, 8).unwrap();
+        let smr = sim.register_mr(client, csrc, 256, Access::all()).unwrap();
         let ccq = sim.create_cq(client, 64).unwrap();
         let crecv_cq = sim.create_cq(client, 64).unwrap();
         let cqp = sim
@@ -471,6 +931,36 @@ mod tests {
         }
     }
 
+    /// One walk through a recycled offload (no arm call); returns the
+    /// first value byte of the instance's slot on a hit.
+    fn walk_recycled(r: &mut Rig, off: &mut ListWalkOffload, key: u64) -> Option<u8> {
+        let instance = off.take_instance().unwrap();
+        r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+        let payload = off.client_payload(r.nodes, key);
+        r.sim.mem_write(r.client, r.csrc, &payload).unwrap();
+        r.sim
+            .post_send(
+                r.cqp,
+                WorkRequest::send(r.csrc, r.csrc_lkey, payload.len() as u32),
+            )
+            .unwrap();
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        off.complete_instance();
+        match cqes.first() {
+            None => None,
+            Some(cqe) => {
+                assert_eq!(
+                    cqe.imm,
+                    Some(off.response_tag(instance)),
+                    "response immediate must be the slot-stable tag"
+                );
+                let slot = off.response_slot(instance);
+                Some(r.sim.mem_read(r.client, slot, 1).unwrap()[0])
+            }
+        }
+    }
+
     /// Deploy through the fluent API — the construction path everything
     /// outside this module uses.
     fn deploy(r: &mut Rig, max_nodes: usize, brk: bool) -> ListWalkOffload {
@@ -485,6 +975,23 @@ mod tests {
             b = b.break_on_match();
         }
         b.build(&mut r.sim).unwrap()
+    }
+
+    fn deploy_recycled(
+        r: &mut Rig,
+        max_nodes: usize,
+        depth: u32,
+        pool: &mut ConstPool,
+    ) -> ListWalkOffload {
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        ctx.list_walk()
+            .list(crate::ctx::TableRegion::of(&r.lmr))
+            .value_len(VAL_LEN)
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .max_nodes(max_nodes)
+            .pipeline_depth(depth)
+            .build_recycled(&mut r.sim, pool)
+            .unwrap()
     }
 
     #[test]
@@ -550,6 +1057,154 @@ mod tests {
             .unwrap();
         r.sim.run().unwrap();
         assert_eq!(r.sim.wq_executed(r.sim.sq_of(off.tp.qp)), 4);
+    }
+
+    #[test]
+    fn pipelined_walks_land_in_distinct_slots() {
+        // Four host-armed walk instances posted back-to-back before the
+        // simulator runs: per-instance response slots + instance-id
+        // immediates, the client-side contract the fleet relies on.
+        let keys = [30u64, 31, 32, 33];
+        let mut r = rig_slots(&keys, 4);
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let mut off = ctx
+            .list_walk()
+            .list(crate::ctx::TableRegion::of(&r.lmr))
+            .value_len(VAL_LEN)
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr))
+            .max_nodes(4)
+            .pipeline_depth(4)
+            .build(&mut r.sim)
+            .unwrap();
+        assert_eq!(off.pipeline_depth(), 4);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 20, ProcessId(0)).unwrap();
+        for _ in 0..4 {
+            off.arm(&mut r.sim, &mut pool).unwrap();
+        }
+        assert_eq!(off.instances_available(), 4);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(off.take_instance().unwrap(), i as u64);
+            r.sim.post_recv(r.cqp, WorkRequest::recv(0, 0, 0)).unwrap();
+            let payload = off.client_payload(r.nodes, key);
+            let src = r.csrc + i as u64 * 16;
+            r.sim.mem_write(r.client, src, &payload).unwrap();
+            r.sim
+                .post_send(
+                    r.cqp,
+                    WorkRequest::send(src, r.csrc_lkey, payload.len() as u32),
+                )
+                .unwrap();
+        }
+        assert_eq!(off.instances_available(), 0);
+        assert!(off.take_instance().is_err());
+        r.sim.run().unwrap();
+        let cqes = r.sim.poll_cq(r.crecv_cq, 8);
+        assert_eq!(cqes.len(), 4, "all four pipelined walks respond");
+        let imms: Vec<u32> = cqes.iter().map(|c| c.imm.expect("instance id")).collect();
+        for i in 0..4u64 {
+            assert!(imms.contains(&(i as u32)), "instance {i} reported");
+            assert_eq!(
+                r.sim.mem_read(r.client, off.response_slot(i), 1).unwrap()[0],
+                (i + 1) as u8,
+                "instance {i} value in its own slot"
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_walk_serves_across_rounds() {
+        let keys = [40u64, 41, 42, 43];
+        let mut r = rig_slots(&keys, 2);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 20, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, 4, 2, &mut pool);
+        assert!(off.is_recycled());
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        // 8 walks through 2 slots = 4 recycle rounds; hits at every
+        // depth, zero pool churn after the prime.
+        let pool_used = pool.used();
+        for g in 0..8u64 {
+            let i = (g % 4) as usize;
+            let got = walk_recycled(&mut r, &mut off, keys[i]);
+            assert_eq!(got, Some((i + 1) as u8), "walk {g}");
+        }
+        assert_eq!(pool.used(), pool_used, "steady state pushes no pool bytes");
+        assert!(off.rounds(&r.sim) >= 3, "rounds {}", off.rounds(&r.sim));
+    }
+
+    #[test]
+    fn recycled_walk_miss_does_not_poison_next_round() {
+        let keys = [50u64, 51, 52];
+        let mut r = rig_slots(&keys, 1);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 20, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, 3, 1, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        // Round 0: miss (every CAS fails, all responses stay NOOPs).
+        assert_eq!(walk_recycled(&mut r, &mut off, 99), None);
+        // Rounds 1..3: hits — the restore chain re-armed the responses.
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(walk_recycled(&mut r, &mut off, key), Some((i + 1) as u8));
+        }
+        // And a miss again, still clean.
+        assert_eq!(walk_recycled(&mut r, &mut off, 1234), None);
+    }
+
+    #[test]
+    fn recycled_walk_steady_state_needs_no_host_doorbells_or_posts() {
+        let keys = [60u64, 61, 62, 63];
+        let mut r = rig_slots(&keys, 2);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 20, ProcessId(0)).unwrap();
+        let mut off = deploy_recycled(&mut r, 4, 2, &mut pool);
+        r.sim.connect_qps(r.cqp, off.tp.qp).unwrap();
+        // Warm up one full round, then measure.
+        for &key in &keys[..2] {
+            walk_recycled(&mut r, &mut off, key).unwrap();
+        }
+        let doorbells = r.sim.node_doorbells(r.server);
+        let posts = r.sim.node_posts(r.server);
+        for g in 0..6u64 {
+            let i = (g % 4) as usize;
+            walk_recycled(&mut r, &mut off, keys[i]).unwrap();
+        }
+        assert_eq!(
+            r.sim.node_doorbells(r.server),
+            doorbells,
+            "the server CPU rings no doorbells in steady state"
+        );
+        assert_eq!(
+            r.sim.node_posts(r.server),
+            posts,
+            "the server CPU posts no WQEs in steady state"
+        );
+    }
+
+    #[test]
+    fn recycled_walk_rejects_break_long_unrolls_and_arm() {
+        let mut r = rig(&[70, 71]);
+        let mut pool = ConstPool::create(&mut r.sim, r.server, 1 << 20, ProcessId(0)).unwrap();
+        let ctx = OffloadCtx::builder(r.server).build(&mut r.sim).unwrap();
+        let base = ctx
+            .list_walk()
+            .list(crate::ctx::TableRegion::of(&r.lmr))
+            .value_len(VAL_LEN)
+            .respond_to(crate::ctx::ClientDest::of(&r.rmr));
+        let err = match base.break_on_match().build_recycled(&mut r.sim, &mut pool) {
+            Err(e) => e,
+            Ok(_) => panic!("break must be rejected in recycling mode"),
+        };
+        assert!(format!("{err}").contains("break"));
+        let err = match base.max_nodes(16).build_recycled(&mut r.sim, &mut pool) {
+            Err(e) => e,
+            Ok(_) => panic!("max_nodes > 15 must be rejected in recycling mode"),
+        };
+        assert!(format!("{err}").contains("15"));
+        let err = match base.break_on_match().pipeline_depth(2).build(&mut r.sim) {
+            Err(e) => e,
+            Ok(_) => panic!("break walks are single-instance"),
+        };
+        assert!(format!("{err}").contains("single-instance"));
+        let mut off = deploy_recycled(&mut r, 2, 1, &mut pool);
+        assert!(off.arm(&mut r.sim, &mut pool).is_err(), "arm is host-only");
     }
 
     #[test]

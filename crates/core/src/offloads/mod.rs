@@ -7,7 +7,14 @@
 //!   (Fig 9), in sequential and PU-parallel variants (Fig 11).
 //! * [`list`] — linked-list traversal (Fig 12), with and without `break`
 //!   (Fig 13).
+//! * [`service`] — the [`OffloadService`](service::OffloadService) trait:
+//!   the uniform runtime surface (prime / claim / retire / recycle
+//!   accounting) every serving offload family implements, so
+//!   heterogeneous fleets can deploy them side by side on one NIC.
 
 pub mod hash_lookup;
 pub mod list;
 pub mod rpc;
+pub mod service;
+
+pub use service::OffloadService;

@@ -148,9 +148,82 @@ impl ClientEndpoint {
         self.req_buf + (slot % self.slots as u64) * self.req_slot_len
     }
 
+    /// Capacity of one request slot in bytes — the most a staged
+    /// trigger payload may occupy.
+    pub fn req_slot_len(&self) -> u64 {
+        self.req_slot_len
+    }
+
     /// Response address of `slot` (wraps modulo the slot count).
     pub fn resp_slot(&self, slot: u64) -> u64 {
         self.resp_buf + (slot % self.slots as u64) * self.resp_slot_len
+    }
+
+    // -- Trigger-burst engine (Session::get_burst / walk_burst) -------
+
+    /// Stage one trigger request into `instance`'s request slot: reserve
+    /// its response RECV, write the payload, and queue the trigger SEND
+    /// (no doorbell — bursts ring once). Returns the slot index.
+    pub(crate) fn stage_trigger(
+        &self,
+        sim: &mut Simulator,
+        instance: u64,
+        depth: u32,
+        payload: &[u8],
+    ) -> Result<u64> {
+        let slot = instance % depth as u64;
+        self.reserve_response_recv(sim)?;
+        let req = self.req_slot(slot);
+        sim.mem_write(self.node, req, payload)?;
+        sim.post_send_quiet(
+            self.qp,
+            redn_core::offloads::rpc::trigger_send(req, self.req_lkey, payload.len() as u32),
+        )?;
+        Ok(slot)
+    }
+
+    /// Post `count` trigger requests as one burst under a single
+    /// doorbell. The window is validated up front (`depth` vs this
+    /// endpoint's slots, `available` instances vs `count`), so an
+    /// over-sized burst errors cleanly with nothing posted; `post_one`
+    /// claims an instance, builds the payload, and stages it via
+    /// [`ClientEndpoint::stage_trigger`]. A mid-burst error still rings
+    /// the doorbell for the already-staged requests — they are on the
+    /// wire — but their handles are lost with the error; that path
+    /// indicates a programming bug, not a capacity condition.
+    pub(crate) fn post_trigger_burst<P>(
+        &self,
+        sim: &mut Simulator,
+        depth: u32,
+        available: u64,
+        count: usize,
+        mut post_one: impl FnMut(&mut Simulator, usize) -> Result<P>,
+    ) -> Result<Vec<P>> {
+        if self.slots < depth {
+            return Err(Error::InvalidWr(
+                "client endpoint has fewer slots than the offload's pipeline depth",
+            ));
+        }
+        if available < count as u64 {
+            return Err(Error::InvalidWr(
+                "burst exceeds the offload's available instances (re-arm or complete first)",
+            ));
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut result = Ok(());
+        for i in 0..count {
+            match post_one(sim, i) {
+                Ok(p) => out.push(p),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if !out.is_empty() {
+            sim.ring_doorbell(self.qp)?;
+        }
+        result.map(|()| out)
     }
 
     // -- RedN-path RECV accounting ------------------------------------

@@ -23,15 +23,18 @@ use rnic_sim::time::Time;
 use rnic_sim::wqe::WorkRequest;
 
 use crate::baselines::{encode_request, two_sided_get, ClientEndpoint, TwoSidedMode, REQ_OP_SET};
-use crate::memcached::{redn_get, MemcachedServer};
-use crate::workload::{latency_stats, LatencyStats};
+use crate::memcached::MemcachedServer;
+use crate::serving::{FleetSpec, ServingFleet};
+use crate::workload::{latency_stats, LatencyStats, Workload};
 
 /// Which get path the reader uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReaderPath {
     /// Two-sided RPC (contends with the writers on the server CPU).
     TwoSided,
-    /// RedN offload (served by the NIC).
+    /// RedN offload (served by the NIC) — driven through a
+    /// single-client [`ServingFleet`] session, the same request path the
+    /// serving layer uses.
     RedN,
 }
 
@@ -121,39 +124,41 @@ pub fn run_contention(writers: usize, reads: usize, path: ReaderPath) -> Result<
 
     // The reader.
     let reader_base = 1 + writers as u64 * KEYS_PER_CLIENT;
-    let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
-    let mut latencies = Vec::with_capacity(reads);
-    match path {
+    let stats = match path {
         ReaderPath::TwoSided => {
+            let ep = ClientEndpoint::create(&mut sim, c, VALUE_LEN)?;
             let server_qp = rpc.add_connection(&mut sim)?;
             sim.connect_qps(ep.qp, server_qp)?;
+            let mut latencies = Vec::with_capacity(reads);
             for i in 0..reads {
                 let key = reader_base + (i as u64 % KEYS_PER_CLIENT);
                 let (lat, found) = two_sided_get(&mut sim, &ep, key)?;
                 assert!(found, "reader key {key} missing");
                 latencies.push(lat);
             }
+            latency_stats(&latencies)
         }
         ReaderPath::RedN => {
+            // One-client fleet, window 1: the same session-driven request
+            // path production serving uses, at the synchronous shape the
+            // §5.5 experiment wants. The reader keeps the Fig 11
+            // PU-parallel probe variant of the original experiment (its
+            // latency is what Fig 15 plots), so the service is
+            // host-armed — the data path is still entirely on the NIC.
             let mut ctx = OffloadCtx::builder(s)
                 .pool_capacity(1 << 22)
                 .build(&mut sim)?;
-            let mut off =
-                server.redn_frontend(&mut sim, &ctx, ep.dest(), HashGetVariant::Parallel)?;
-            sim.connect_qps(ep.qp, off.tp.qp)?;
-            for i in 0..reads {
-                let key = reader_base + (i as u64 % KEYS_PER_CLIENT);
-                let (lat, found) = redn_get(&mut sim, &mut off, ctx.pool_mut(), &ep, &server, key)?;
-                assert!(found, "reader key {key} missing");
-                latencies.push(lat);
-            }
+            let spec = FleetSpec::gets(1, 1, HashGetVariant::Parallel, false);
+            let workload = Workload::sequential(reader_base, KEYS_PER_CLIENT as usize);
+            let mut fleet =
+                ServingFleet::deploy(&mut sim, &mut ctx, &server, None, c, spec, vec![workload])?;
+            let stats = fleet.run_closed_loop(&mut sim, ctx.pool_mut(), reads as u64, 1)?;
+            assert_eq!(stats.ops, reads as u64, "every reader get must complete");
+            stats.latency.expect("reads completed")
         }
-    }
+    };
 
-    Ok(IsolationPoint {
-        writers,
-        stats: latency_stats(&latencies),
-    })
+    Ok(IsolationPoint { writers, stats })
 }
 
 #[cfg(test)]
@@ -185,6 +190,27 @@ mod tests {
             "two-sided p99 should inflate: quiet {} storm {}",
             quiet.stats.p99_us,
             storm.stats.p99_us
+        );
+    }
+
+    /// The Fig 15 split itself, preserved across the serving-layer port:
+    /// under the same 16-writer storm the session-driven RedN reader must
+    /// stay far below the two-sided reader's tail.
+    #[test]
+    fn reader_path_contention_split_preserved() {
+        let redn = run_contention(16, 30, ReaderPath::RedN).unwrap();
+        let two_sided = run_contention(16, 30, ReaderPath::TwoSided).unwrap();
+        assert!(
+            two_sided.stats.p99_us > redn.stats.p99_us * 3.0,
+            "contention split collapsed: two-sided p99 {} vs RedN p99 {}",
+            two_sided.stats.p99_us,
+            redn.stats.p99_us
+        );
+        assert!(
+            two_sided.stats.avg_us > redn.stats.avg_us,
+            "two-sided avg {} must exceed RedN avg {}",
+            two_sided.stats.avg_us,
+            redn.stats.avg_us
         );
     }
 }

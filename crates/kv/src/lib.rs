@@ -14,9 +14,16 @@
 //!   (polling / event-driven / VMA socket-stack flavors);
 //! * [`memcached`] — a Memcached-like server assembled from the pieces,
 //!   servable through any of the three frontends;
+//! * [`liststore`] — server-side linked-list region for the §3.3 / §5.3
+//!   list-walk offload (the list-side counterpart of the hash table);
+//! * [`session`] — typed client sessions ([`Session`](session::Session))
+//!   over deployed [`OffloadService`](redn_core::offloads::OffloadService)s:
+//!   `get`/`walk` posting, typed pending handles, typed completion reaping;
 //! * [`serving`] — the pipelined multi-client serving layer: a
-//!   [`ServingFleet`](serving::ServingFleet) of per-client offloads with
-//!   closed-loop and open-loop load generators (§5.4's traffic shape);
+//!   [`ServingFleet`](serving::ServingFleet) of per-client sessions over a
+//!   heterogeneous service mix (hash-gets + list-walks sharded across one
+//!   NIC), with closed-loop and open-loop load generators (§5.4's traffic
+//!   shape);
 //! * [`workload`] — Memtier-like request generators;
 //! * [`isolation`] — the §5.5 contention harness (writer storms vs one
 //!   reader);
@@ -31,8 +38,10 @@ pub mod cuckoo;
 pub mod failure;
 pub mod hopscotch;
 pub mod isolation;
+pub mod liststore;
 pub mod memcached;
 pub mod serving;
+pub mod session;
 pub mod store;
 pub mod workload;
 
@@ -41,8 +50,10 @@ pub mod prelude {
     pub use crate::baselines::{OneSidedClient, TwoSidedMode, TwoSidedServer};
     pub use crate::cuckoo::CuckooTable;
     pub use crate::hopscotch::HopscotchTable;
+    pub use crate::liststore::ListStore;
     pub use crate::memcached::MemcachedServer;
-    pub use crate::serving::{FleetSpec, FleetStats, ServingFleet};
+    pub use crate::serving::{FleetSpec, FleetStats, ServiceKind, ServiceSpec, ServingFleet};
+    pub use crate::session::{Completion, Session, SessionOpts};
     pub use crate::store::{hash_key, ValueHeap};
     pub use crate::workload::Workload;
 }

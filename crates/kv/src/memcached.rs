@@ -18,7 +18,6 @@ use std::rc::Rc;
 
 use redn_core::ctx::{ClientDest, HashGetBuilder, OffloadCtx, TableRegion, ValueSource};
 use redn_core::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
-use redn_core::offloads::rpc;
 use redn_core::program::ConstPool;
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
@@ -129,7 +128,9 @@ impl MemcachedServer {
     }
 }
 
-/// A posted, not-yet-reaped pipelined get (returned by [`redn_get_nb`]).
+/// A posted, not-yet-reaped pipelined get (returned by
+/// [`Session::get`](crate::session::Session::get) and
+/// [`Session::get_burst`](crate::session::Session::get_burst)).
 #[derive(Clone, Copy, Debug)]
 pub struct PendingGet {
     /// Offload instance this request consumed; the response CQE carries
@@ -145,7 +146,8 @@ pub struct PendingGet {
     pub posted_at: Time,
 }
 
-/// A reaped pipelined-get completion (returned by [`redn_reap`]).
+/// A reaped pipelined-get completion (returned by
+/// [`Session::reap`](crate::session::Session::reap)).
 #[derive(Clone, Copy, Debug)]
 pub struct ReapedGet {
     /// The completed instance (from the response's immediate data).
@@ -156,12 +158,11 @@ pub struct ReapedGet {
 
 /// Non-blocking RedN get: claims the next armed offload instance, stages
 /// the payload in that instance's request slot and fires the trigger
-/// SEND, returning without stepping the simulator. Completions are
-/// collected with [`redn_reap`]; the caller re-arms drained instances
-/// ([`HashGetOffload::arm`]) to keep the pipeline full. Errors when no
-/// armed instance is available, or when the endpoint has fewer slots
-/// than the offload's pipeline depth (instance responses would land
-/// outside the endpoint's registered slots).
+/// SEND, returning without stepping the simulator.
+#[deprecated(
+    since = "0.1.0",
+    note = "use redn_kv::session::Session::get — the typed Session API replaces the free functions"
+)]
 pub fn redn_get_nb(
     sim: &mut Simulator,
     off: &mut HashGetOffload,
@@ -169,22 +170,15 @@ pub fn redn_get_nb(
     server: &MemcachedServer,
     key: u64,
 ) -> Result<PendingGet> {
-    let mut burst = redn_get_burst(sim, off, ep, server, &[key])?;
+    let mut burst = post_get_burst(sim, off, ep, &server.table, &[key])?;
     Ok(burst.pop().expect("one request posted"))
 }
 
-/// Batched non-blocking RedN gets: stage every request's payload and
-/// trigger SEND, then ring **one** doorbell for the whole burst — a
-/// closed-loop generator refilling a K-deep window pays one MMIO per
-/// tick instead of K. Otherwise identical to [`redn_get_nb`] (which is
-/// this with a one-element burst).
-///
-/// The burst is validated against the offload's available instances
-/// *before* anything is staged, so an over-sized burst errors cleanly
-/// with nothing posted. (A mid-burst simulator error still rings the
-/// doorbell for the already-staged requests — they are on the wire —
-/// but their handles are lost with the error; that path indicates a
-/// programming bug, not a capacity condition.)
+/// Batched non-blocking RedN gets under one doorbell.
+#[deprecated(
+    since = "0.1.0",
+    note = "use redn_kv::session::Session::get_burst — the typed Session API replaces the free functions"
+)]
 pub fn redn_get_burst(
     sim: &mut Simulator,
     off: &mut HashGetOffload,
@@ -192,55 +186,61 @@ pub fn redn_get_burst(
     server: &MemcachedServer,
     keys: &[u64],
 ) -> Result<Vec<PendingGet>> {
-    if ep.slots < off.pipeline_depth() {
-        return Err(Error::InvalidWr(
-            "client endpoint has fewer slots than the offload's pipeline depth",
-        ));
-    }
-    if off.instances_available() < keys.len() as u64 {
-        return Err(Error::InvalidWr(
-            "burst exceeds the offload's available instances (re-arm or complete first)",
-        ));
-    }
-    let mut out = Vec::with_capacity(keys.len());
-    let mut post = |sim: &mut Simulator, off: &mut HashGetOffload, key: u64| -> Result<()> {
-        let instance = off.take_instance()?;
-        let slot = instance % off.pipeline_depth() as u64;
-        ep.reserve_response_recv(sim)?;
-        let cands = server.candidate_addrs(key);
-        let n = off.variant().buckets();
-        let payload = off.client_payload(key, &cands[..n]);
-        let req = ep.req_slot(slot);
-        sim.mem_write(ep.node, req, &payload)?;
-        sim.post_send_quiet(
-            ep.qp,
-            rpc::trigger_send(req, ep.req_lkey, payload.len() as u32),
-        )?;
-        out.push(PendingGet {
-            instance,
-            key,
-            slot,
-            posted_at: sim.now(),
-        });
-        Ok(())
-    };
-    let mut result = Ok(());
-    for &key in keys {
-        if let Err(e) = post(sim, off, key) {
-            result = Err(e);
-            break;
-        }
-    }
-    if !out.is_empty() {
-        sim.ring_doorbell(ep.qp)?;
-    }
-    result.map(|()| out)
+    post_get_burst(sim, off, ep, &server.table, keys)
 }
 
-/// Reap up to `max` completed pipelined gets from `ep`'s receive CQ,
-/// keeping the endpoint's RECV accounting in step. Does not step the
-/// simulator.
+/// Reap up to `max` completed pipelined gets from `ep`'s receive CQ.
+#[deprecated(
+    since = "0.1.0",
+    note = "use redn_kv::session::Session::reap — the typed Session API replaces the free functions"
+)]
 pub fn redn_reap(sim: &mut Simulator, ep: &ClientEndpoint, max: usize) -> Vec<ReapedGet> {
+    reap_gets(sim, ep, max)
+}
+
+/// Batched non-blocking RedN gets (the engine behind
+/// [`Session::get_burst`](crate::session::Session::get_burst) and the
+/// deprecated free-function shims): stage every request's payload and
+/// trigger SEND through [`ClientEndpoint::post_trigger_burst`], which
+/// rings **one** doorbell for the whole burst — a closed-loop generator
+/// refilling a K-deep window pays one MMIO per tick instead of K — and
+/// validates the burst against the offload's available instances
+/// *before* anything is staged.
+pub(crate) fn post_get_burst(
+    sim: &mut Simulator,
+    off: &mut HashGetOffload,
+    ep: &ClientEndpoint,
+    table: &Rc<RefCell<CuckooTable>>,
+    keys: &[u64],
+) -> Result<Vec<PendingGet>> {
+    let depth = off.pipeline_depth();
+    ep.post_trigger_burst(
+        sim,
+        depth,
+        off.instances_available(),
+        keys.len(),
+        |sim, i| {
+            let key = keys[i];
+            let instance = off.take_instance()?;
+            let cands = table.borrow().candidate_addrs(key);
+            let n = off.variant().buckets();
+            let payload = off.client_payload(key, &cands[..n]);
+            let slot = ep.stage_trigger(sim, instance, depth, &payload)?;
+            Ok(PendingGet {
+                instance,
+                key,
+                slot,
+                posted_at: sim.now(),
+            })
+        },
+    )
+}
+
+/// Reap up to `max` response completions from `ep`'s receive CQ,
+/// keeping the endpoint's RECV accounting in step. Does not step the
+/// simulator (the engine behind
+/// [`Session::reap`](crate::session::Session::reap)).
+pub(crate) fn reap_gets(sim: &mut Simulator, ep: &ClientEndpoint, max: usize) -> Vec<ReapedGet> {
     sim.poll_cq(ep.recv_cq, max)
         .into_iter()
         .map(|cqe| {
@@ -271,11 +271,11 @@ pub fn redn_get(
 ) -> Result<(Time, bool)> {
     off.arm(sim, pool)?;
     let start = sim.now();
-    let _pending = redn_get_nb(sim, off, ep, server, key)?;
+    let _pending = post_get_burst(sim, off, ep, &server.table, &[key])?;
     let deadline = sim.now() + Time::from_us(200);
     loop {
         // A single get is outstanding, so any completion is ours.
-        if !redn_reap(sim, ep, 1).is_empty() {
+        if !reap_gets(sim, ep, 1).is_empty() {
             return Ok((sim.now() - start, true));
         }
         if sim.now() > deadline || !sim.step()? {

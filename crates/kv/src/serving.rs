@@ -1,34 +1,35 @@
-//! Pipelined, multi-client serving layer (§5.4–§5.5 traffic shape).
+//! Pipelined, multi-client serving layer (§5.4–§5.5 traffic shape) over
+//! a **heterogeneous service mix**.
 //!
 //! The paper's headline Memcached numbers come from 1M-operation,
-//! multi-client runs over *pipelined* offload instances — not from the
-//! one-at-a-time synchronous path. This module supplies that serving
-//! shape on top of the substrate:
+//! multi-client runs over *pipelined* offload instances — and its §3–§4
+//! point is that the NIC can self-execute *arbitrary* offloads, not just
+//! one. This module supplies that serving shape on top of the substrate:
 //!
-//! * a [`ServingFleet`] deploys one hash-get offload per client through
-//!   an [`OffloadCtx`], sharded across the NIC's ports and processing
-//!   units, with `pipeline_depth` instances in flight per trigger
-//!   point. By default the offloads are **self-recycling** (§3.4 WQ
-//!   recycling): the instance ring is primed once and the NIC re-arms
-//!   it between rounds, so steady-state serving involves zero host arm
-//!   calls, doorbells, posts, or pool pushes on the server — the
-//!   [`FleetStats`] counters prove it per run;
-//! * requests are posted with the batched non-blocking
-//!   [`redn_get_burst`](crate::memcached::redn_get_burst) API (one
-//!   doorbell per generator tick) and reaped with
-//!   [`redn_reap`](crate::memcached::redn_reap); reaping retires the
-//!   instance slot — pure accounting when self-recycling, a host
-//!   re-arm in the legacy `self_recycling: false` mode;
-//! * two load generators built on [`Workload`]: **closed-loop** (each
-//!   client keeps K requests outstanding, the Memtier-style generator of
-//!   §5.4) and **open-loop** (each client fires at a fixed offered rate;
-//!   latency is charged from the *scheduled* time, so queueing delay
-//!   under overload is not hidden by coordinated omission).
+//! * a [`ServingFleet`] deploys one offload **service** per client
+//!   through an [`OffloadCtx`], sharded across the NIC's ports and
+//!   processing units. The mix is a [`FleetSpec`]: a list of
+//!   [`ServiceSpec`] blocks — §3.4 hash-gets against the
+//!   [`MemcachedServer`], §3.3 list-walks against a
+//!   [`ListStore`] — deployed side by side on one NIC, each either
+//!   **self-recycling** (§3.4 WQ recycling: primed once, the NIC re-arms
+//!   between rounds, zero steady-state host arm calls / doorbells /
+//!   posts / pool pushes) or host-armed;
+//! * every client drives its service through a typed
+//!   [`Session`](crate::session::Session): requests are posted with
+//!   `get_burst`/`walk_burst` (one doorbell per generator tick) and
+//!   reaped as typed [`Completion`]s; reaping retires the instance slot;
+//! * two load generators: **closed-loop** (each client keeps K requests
+//!   outstanding, the Memtier-style generator of §5.4) and **open-loop**
+//!   (each client fires at a fixed offered rate; latency is charged from
+//!   the *scheduled* time, so queueing delay under overload is not
+//!   hidden by coordinated omission — [`FleetStats`] reports both the
+//!   scheduled-time and the service-time distributions).
 //!
-//! Fleet workloads are expected to hit (the population step covers the
-//! key set): a missed key yields no response, which a pipelined client
-//! only notices as a drained-simulator timeout. This contract matters
-//! doubly for self-recycling fleets: responses carry only the
+//! Fleet workloads are expected to hit (the population step covers both
+//! key spaces): a missed key yields no response, which a pipelined
+//! client only notices as a drained-simulator timeout. This contract
+//! matters doubly for self-recycling services: responses carry only the
 //! slot-stable tag (`instance % depth`), and slot reuse within the
 //! window means completions are attributed oldest-first per tag — exact
 //! for hit-only workloads (a slot's responses release in ring-round
@@ -40,6 +41,7 @@ use std::collections::VecDeque;
 
 use redn_core::ctx::OffloadCtx;
 use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_core::offloads::service::OffloadService;
 use redn_core::program::ConstPool;
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::NodeId;
@@ -47,52 +49,145 @@ use rnic_sim::sim::Simulator;
 use rnic_sim::time::Time;
 
 use crate::baselines::ClientEndpoint;
-use crate::memcached::{redn_get, redn_get_burst, redn_reap, MemcachedServer, PendingGet};
+use crate::liststore::ListStore;
+use crate::memcached::{redn_get, MemcachedServer};
+use crate::session::{Session, SessionOpts};
 use crate::workload::{latency_stats, LatencyStats, Workload};
 
-/// Fleet geometry and per-request parameters.
+/// One service class in a fleet's mix (what kind of offload a block of
+/// clients drives).
 #[derive(Clone, Copy, Debug)]
-pub struct FleetSpec {
-    /// Client endpoints (one offload / trigger point each).
+pub enum ServiceKind {
+    /// §3.4 hash-table lookups against the fleet's [`MemcachedServer`].
+    HashGet {
+        /// Probe scheduling. Self-recycling services run probes
+        /// back-to-back on one ring, so `Parallel` requires
+        /// `self_recycling: false`.
+        variant: HashGetVariant,
+    },
+    /// §3.3 linked-list traversals against the fleet's [`ListStore`].
+    ListWalk {
+        /// Unroll factor (≤ 15 when self-recycling).
+        max_nodes: usize,
+    },
+}
+
+/// One homogeneous block of fleet clients: `clients` sessions, each with
+/// its own offload service of `kind`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceSpec {
+    /// The offload family this block deploys.
+    pub kind: ServiceKind,
+    /// Client sessions in the block (one service / trigger point each).
     pub clients: usize,
     /// Armed instances kept in flight per client.
     pub pipeline_depth: u32,
-    /// Probe scheduling of every deployed offload. Self-recycling
-    /// offloads run probes back-to-back on one ring, so `Parallel` is
-    /// only valid with `self_recycling: false`.
-    pub variant: HashGetVariant,
-    /// Value bytes per get (must match the server's slot length).
-    pub value_len: u32,
-    /// Deploy §3.4 self-recycling offloads (the default): each client's
-    /// instance ring is primed once and the NIC re-arms it between
-    /// rounds — zero host arm calls, doorbells, posts, or pool pushes
-    /// per request. `false` restores the host-re-armed mode.
+    /// Deploy §3.4 self-recycling offloads: each client's instance ring
+    /// is primed once and the NIC re-arms it between rounds. `false`
+    /// restores the host-re-armed mode.
     pub self_recycling: bool,
 }
 
-impl Default for FleetSpec {
-    fn default() -> FleetSpec {
-        FleetSpec {
-            clients: 4,
-            pipeline_depth: 4,
-            variant: HashGetVariant::Sequential,
-            value_len: 64,
-            self_recycling: true,
+impl ServiceSpec {
+    /// A hash-get block.
+    pub fn gets(
+        clients: usize,
+        pipeline_depth: u32,
+        variant: HashGetVariant,
+        self_recycling: bool,
+    ) -> ServiceSpec {
+        ServiceSpec {
+            kind: ServiceKind::HashGet { variant },
+            clients,
+            pipeline_depth,
+            self_recycling,
         }
+    }
+
+    /// A list-walk block.
+    pub fn walks(
+        clients: usize,
+        pipeline_depth: u32,
+        max_nodes: usize,
+        self_recycling: bool,
+    ) -> ServiceSpec {
+        ServiceSpec {
+            kind: ServiceKind::ListWalk { max_nodes },
+            clients,
+            pipeline_depth,
+            self_recycling,
+        }
+    }
+}
+
+/// Fleet geometry: the (possibly heterogeneous) service mix, sharded
+/// round-robin across the server NIC's ports with strided PU bases.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// The service blocks, deployed in order.
+    pub services: Vec<ServiceSpec>,
+}
+
+impl FleetSpec {
+    /// The pre-heterogeneity shape: one block of hash-get clients.
+    pub fn gets(
+        clients: usize,
+        pipeline_depth: u32,
+        variant: HashGetVariant,
+        self_recycling: bool,
+    ) -> FleetSpec {
+        FleetSpec {
+            services: vec![ServiceSpec::gets(
+                clients,
+                pipeline_depth,
+                variant,
+                self_recycling,
+            )],
+        }
+    }
+
+    /// Total client sessions across every block.
+    pub fn total_clients(&self) -> usize {
+        self.services.iter().map(|s| s.clients).sum()
+    }
+
+    /// Hash-get client sessions across every block.
+    pub fn get_clients(&self) -> usize {
+        self.services
+            .iter()
+            .filter(|s| matches!(s.kind, ServiceKind::HashGet { .. }))
+            .map(|s| s.clients)
+            .sum()
+    }
+
+    /// List-walk client sessions across every block.
+    pub fn walk_clients(&self) -> usize {
+        self.total_clients() - self.get_clients()
     }
 }
 
 /// Aggregate result of one fleet run.
 #[derive(Clone, Copy, Debug)]
 pub struct FleetStats {
-    /// Gets completed (reaped responses across all clients).
+    /// Requests completed (reaped responses across all clients).
     pub ops: u64,
+    /// Completed hash-gets (subset of `ops`).
+    pub get_ops: u64,
+    /// Completed list-walks (subset of `ops`).
+    pub walk_ops: u64,
     /// Wall-clock (simulated) span of the run.
     pub elapsed: Time,
     /// Completed throughput.
     pub ops_per_sec: f64,
-    /// Per-get latency statistics (`None` when no op completed).
+    /// Per-request latency statistics, charged from the **scheduled**
+    /// time (`None` when no op completed). For a closed-loop run the
+    /// scheduled time is the post time, so this equals
+    /// [`FleetStats::service_latency`]; for an open-loop run it includes
+    /// client-side queueing delay (the anti-coordinated-omission view).
     pub latency: Option<LatencyStats>,
+    /// Per-request latency statistics charged from the actual **post**
+    /// time — the service-time view, excluding client-side queueing.
+    pub service_latency: Option<LatencyStats>,
     /// Requests abandoned because the simulator drained or the run
     /// deadline passed before their response arrived.
     pub timeouts: u64,
@@ -101,6 +196,10 @@ pub struct FleetStats {
     /// Host `arm` calls during the run — the §3.4 proof metric: a
     /// self-recycling fleet reports 0 in steady state.
     pub host_arm_calls: u64,
+    /// Host `arm` calls by hash-get clients (subset of `host_arm_calls`).
+    pub get_arm_calls: u64,
+    /// Host `arm` calls by list-walk clients (subset of `host_arm_calls`).
+    pub walk_arm_calls: u64,
     /// Doorbells (MMIO writes, including host enables) the *server* CPU
     /// rang during the run. 0 for a self-recycling fleet.
     pub server_doorbells: u64,
@@ -112,25 +211,124 @@ pub struct FleetStats {
     pub client_doorbells: u64,
 }
 
-/// One serving client: endpoint, its dedicated offload, its key stream
-/// and its in-flight window.
+/// A fleet client's request stream.
+enum Stream {
+    /// Keys for a hash-get session.
+    Keys(Workload),
+    /// `(head, key)` pairs for a list-walk session, cycled.
+    Walks {
+        reqs: Vec<(u64, u64)>,
+        cursor: usize,
+    },
+}
+
+/// One in-flight request (either family — the instance is all the
+/// generators need; values land in the session's response slots).
+struct Pending {
+    instance: u64,
+    /// When the request was (conceptually) issued — the open-loop
+    /// scheduled time; equals `posted_at` for closed loop.
+    scheduled_at: Time,
+    /// When the request actually reached the NIC.
+    posted_at: Time,
+}
+
+/// One serving client: its typed session, its request stream and its
+/// in-flight window.
 struct FleetClient {
-    ep: ClientEndpoint,
-    off: redn_core::offloads::hash_lookup::HashGetOffload,
-    workload: Workload,
-    inflight: VecDeque<PendingGet>,
+    session: Session,
+    stream: Stream,
+    inflight: VecDeque<Pending>,
     posted: u64,
     reaped: u64,
+    depth: u32,
+    self_recycling: bool,
+}
+
+impl FleetClient {
+    /// Reap every pending completion: record it, retire its instance
+    /// slot, and (host-armed, while requests remain) re-arm one
+    /// instance per completion. Returns the `(scheduled, posted)`
+    /// completion-latency pairs and the number of host arm calls.
+    fn reap(
+        &mut self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        ops_per_client: u64,
+    ) -> Result<(Vec<(Time, Time)>, u64)> {
+        let mut lats = Vec::new();
+        let mut arms = 0u64;
+        for done in self.session.reap(sim, 1024) {
+            let tag = done.tag();
+            if let Some(pos) = self
+                .inflight
+                .iter()
+                .position(|p| self.session.response_tag(p.instance) == tag)
+            {
+                let pending = self.inflight.remove(pos).expect("position just found");
+                lats.push((
+                    done.at() - pending.scheduled_at,
+                    done.at() - pending.posted_at,
+                ));
+                self.reaped += 1;
+                self.session.complete();
+            }
+            // Replace the consumed instance from the host in host-armed
+            // mode (the §3.4 comparison row) — one arm per completion.
+            if self.posted < ops_per_client && !self.self_recycling {
+                self.session.service_mut().arm(sim, pool)?;
+                arms += 1;
+            }
+        }
+        Ok((lats, arms))
+    }
+
+    /// Post `n` requests from the stream as one burst (one doorbell).
+    fn post_burst(&mut self, sim: &mut Simulator, n: u64) -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let now = sim.now();
+        match &mut self.stream {
+            Stream::Keys(w) => {
+                let keys: Vec<u64> = (0..n).map(|_| w.next_key()).collect();
+                for p in self.session.get_burst(sim, &keys)? {
+                    self.inflight.push_back(Pending {
+                        instance: p.instance,
+                        scheduled_at: now,
+                        posted_at: p.posted_at,
+                    });
+                }
+            }
+            Stream::Walks { reqs, cursor } => {
+                let pairs: Vec<(u64, u64)> = (0..n as usize)
+                    .map(|i| reqs[(*cursor + i) % reqs.len()])
+                    .collect();
+                *cursor = (*cursor + n as usize) % reqs.len();
+                for p in self.session.walk_burst(sim, &pairs)? {
+                    self.inflight.push_back(Pending {
+                        instance: p.instance,
+                        scheduled_at: now,
+                        posted_at: p.posted_at,
+                    });
+                }
+            }
+        }
+        self.posted += n;
+        Ok(())
+    }
 }
 
 /// A deployed fleet of pipelined serving clients (see the module docs).
 pub struct ServingFleet {
     spec: FleetSpec,
     clients: Vec<FleetClient>,
-    latencies: Vec<Time>,
+    sched_latencies: Vec<Time>,
+    svc_latencies: Vec<Time>,
     server_node: NodeId,
     client_node: NodeId,
-    arm_calls: u64,
+    get_arm_calls: u64,
+    walk_arm_calls: u64,
 }
 
 /// Safety net for runs wedged by a lost completion: simulated time spent
@@ -138,145 +336,162 @@ pub struct ServingFleet {
 const RUN_DEADLINE: Time = Time::from_secs(5);
 
 impl ServingFleet {
-    /// Deploy one offload per client through `ctx` (which must live on
-    /// the server's node) and pre-arm `pipeline_depth` instances each.
-    /// `workloads` supplies one key stream per client (§5.5 gives each
-    /// client a disjoint sequential range; §5.4 shares a random set).
+    /// Deploy the spec's service mix through `ctx` (which must live on
+    /// the server's node), one service + session per client, and prime
+    /// every pipeline. `workloads` supplies one key stream per *hash-get*
+    /// client (§5.5 gives each client a disjoint sequential range; §5.4
+    /// shares a random set); list-walk clients draw their `(head, key)`
+    /// streams from `lists`, which is required iff the mix contains a
+    /// walk block.
     pub fn deploy(
         sim: &mut Simulator,
         ctx: &mut OffloadCtx,
         server: &MemcachedServer,
+        lists: Option<&ListStore>,
         client_node: NodeId,
         spec: FleetSpec,
         workloads: Vec<Workload>,
     ) -> Result<ServingFleet> {
-        if spec.clients == 0 || spec.pipeline_depth == 0 {
-            return Err(Error::InvalidWr("fleet needs >= 1 client and depth >= 1"));
+        if spec.total_clients() == 0 {
+            return Err(Error::InvalidWr("fleet needs >= 1 client"));
         }
-        if workloads.len() != spec.clients {
-            return Err(Error::InvalidWr("one workload per fleet client"));
+        if spec.services.iter().any(|s| s.pipeline_depth == 0) {
+            return Err(Error::InvalidWr("fleet needs pipeline depth >= 1"));
+        }
+        if workloads.len() != spec.get_clients() {
+            return Err(Error::InvalidWr("one workload per hash-get fleet client"));
+        }
+        let nwalkers = spec.walk_clients();
+        if nwalkers > 0 {
+            let Some(store) = lists else {
+                return Err(Error::InvalidWr(
+                    "a fleet with list-walk services needs a ListStore",
+                ));
+            };
+            if (nwalkers as u64) > store.nlists {
+                return Err(Error::InvalidWr(
+                    "fleet has more walk clients than the ListStore has lists",
+                ));
+            }
         }
         let ports = sim.nic_config(server.node).ports;
         let npus = sim.nic_config(server.node).pus_per_port;
-        let mut clients = Vec::with_capacity(spec.clients);
-        for (i, workload) in workloads.into_iter().enumerate() {
-            let ep = ClientEndpoint::create_pipelined(
-                sim,
-                client_node,
-                spec.value_len,
-                spec.pipeline_depth,
-            )?;
-            // Shard clients round-robin over the NIC's ports first (each
-            // port has its own WQE-fetch engine and PU pool — the Table 4
-            // dual-port scaling), then stride PU bases within a port so
-            // clients sharing a port spread over its PUs instead of
-            // stacking on PU 0. A self-recycling offload occupies 2 PUs
-            // (trigger + probe ring); a host-armed one up to 3
-            // (trigger/merge + two parallel probe chains).
-            let stride = if spec.self_recycling { 2 } else { 3 };
-            let builder = server
-                .redn_builder(ctx)
-                .respond_to(ep.dest())
-                .variant(spec.variant)
-                .pipeline_depth(spec.pipeline_depth)
-                .on_port(i % ports)
-                .on_pu(((i / ports) * stride) % npus);
-            let mut off = if spec.self_recycling {
-                builder.build_recycled(sim, ctx.pool_mut())?
-            } else {
-                builder.build(sim)?
-            };
-            sim.connect_qps(ep.qp, off.tp.qp)?;
-            if !spec.self_recycling {
-                for _ in 0..spec.pipeline_depth {
-                    off.arm(sim, ctx.pool_mut())?;
-                }
+        let mut clients = Vec::with_capacity(spec.total_clients());
+        let mut workloads = workloads.into_iter();
+        let mut walk_idx = 0usize;
+        let mut i = 0usize; // global client index, for port sharding
+        let mut pu_next = vec![0usize; ports]; // next free PU base per port
+        for svc in &spec.services {
+            for _ in 0..svc.clients {
+                // Shard clients round-robin over the NIC's ports first
+                // (each port has its own WQE-fetch engine and PU pool —
+                // the Table 4 dual-port scaling), then hand each client
+                // the next free PU range on its port so clients spread
+                // over the PUs instead of stacking on PU 0. The range is
+                // sized by the client's own service: a self-recycling
+                // one occupies 2 PUs (trigger + its ring), a host-armed
+                // one up to 3 (trigger/merge + chains) — a running
+                // cursor per port keeps mixed strides from overlapping.
+                let stride = if svc.self_recycling { 2 } else { 3 };
+                let port = i % ports;
+                let opts = SessionOpts {
+                    pipeline_depth: svc.pipeline_depth,
+                    self_recycling: svc.self_recycling,
+                    port,
+                    pu_base: pu_next[port] % npus,
+                };
+                pu_next[port] += stride;
+                let (session, stream) = match svc.kind {
+                    ServiceKind::HashGet { variant } => {
+                        let s = Session::connect_get(sim, ctx, server, client_node, variant, opts)?;
+                        let w = workloads.next().expect("counted above");
+                        (s, Stream::Keys(w))
+                    }
+                    ServiceKind::ListWalk { max_nodes } => {
+                        let store = lists.expect("checked above");
+                        let s =
+                            Session::connect_walk(sim, ctx, store, client_node, max_nodes, opts)?;
+                        let reqs = store.walk_requests(walk_idx, nwalkers);
+                        walk_idx += 1;
+                        (s, Stream::Walks { reqs, cursor: 0 })
+                    }
+                };
+                clients.push(FleetClient {
+                    session,
+                    stream,
+                    inflight: VecDeque::new(),
+                    posted: 0,
+                    reaped: 0,
+                    depth: svc.pipeline_depth,
+                    self_recycling: svc.self_recycling,
+                });
+                i += 1;
             }
-            clients.push(FleetClient {
-                ep,
-                off,
-                workload,
-                inflight: VecDeque::new(),
-                posted: 0,
-                reaped: 0,
-            });
         }
         Ok(ServingFleet {
             spec,
             clients,
-            latencies: Vec::new(),
+            sched_latencies: Vec::new(),
+            svc_latencies: Vec::new(),
             server_node: server.node,
             client_node,
-            arm_calls: 0,
+            get_arm_calls: 0,
+            walk_arm_calls: 0,
         })
     }
 
     /// The fleet's geometry.
-    pub fn spec(&self) -> FleetSpec {
-        self.spec
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
     }
 
-    /// Closed-loop run: every client keeps `k_outstanding` gets in
-    /// flight (capped at the pipeline depth) until it has completed
-    /// `ops_per_client` gets. Returns aggregate throughput and latency.
+    /// Fold one client's reaped completions into the fleet's run
+    /// accounting (latency vectors, per-family arm-call counters).
+    fn record_reaped(&mut self, lats: Vec<(Time, Time)>, arms: u64, is_get: bool) {
+        for (sched, svc) in lats {
+            self.sched_latencies.push(sched);
+            self.svc_latencies.push(svc);
+        }
+        if is_get {
+            self.get_arm_calls += arms;
+        } else {
+            self.walk_arm_calls += arms;
+        }
+    }
+
+    /// Closed-loop run: every client keeps `k_outstanding` requests in
+    /// flight (capped at its pipeline depth) until it has completed
+    /// `ops_per_client` requests. Returns aggregate throughput and
+    /// latency.
     pub fn run_closed_loop(
         &mut self,
         sim: &mut Simulator,
         pool: &mut ConstPool,
-        server: &MemcachedServer,
         ops_per_client: u64,
         k_outstanding: u32,
     ) -> Result<FleetStats> {
-        let k = k_outstanding.clamp(1, self.spec.pipeline_depth) as u64;
         let start = sim.now();
         let deadline = start + RUN_DEADLINE;
-        self.latencies.clear();
-        self.replenish(sim, pool)?;
+        self.begin_run(sim, pool)?;
         let base = self.counter_base(sim);
         for c in &mut self.clients {
-            c.posted = 0;
-            c.reaped = 0;
-            let fill: Vec<u64> = (0..k.min(ops_per_client))
-                .map(|_| c.workload.next_key())
-                .collect();
-            c.inflight
-                .extend(redn_get_burst(sim, &mut c.off, &c.ep, server, &fill)?);
-            c.posted += fill.len() as u64;
+            let k = u64::from(k_outstanding.clamp(1, c.depth));
+            c.post_burst(sim, k.min(ops_per_client))?;
         }
         loop {
             let mut all_done = true;
-            for c in &mut self.clients {
-                for done in redn_reap(sim, &c.ep, 1024) {
-                    let tag = done.instance;
-                    if let Some(pos) = c
-                        .inflight
-                        .iter()
-                        .position(|p| u64::from(c.off.response_tag(p.instance)) == tag)
-                    {
-                        let pending = c.inflight.remove(pos).expect("position just found");
-                        self.latencies.push(done.at - pending.posted_at);
-                        c.reaped += 1;
-                        c.off.complete_instance();
-                    }
-                }
-                // Refill the window up to K with the next keys — host
-                // re-arms for a host-armed fleet (counted), nothing but
-                // accounting for a self-recycling one — and fire the whole
-                // burst under a single doorbell.
+            for ci in 0..self.clients.len() {
+                let c = &mut self.clients[ci];
+                let (lats, arms) = c.reap(sim, pool, ops_per_client)?;
+                let is_get = c.session.is_get();
+                self.record_reaped(lats, arms, is_get);
+                // Refill the window up to K with the next requests and
+                // fire the whole burst under a single doorbell.
+                let c = &mut self.clients[ci];
+                let k = u64::from(k_outstanding.clamp(1, c.depth));
                 let room = k.saturating_sub(c.inflight.len() as u64);
                 let refill = room.min(ops_per_client - c.posted);
-                if refill > 0 {
-                    if !self.spec.self_recycling {
-                        for _ in 0..refill {
-                            c.off.arm(sim, pool)?;
-                        }
-                        self.arm_calls += refill;
-                    }
-                    let keys: Vec<u64> = (0..refill).map(|_| c.workload.next_key()).collect();
-                    c.inflight
-                        .extend(redn_get_burst(sim, &mut c.off, &c.ep, server, &keys)?);
-                    c.posted += refill;
-                }
+                c.post_burst(sim, refill)?;
                 if c.reaped < ops_per_client {
                     all_done = false;
                 }
@@ -291,17 +506,17 @@ impl ServingFleet {
         Ok(self.finish(sim, start, None, base))
     }
 
-    /// Open-loop run: every client *schedules* a get every
+    /// Open-loop run: every client *schedules* a request every
     /// `1/offered_per_client` seconds (staggered across clients) and
     /// posts it as soon as a pipeline slot is free. Under overload the
-    /// window stays full and requests queue; their latency is charged
-    /// from the scheduled time, so the achieved-vs-offered gap and the
-    /// latency blow-up are both visible.
+    /// window stays full and requests queue; their [`FleetStats::latency`]
+    /// is charged from the scheduled time, so the achieved-vs-offered gap
+    /// and the latency blow-up are both visible
+    /// ([`FleetStats::service_latency`] keeps the queueing-free view).
     pub fn run_open_loop(
         &mut self,
         sim: &mut Simulator,
         pool: &mut ConstPool,
-        server: &MemcachedServer,
         ops_per_client: u64,
         offered_per_client: f64,
     ) -> Result<FleetStats> {
@@ -312,56 +527,38 @@ impl ServingFleet {
         let nclients = self.clients.len() as u64;
         let start = sim.now();
         let deadline = start + RUN_DEADLINE;
-        self.latencies.clear();
-        self.replenish(sim, pool)?;
+        self.begin_run(sim, pool)?;
         let base = self.counter_base(sim);
-        for c in &mut self.clients {
-            c.posted = 0;
-            c.reaped = 0;
-        }
-        // Client i's j-th get is scheduled at start + j*interval + i*stagger.
+        // Client i's j-th request is scheduled at start + j*interval + i*stagger.
         let sched = |i: u64, j: u64| {
             start + Time::from_ps(j * interval_ps + i * (interval_ps / nclients.max(1)))
         };
-        let depth = self.spec.pipeline_depth as u64;
         loop {
             let mut all_done = true;
             let mut next_due: Option<Time> = None;
-            for (i, c) in self.clients.iter_mut().enumerate() {
-                for done in redn_reap(sim, &c.ep, 1024) {
-                    let tag = done.instance;
-                    if let Some(pos) = c
-                        .inflight
-                        .iter()
-                        .position(|p| u64::from(c.off.response_tag(p.instance)) == tag)
-                    {
-                        let pending = c.inflight.remove(pos).expect("position just found");
-                        self.latencies.push(done.at - pending.posted_at);
-                        c.reaped += 1;
-                        c.off.complete_instance();
-                    }
-                    if c.posted < ops_per_client && !self.spec.self_recycling {
-                        c.off.arm(sim, pool)?;
-                        self.arm_calls += 1;
-                    }
-                }
+            for i in 0..self.clients.len() {
+                let c = &mut self.clients[i];
+                let (lats, arms) = c.reap(sim, pool, ops_per_client)?;
+                let is_get = c.session.is_get();
+                self.record_reaped(lats, arms, is_get);
+                let c = &mut self.clients[i];
                 // Post every due request the window has room for, as one
-                // burst under a single doorbell.
-                let mut due: Vec<(u64, Time)> = Vec::new();
-                while c.posted + (due.len() as u64) < ops_per_client
-                    && sched(i as u64, c.posted + due.len() as u64) <= sim.now()
-                    && c.inflight.len() + due.len() < depth as usize
+                // burst under a single doorbell, then backdate each
+                // pending handle to its scheduled time.
+                let depth = u64::from(c.depth);
+                let mut due = 0u64;
+                while c.posted + due < ops_per_client
+                    && sched(i as u64, c.posted + due) <= sim.now()
+                    && (c.inflight.len() as u64) + due < depth
                 {
-                    let scheduled_at = sched(i as u64, c.posted + due.len() as u64);
-                    due.push((c.workload.next_key(), scheduled_at));
+                    due += 1;
                 }
-                if !due.is_empty() {
-                    let keys: Vec<u64> = due.iter().map(|(key, _)| *key).collect();
-                    let burst = redn_get_burst(sim, &mut c.off, &c.ep, server, &keys)?;
-                    for (mut pending, (_, scheduled_at)) in burst.into_iter().zip(&due) {
-                        pending.posted_at = *scheduled_at; // charge queueing delay
-                        c.inflight.push_back(pending);
-                        c.posted += 1;
+                if due > 0 {
+                    let first = c.posted;
+                    c.post_burst(sim, due)?;
+                    let len = c.inflight.len();
+                    for (j, pending) in c.inflight.iter_mut().skip(len - due as usize).enumerate() {
+                        pending.scheduled_at = sched(i as u64, first + j as u64);
                     }
                 }
                 if c.reaped < ops_per_client {
@@ -393,20 +590,22 @@ impl ServingFleet {
         Ok(self.finish(sim, start, Some(offered), base))
     }
 
-    /// Top every client's pipeline back up to `pipeline_depth` armed,
-    /// unclaimed instances. A host-armed run consumes its window's worth
-    /// of armed instances (the final K posts re-arm nothing), so
-    /// back-to-back runs on one fleet would otherwise drain the pipeline
-    /// dry. Self-recycling fleets re-arm on the NIC — nothing to do.
-    fn replenish(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
-        self.arm_calls = 0;
-        if self.spec.self_recycling {
-            return Ok(());
-        }
-        let depth = self.spec.pipeline_depth as u64;
+    /// Reset per-run accounting and top every host-armed client's
+    /// pipeline back up to `pipeline_depth` armed, unclaimed instances.
+    /// A host-armed run consumes its window's worth of armed instances
+    /// (the final K posts re-arm nothing), so back-to-back runs on one
+    /// fleet would otherwise drain the pipeline dry. Self-recycling
+    /// services re-arm on the NIC — nothing to do.
+    fn begin_run(&mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<()> {
+        self.get_arm_calls = 0;
+        self.walk_arm_calls = 0;
+        self.sched_latencies.clear();
+        self.svc_latencies.clear();
         for c in &mut self.clients {
-            while c.off.instances_available() < depth {
-                c.off.arm(sim, pool)?;
+            c.posted = 0;
+            c.reaped = 0;
+            if !c.self_recycling {
+                OffloadService::prime(c.session.service_mut(), sim, pool)?;
             }
         }
         Ok(())
@@ -433,25 +632,38 @@ impl ServingFleet {
         for c in &mut self.clients {
             timeouts += c.inflight.len() as u64;
             for _ in c.inflight.drain(..) {
-                c.ep.note_request_abandoned();
-                c.off.complete_instance();
+                c.session.abandon();
             }
         }
         let ops: u64 = self.clients.iter().map(|c| c.reaped).sum();
+        let get_ops: u64 = self
+            .clients
+            .iter()
+            .filter(|c| c.session.is_get())
+            .map(|c| c.reaped)
+            .sum();
         let elapsed = sim.now() - start;
         let secs = elapsed.as_us_f64() / 1e6;
-        FleetStats {
-            ops,
-            elapsed,
-            ops_per_sec: if secs > 0.0 { ops as f64 / secs } else { 0.0 },
-            latency: if self.latencies.is_empty() {
+        let stats_of = |v: &[Time]| {
+            if v.is_empty() {
                 None
             } else {
-                Some(latency_stats(&self.latencies))
-            },
+                Some(latency_stats(v))
+            }
+        };
+        FleetStats {
+            ops,
+            get_ops,
+            walk_ops: ops - get_ops,
+            elapsed,
+            ops_per_sec: if secs > 0.0 { ops as f64 / secs } else { 0.0 },
+            latency: stats_of(&self.sched_latencies),
+            service_latency: stats_of(&self.svc_latencies),
             timeouts,
             offered_ops_per_sec: offered,
-            host_arm_calls: self.arm_calls,
+            host_arm_calls: self.get_arm_calls + self.walk_arm_calls,
+            get_arm_calls: self.get_arm_calls,
+            walk_arm_calls: self.walk_arm_calls,
             server_doorbells: sim.node_doorbells(self.server_node) - base.0,
             server_posts: sim.node_posts(self.server_node) - base.1,
             client_doorbells: sim.node_doorbells(self.client_node) - base.2,
@@ -518,46 +730,50 @@ mod tests {
     #[test]
     fn closed_loop_completes_every_op() {
         let (mut sim, c, server, mut ctx) = rig(512);
-        let spec = FleetSpec::default();
+        let spec = FleetSpec::gets(4, 4, HashGetVariant::Sequential, true);
         let mut fleet = ServingFleet::deploy(
             &mut sim,
             &mut ctx,
             &server,
+            None,
             c,
             spec,
-            per_client_workloads(spec.clients, 512),
+            per_client_workloads(4, 512),
         )
         .unwrap();
         let stats = fleet
-            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50, 4)
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 50, 4)
             .unwrap();
         assert_eq!(stats.ops, 4 * 50);
+        assert_eq!(stats.get_ops, stats.ops);
+        assert_eq!(stats.walk_ops, 0);
         assert_eq!(stats.timeouts, 0);
         assert!(stats.ops_per_sec > 0.0);
         let lat = stats.latency.expect("latency recorded");
         assert_eq!(lat.count, 200);
         assert!(lat.avg_us > 1.0, "latency {lat:?}");
+        // Closed loop: scheduled time == post time.
+        let svc = stats.service_latency.expect("service latency recorded");
+        assert_eq!(svc, lat, "closed loop has no queueing split");
     }
 
     #[test]
     fn open_loop_tracks_offered_load_when_underloaded() {
         let (mut sim, c, server, mut ctx) = rig(512);
-        let spec = FleetSpec {
-            clients: 2,
-            ..FleetSpec::default()
-        };
+        let spec = FleetSpec::gets(2, 4, HashGetVariant::Sequential, true);
         let mut fleet = ServingFleet::deploy(
             &mut sim,
             &mut ctx,
             &server,
+            None,
             c,
             spec,
-            per_client_workloads(spec.clients, 512),
+            per_client_workloads(2, 512),
         )
         .unwrap();
         // 20K ops/s/client is far below capacity: achieved ≈ offered.
         let stats = fleet
-            .run_open_loop(&mut sim, ctx.pool_mut(), &server, 40, 20_000.0)
+            .run_open_loop(&mut sim, ctx.pool_mut(), 40, 20_000.0)
             .unwrap();
         assert_eq!(stats.ops, 80);
         assert_eq!(stats.timeouts, 0);
@@ -567,6 +783,46 @@ mod tests {
             "achieved {} vs offered {offered}",
             stats.ops_per_sec
         );
+        // Underloaded: the scheduled-time and service-time percentiles
+        // coincide (no queueing delay to charge).
+        let sched = stats.latency.unwrap();
+        let svc = stats.service_latency.unwrap();
+        assert!(
+            (sched.p99_us - svc.p99_us).abs() < 1.0,
+            "sched p99 {} vs service p99 {}",
+            sched.p99_us,
+            svc.p99_us
+        );
+    }
+
+    #[test]
+    fn open_loop_overload_splits_scheduled_from_service_latency() {
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let spec = FleetSpec::gets(2, 4, HashGetVariant::Sequential, true);
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            None,
+            c,
+            spec,
+            per_client_workloads(2, 512),
+        )
+        .unwrap();
+        // Far past capacity: requests queue client-side, so the
+        // scheduled-time p99 dwarfs the service-time p99.
+        let stats = fleet
+            .run_open_loop(&mut sim, ctx.pool_mut(), 60, 2_000_000.0)
+            .unwrap();
+        assert_eq!(stats.ops, 120);
+        let sched = stats.latency.unwrap();
+        let svc = stats.service_latency.unwrap();
+        assert!(
+            sched.p99_us > 2.0 * svc.p99_us,
+            "overload must show queueing: sched p99 {} vs service p99 {}",
+            sched.p99_us,
+            svc.p99_us
+        );
     }
 
     #[test]
@@ -574,18 +830,21 @@ mod tests {
         // K requests posted in one generator tick must ring one client
         // doorbell, not K (asserted via the sim's doorbell counter).
         let (mut sim, c, server, mut ctx) = rig(512);
-        let ep = crate::baselines::ClientEndpoint::create_pipelined(&mut sim, c, 64, 8).unwrap();
-        let mut off = server
-            .redn_builder(&ctx)
-            .respond_to(ep.dest())
-            .variant(HashGetVariant::Sequential)
-            .pipeline_depth(8)
-            .build_recycled(&mut sim, ctx.pool_mut())
-            .unwrap();
-        sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+        let mut session = Session::connect_get(
+            &mut sim,
+            &mut ctx,
+            &server,
+            c,
+            HashGetVariant::Sequential,
+            SessionOpts {
+                pipeline_depth: 8,
+                ..SessionOpts::default()
+            },
+        )
+        .unwrap();
         let before = sim.node_doorbells(c);
         let keys: Vec<u64> = (1..=8).collect();
-        let pending = redn_get_burst(&mut sim, &mut off, &ep, &server, &keys).unwrap();
+        let pending = session.get_burst(&mut sim, &keys).unwrap();
         assert_eq!(pending.len(), 8);
         assert_eq!(
             sim.node_doorbells(c) - before,
@@ -593,7 +852,7 @@ mod tests {
             "a burst of 8 requests is one doorbell"
         );
         sim.run().unwrap();
-        assert_eq!(redn_reap(&mut sim, &ep, 16).len(), 8, "all 8 respond");
+        assert_eq!(session.reap(&mut sim, 16).len(), 8, "all 8 respond");
     }
 
     /// The ISSUE-3 soak: >= 100K ops through one self-recycling fleet,
@@ -602,23 +861,20 @@ mod tests {
     #[test]
     fn soak_100k_ops_keeps_pool_and_host_counters_flat() {
         let (mut sim, c, server, mut ctx) = rig(1024);
-        let spec = FleetSpec {
-            clients: 2,
-            pipeline_depth: 8,
-            ..FleetSpec::default()
-        };
+        let spec = FleetSpec::gets(2, 8, HashGetVariant::Sequential, true);
         let mut fleet = ServingFleet::deploy(
             &mut sim,
             &mut ctx,
             &server,
+            None,
             c,
             spec,
-            per_client_workloads(spec.clients, 1024),
+            per_client_workloads(2, 1024),
         )
         .unwrap();
         // Warm-up run.
         fleet
-            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 100, 8)
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 100, 8)
             .unwrap();
         let pool_used = ctx.pool().used();
         let server_node = server.node;
@@ -626,7 +882,7 @@ mod tests {
         let posts = sim.node_posts(server_node);
         // The soak: 50K ops per client = 100K total.
         let stats = fleet
-            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50_000, 8)
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 50_000, 8)
             .unwrap();
         assert_eq!(stats.ops, 100_000);
         assert_eq!(stats.timeouts, 0);
@@ -647,26 +903,55 @@ mod tests {
     #[test]
     fn host_armed_mode_still_serves_and_reports_its_cost() {
         let (mut sim, c, server, mut ctx) = rig(512);
+        let spec = FleetSpec::gets(2, 4, HashGetVariant::Parallel, false);
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            None,
+            c,
+            spec,
+            per_client_workloads(2, 512),
+        )
+        .unwrap();
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 50, 4)
+            .unwrap();
+        assert_eq!(stats.ops, 100);
+        assert!(stats.host_arm_calls > 0, "host mode re-arms from the CPU");
+        assert_eq!(stats.get_arm_calls, stats.host_arm_calls);
+        assert!(stats.server_posts > 0, "host mode posts per re-arm");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_gets_and_walks_side_by_side() {
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let store = ListStore::create(&mut sim, server.node, 8, 4, 64, ProcessId(0)).unwrap();
         let spec = FleetSpec {
-            clients: 2,
-            variant: HashGetVariant::Parallel,
-            self_recycling: false,
-            ..FleetSpec::default()
+            services: vec![
+                ServiceSpec::gets(2, 4, HashGetVariant::Sequential, true),
+                ServiceSpec::walks(2, 4, 4, true),
+            ],
         };
         let mut fleet = ServingFleet::deploy(
             &mut sim,
             &mut ctx,
             &server,
+            Some(&store),
             c,
             spec,
-            per_client_workloads(spec.clients, 512),
+            per_client_workloads(2, 512),
         )
         .unwrap();
         let stats = fleet
-            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, 50, 4)
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 40, 4)
             .unwrap();
-        assert_eq!(stats.ops, 100);
-        assert!(stats.host_arm_calls > 0, "host mode re-arms from the CPU");
-        assert!(stats.server_posts > 0, "host mode posts per re-arm");
+        assert_eq!(stats.ops, 4 * 40);
+        assert_eq!(stats.get_ops, 80, "both get clients complete every op");
+        assert_eq!(stats.walk_ops, 80, "both walk clients complete every op");
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.host_arm_calls, 0, "both families self-recycle");
+        assert_eq!(stats.server_doorbells, 0);
+        assert_eq!(stats.server_posts, 0);
     }
 }

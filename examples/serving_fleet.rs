@@ -1,5 +1,6 @@
-//! Serve pipelined Memcached gets from a multi-client fleet (§5.4's
-//! traffic shape) and compare against the synchronous request path.
+//! Serve a heterogeneous fleet — pipelined Memcached gets *and* linked
+//! list walks on one NIC (§5.4's traffic shape over the §3.3/§3.4
+//! offload mix) — and compare against the synchronous request path.
 //!
 //! ```text
 //! cargo run --example serving_fleet
@@ -7,8 +8,9 @@
 
 use redn::core::ctx::OffloadCtx;
 use redn::core::offloads::hash_lookup::HashGetVariant;
+use redn::kv::liststore::ListStore;
 use redn::kv::memcached::MemcachedServer;
-use redn::kv::serving::{sync_baseline_ops_per_sec, FleetSpec, ServingFleet};
+use redn::kv::serving::{sync_baseline_ops_per_sec, FleetSpec, ServiceSpec, ServingFleet};
 use redn::kv::workload::Workload;
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
 use rnic_sim::ids::ProcessId;
@@ -55,7 +57,7 @@ fn main() {
     };
     println!("sync baseline (1 client, 1 in flight): {:>8.0} ops/s", sync);
 
-    // The fleet: 4 clients x pipeline depth 8, closed loop.
+    // The homogeneous fleet: 4 get clients x pipeline depth 8.
     let (mut sim, c, s) = testbed();
     let server = MemcachedServer::create(&mut sim, s, 4096, 64, ProcessId(0)).unwrap();
     server.populate(&mut sim, NKEYS).unwrap();
@@ -63,22 +65,17 @@ fn main() {
         .pool_capacity(1 << 24)
         .build(&mut sim)
         .unwrap();
-    let spec = FleetSpec {
-        clients: 4,
-        pipeline_depth: 8,
-        variant: HashGetVariant::Sequential,
-        value_len: 64,
-        // §3.4 self-recycling: instances primed once, the NIC re-arms
-        // them between rounds — zero host work per request.
-        self_recycling: true,
-    };
+    // §3.4 self-recycling: instances primed once, the NIC re-arms them
+    // between rounds — zero host work per request.
+    let spec = FleetSpec::gets(4, 8, HashGetVariant::Sequential, true);
     // Disjoint per-client key ranges, as in the isolation experiment.
-    let workloads = Workload::split_sequential(NKEYS, spec.clients);
-    let mut fleet = ServingFleet::deploy(&mut sim, &mut ctx, &server, c, spec, workloads).unwrap();
+    let workloads = Workload::split_sequential(NKEYS, 4);
+    let mut fleet =
+        ServingFleet::deploy(&mut sim, &mut ctx, &server, None, c, spec, workloads).unwrap();
 
     for k in [1u32, 2, 4, 8] {
         let stats = fleet
-            .run_closed_loop(&mut sim, ctx.pool_mut(), &server, OPS_PER_CLIENT, k)
+            .run_closed_loop(&mut sim, ctx.pool_mut(), OPS_PER_CLIENT, k)
             .unwrap();
         let lat = stats.latency.expect("ops completed");
         println!(
@@ -95,11 +92,51 @@ fn main() {
 
     // Open loop at half the measured capacity: latency stays flat.
     let stats = fleet
-        .run_open_loop(&mut sim, ctx.pool_mut(), &server, OPS_PER_CLIENT, 100_000.0)
+        .run_open_loop(&mut sim, ctx.pool_mut(), OPS_PER_CLIENT, 100_000.0)
         .unwrap();
     let lat = stats.latency.expect("ops completed");
     println!(
-        "fleet open loop @400K offered: {:>8.0} ops/s (p99 {:.1} us)",
+        "fleet open loop @400K offered: {:>8.0} ops/s (sched p99 {:.1} us)",
         stats.ops_per_sec, lat.p99_us
+    );
+
+    // The heterogeneous fleet: 3 get services + 1 list-walk service,
+    // both families self-recycling, side by side on one NIC.
+    let (mut sim, c, s) = testbed();
+    let server = MemcachedServer::create(&mut sim, s, 4096, 64, ProcessId(0)).unwrap();
+    server.populate(&mut sim, NKEYS).unwrap();
+    let store = ListStore::create(&mut sim, s, 8, 4, 64, ProcessId(0)).unwrap();
+    let mut ctx = OffloadCtx::builder(s)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)
+        .unwrap();
+    let spec = FleetSpec {
+        services: vec![
+            ServiceSpec::gets(3, 8, HashGetVariant::Sequential, true),
+            ServiceSpec::walks(1, 8, store.nodes_per_list, true),
+        ],
+    };
+    let workloads = Workload::split_sequential(NKEYS, 3);
+    let mut fleet = ServingFleet::deploy(
+        &mut sim,
+        &mut ctx,
+        &server,
+        Some(&store),
+        c,
+        spec,
+        workloads,
+    )
+    .unwrap();
+    let stats = fleet
+        .run_closed_loop(&mut sim, ctx.pool_mut(), OPS_PER_CLIENT, 8)
+        .unwrap();
+    println!(
+        "mixed fleet (3 gets + 1 walk) K=8: {:>8.0} ops/s ({} gets, {} walks, {:.2}x sync, \
+         {} host arms)",
+        stats.ops_per_sec,
+        stats.get_ops,
+        stats.walk_ops,
+        stats.ops_per_sec / sync,
+        stats.host_arm_calls
     );
 }

@@ -1,13 +1,14 @@
 //! End-to-end coverage of the pipelined serving layer: the ISSUE-2
 //! acceptance bar (a fleet of >= 4 clients at pipeline depth >= 4
 //! sustains >= 3x the throughput of back-to-back synchronous gets on
-//! the same sim config) plus the non-blocking post/reap API.
+//! the same sim config) plus the typed Session post/reap API and the
+//! deprecated free-function shims.
 
 use redn::core::ctx::OffloadCtx;
 use redn::core::offloads::hash_lookup::HashGetVariant;
-use redn::kv::baselines::ClientEndpoint;
-use redn::kv::memcached::{redn_get_nb, redn_reap, MemcachedServer};
+use redn::kv::memcached::MemcachedServer;
 use redn::kv::serving::{sync_baseline_ops_per_sec, FleetSpec, ServingFleet};
+use redn::kv::session::{Completion, Session, SessionOpts};
 use redn::kv::workload::Workload;
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
 use rnic_sim::ids::{NodeId, ProcessId};
@@ -62,20 +63,15 @@ fn fleet_sustains_3x_the_synchronous_throughput() {
     // Fleet: 4 clients, pipeline depth 4, closed loop with K=4, served
     // by self-recycling offloads (the NIC re-arms between rounds).
     let (mut sim, c, server, mut ctx) = stand_up(NKEYS);
-    let spec = FleetSpec {
-        clients: 4,
-        pipeline_depth: 4,
-        variant: HashGetVariant::Sequential,
-        value_len: 64,
-        self_recycling: true,
-    };
-    let workloads = Workload::split_sequential(NKEYS, spec.clients);
-    let mut fleet = ServingFleet::deploy(&mut sim, &mut ctx, &server, c, spec, workloads).unwrap();
+    let spec = FleetSpec::gets(4, 4, HashGetVariant::Sequential, true);
+    let workloads = Workload::split_sequential(NKEYS, 4);
+    let mut fleet =
+        ServingFleet::deploy(&mut sim, &mut ctx, &server, None, c, spec, workloads).unwrap();
     let stats = fleet
-        .run_closed_loop(&mut sim, ctx.pool_mut(), &server, OPS_PER_CLIENT, 4)
+        .run_closed_loop(&mut sim, ctx.pool_mut(), OPS_PER_CLIENT, 4)
         .unwrap();
 
-    assert_eq!(stats.ops, spec.clients as u64 * OPS_PER_CLIENT);
+    assert_eq!(stats.ops, 4 * OPS_PER_CLIENT);
     assert_eq!(stats.timeouts, 0, "hit-only workload must not time out");
     assert_eq!(stats.host_arm_calls, 0, "the NIC re-arms, not the host");
     assert_eq!(stats.server_doorbells, 0, "no server MMIO in steady state");
@@ -91,66 +87,99 @@ fn fleet_sustains_3x_the_synchronous_throughput() {
 }
 
 #[test]
-fn nb_post_reap_round_trips_values_through_instance_slots() {
+fn session_post_reap_round_trips_values_through_instance_slots() {
+    let (mut sim, c, server, mut ctx) = stand_up(64);
+    let mut session = Session::connect_get(
+        &mut sim,
+        &mut ctx,
+        &server,
+        c,
+        HashGetVariant::Parallel,
+        SessionOpts {
+            pipeline_depth: 4,
+            self_recycling: false,
+            ..SessionOpts::default()
+        },
+    )
+    .unwrap();
+
+    // Post four gets back-to-back, then run and reap.
+    let keys = [3u64, 17, 42, 60];
+    let mut pending = Vec::new();
+    for &k in &keys {
+        pending.push(session.get(&mut sim, k).unwrap());
+    }
+    assert_eq!(session.endpoint().live_requests(), 4);
+    sim.run().unwrap();
+    let reaped = session.reap(&mut sim, 16);
+    assert_eq!(reaped.len(), 4);
+    assert_eq!(session.endpoint().live_requests(), 0);
+    assert_eq!(session.endpoint().outstanding_recvs(), 0);
+    for done in reaped {
+        assert!(matches!(done, Completion::Get(_)), "typed get completion");
+        let p = pending
+            .iter()
+            .find(|p| session.response_tag(p.instance) == done.tag())
+            .expect("completion matches a posted request");
+        // Each instance's value landed in its own slot, tagged by key.
+        assert_eq!(
+            session.read_value(&sim, p.instance, 1).unwrap()[0],
+            (p.key & 0xFF) as u8,
+            "key {} in slot {}",
+            p.key,
+            p.slot
+        );
+        session.complete();
+    }
+}
+
+/// The pre-Session free functions survive one release as deprecated
+/// shims over the same engine; they must keep working until removed.
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_function_shims_still_serve() {
+    use redn::kv::baselines::ClientEndpoint;
+    use redn::kv::memcached::{redn_get_burst, redn_get_nb, redn_reap};
+
     let (mut sim, c, server, mut ctx) = stand_up(64);
     let depth = 4u32;
     let ep = ClientEndpoint::create_pipelined(&mut sim, c, 64, depth).unwrap();
     let mut off = server
         .redn_builder(&ctx)
         .respond_to(ep.dest())
-        .variant(HashGetVariant::Parallel)
+        .variant(HashGetVariant::Sequential)
         .pipeline_depth(depth)
-        .build(&mut sim)
+        .build_recycled(&mut sim, ctx.pool_mut())
         .unwrap();
     sim.connect_qps(ep.qp, off.tp.qp).unwrap();
-    for _ in 0..depth {
-        off.arm(&mut sim, ctx.pool_mut()).unwrap();
-    }
 
-    // Post four gets back-to-back, then run and reap.
-    let keys = [3u64, 17, 42, 60];
-    let mut pending = Vec::new();
-    for &k in &keys {
-        pending.push(redn_get_nb(&mut sim, &mut off, &ep, &server, k).unwrap());
-    }
-    assert_eq!(ep.live_requests(), 4);
+    let single = redn_get_nb(&mut sim, &mut off, &ep, &server, 7).unwrap();
+    let burst = redn_get_burst(&mut sim, &mut off, &ep, &server, &[11, 23]).unwrap();
+    assert_eq!(burst.len(), 2);
     sim.run().unwrap();
-    let reaped = redn_reap(&mut sim, &ep, 16);
-    assert_eq!(reaped.len(), 4);
-    assert_eq!(ep.live_requests(), 0);
-    assert_eq!(ep.outstanding_recvs(), 0);
-    for done in reaped {
-        let p = pending
-            .iter()
-            .find(|p| p.instance == done.instance)
-            .expect("completion matches a posted request");
-        // Each instance's value landed in its own slot, tagged by key.
-        assert_eq!(
-            sim.mem_read(c, ep.resp_slot(p.slot), 1).unwrap()[0],
-            (p.key & 0xFF) as u8,
-            "key {} in slot {}",
-            p.key,
-            p.slot
-        );
+    let reaped = redn_reap(&mut sim, &ep, 8);
+    assert_eq!(reaped.len(), 3, "shim-posted gets all complete");
+    for _ in 0..3 {
+        off.complete_instance();
     }
+    assert_eq!(
+        sim.mem_read(c, ep.resp_slot(single.slot), 1).unwrap()[0],
+        7,
+        "shim single get lands in its slot"
+    );
 }
 
 #[test]
 fn open_loop_saturates_at_capacity_instead_of_wedging() {
     let (mut sim, c, server, mut ctx) = stand_up(512);
-    let spec = FleetSpec {
-        clients: 4,
-        pipeline_depth: 4,
-        variant: HashGetVariant::Sequential,
-        value_len: 64,
-        self_recycling: true,
-    };
-    let workloads = Workload::split_sequential(512, spec.clients);
-    let mut fleet = ServingFleet::deploy(&mut sim, &mut ctx, &server, c, spec, workloads).unwrap();
+    let spec = FleetSpec::gets(4, 4, HashGetVariant::Sequential, true);
+    let workloads = Workload::split_sequential(512, 4);
+    let mut fleet =
+        ServingFleet::deploy(&mut sim, &mut ctx, &server, None, c, spec, workloads).unwrap();
     // Offer ~3x the plausible capacity: the fleet must finish every op
     // (queueing, not dropping) with achieved throughput below offered.
     let stats = fleet
-        .run_open_loop(&mut sim, ctx.pool_mut(), &server, 60, 600_000.0)
+        .run_open_loop(&mut sim, ctx.pool_mut(), 60, 600_000.0)
         .unwrap();
     assert_eq!(stats.ops, 4 * 60);
     assert_eq!(stats.timeouts, 0);
@@ -160,10 +189,18 @@ fn open_loop_saturates_at_capacity_instead_of_wedging() {
         "overload must show achieved {} < offered {offered}",
         stats.ops_per_sec
     );
-    // Queueing delay is charged from the scheduled time.
+    // Queueing delay is charged from the scheduled time: the
+    // scheduled-time tail must dominate the service-time tail.
     let lat = stats.latency.unwrap();
+    let svc = stats.service_latency.unwrap();
     assert!(
         lat.p99_us > lat.p50_us,
         "overload latency distribution has a tail"
+    );
+    assert!(
+        lat.p99_us >= svc.p99_us,
+        "scheduled-time p99 {} must cover service-time p99 {}",
+        lat.p99_us,
+        svc.p99_us
     );
 }
