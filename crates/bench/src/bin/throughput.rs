@@ -84,6 +84,12 @@ fn main() {
         "\npipelining speedup vs sync baseline: {:.2}x",
         report.speedup_vs_sync()
     );
+    for v in &report.verbs_per_op {
+        println!(
+            "{} verbs/op: {:.2} optimized vs {:.2} naive (IR WAIT elision + restore merge)",
+            v.name, v.after, v.before
+        );
+    }
     if let Some(s) = report.mixed_speedup_vs_sync() {
         println!("mixed (gets + walks) speedup vs sync baseline: {s:.2}x");
     }

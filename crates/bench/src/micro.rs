@@ -296,7 +296,7 @@ pub fn table2() -> Result<Vec<Row>> {
     let buf = sim.alloc(node, 8, 8)?;
     let mr = sim.register_mr(node, buf, 8, Access::all())?;
     let mut prog = ctx.chain_program(&mut sim)?;
-    let trigger_cq = prog.actions().cq(); // any CQ works for accounting
+    let trigger_cq = prog.action_queue().cq; // any CQ works for accounting
     prog.wait_on(trigger_cq, 0);
     prog.if_eq(1, WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey));
     let c = prog.counts();
@@ -382,8 +382,14 @@ mod tests {
 
     #[test]
     fn construct_throughput_in_paper_ballpark() {
+        // The IR's WAIT-elision pass stages one ordering verb fewer per
+        // conditional than the paper's Table 2 chain, so the measured
+        // rate sits above the unoptimized 0.7 M/s calibration point.
         let f = if_throughput(150).unwrap();
-        assert!(f > 0.3 && f < 1.4, "if throughput {f} M/s (paper: 0.7)");
+        assert!(
+            f > 0.5 && f < 2.5,
+            "if throughput {f} M/s (paper: 0.7 unoptimized)"
+        );
         let r = recycled_while_throughput(1500).unwrap();
         assert!(r > 0.1 && r < 0.6, "recycled {r} M/s (paper: 0.3)");
     }

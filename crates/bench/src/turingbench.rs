@@ -1,8 +1,8 @@
 //! Appendix A reproduction: mov emulation and Turing machines on the NIC.
 
-use redn_core::builder::ChainBuilder;
 use redn_core::constructs::mov::{MovUnit, RegisterFile};
 use redn_core::ctx::OffloadCtx;
+use redn_core::ir::IrProgram;
 use redn_core::turing::compile::CompiledTm;
 use redn_core::turing::machine::TuringMachine;
 use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
@@ -33,13 +33,15 @@ pub fn appendix_a() -> Result<Vec<Row>> {
 
     sim.mem_write_u64(node, data + 16, 0xCAFE)?;
     unit.regs.write(&mut sim, node, 1, data + 16)?;
-    let mut ctrl_b = ChainBuilder::new(&sim, ctrl);
-    let mut patched_b = ChainBuilder::new(&sim, patched);
-    unit.mov_imm(&mut sim, &mut ctrl_b, ctx.pool_mut(), 0, 0x42)?; // immediate
-    unit.mov_load(&mut ctrl_b, &mut patched_b, 2, 1, 0); // indirect
-    unit.mov_load(&mut ctrl_b, &mut patched_b, 3, 1, 8); // indexed
-    patched_b.post(&mut sim)?;
-    ctrl_b.post(&mut sim)?;
+    let mut p = IrProgram::linear();
+    let ctrl_q = p.chain(ctrl);
+    let patched_q = p.chain(patched);
+    unit.mov_imm(&mut p, ctrl_q, 0, 0x42); // immediate
+    unit.mov_load(&mut p, ctrl_q, patched_q, 2, 1, 0); // indirect
+    unit.mov_load(&mut p, ctrl_q, patched_q, 3, 1, 8); // indexed
+    let mut lowered = p.deploy(&mut sim, ctx.pool_mut())?.into_linear();
+    lowered.post(&mut sim, patched_q)?;
+    lowered.post(&mut sim, ctrl_q)?;
     sim.mem_write_u64(node, data + 24, 0xD00D)?;
     sim.run()?;
     let imm_ok = unit.regs.read(&sim, node, 0)? == 0x42;

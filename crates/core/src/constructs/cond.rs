@@ -16,6 +16,16 @@
 //! Doorbell ordering (WAIT on the CAS completion, then ENABLE the managed
 //! queue holding the action) guarantees the NIC fetches the action *after*
 //! the CAS modified it.
+//!
+//! Since PR 5 the constructs emit [`crate::ir`] ops instead of staging
+//! WQEs directly: the CAS is a typed [`Kind::Transmute`], the injection
+//! point a symbolic [`FieldRef`] resolved at deploy, and the WAIT/ENABLE
+//! ordering is subject to the optimizer (the WAIT between the CAS and the
+//! ENABLE elides into a `wait_prev` fence) and the §3.1 verifier (an
+//! action staged on an unmanaged queue is rejected before anything is
+//! posted). The `counts` each construct reports remain the *paper's*
+//! Table 2 cost model — the pass report of the deployed program shows
+//! what actually hit the ring.
 
 use rnic_sim::error::Result;
 use rnic_sim::ids::CqId;
@@ -23,31 +33,36 @@ use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
 use rnic_sim::wqe::WorkRequest;
 
-use crate::builder::{ChainBuilder, Staged, VerbCounts};
-use crate::encode::{cond_compare, cond_swap, operand48, wide_segments, WqeField, OPERAND_BITS};
+use crate::builder::VerbCounts;
+use crate::encode::{operand48, wide_segments, WqeField, OPERAND_BITS};
+use crate::ir::{
+    ConstRef, EnableTarget, FieldRef, IrProgram, Kind, Loc, OpBuild, OpId, QId, WaitCond,
+};
 
 /// A built `if (x == y) action` construct.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IfEq {
-    /// The action WQE (staged as a NOOP in the managed queue).
-    pub action: Staged,
-    /// The CAS that implements the branch.
-    pub cas: Staged,
+    /// The action op (staged as a NOOP placeholder in the managed queue).
+    pub action: OpId,
+    /// The CAS op that implements the branch.
+    pub cas: OpId,
     /// Where to inject the 48-bit runtime operand `x` (6 bytes,
     /// little-endian): the action WQE's id field. RECV scatter entries or
-    /// chain WRITEs aim here.
-    pub x_inject_addr: u64,
-    /// Verb accounting for Table 2.
+    /// chain WRITEs aim here; resolves after the program deploys.
+    pub x_inject: FieldRef,
+    /// Verb accounting for Table 2 (the paper's cost model, before the
+    /// optimizer).
     pub counts: VerbCounts,
 }
 
 impl IfEq {
-    /// Build the construct.
+    /// Build the construct into `p`.
     ///
     /// * `ctrl` — an *unmanaged* control queue carrying the CAS and the
     ///   ordering verbs. Nothing in it is data-dependent.
     /// * `actions` — a *managed* queue holding the branch body; its fetch
-    ///   is released by this construct's ENABLE.
+    ///   is released by this construct's ENABLE (the deploy-time verifier
+    ///   rejects an unmanaged action queue — the §3.1 hazard).
     /// * `y` — the 48-bit comparison constant.
     /// * `action` — what executes when `x == y` (its opcode is recorded as
     ///   the transmutation target; the WQE is staged as a NOOP).
@@ -57,16 +72,28 @@ impl IfEq {
     /// With a trigger, the verb cost is exactly the paper's Table 2 `if`
     /// row: 1 copy + 1 atomic + 3 ordering verbs.
     pub fn build(
-        ctrl: &mut ChainBuilder,
-        actions: &mut ChainBuilder,
+        p: &mut IrProgram,
+        ctrl: QId,
+        actions: QId,
         y: u64,
         action: WorkRequest,
         trigger: Option<(CqId, u64)>,
     ) -> IfEq {
-        assert!(
-            actions.queue().managed,
-            "the action queue must be managed: the CAS modifies its WQE in place"
-        );
+        let action_op_id = p.alloc(actions);
+        IfEq::build_on(p, ctrl, y, action, trigger, action_op_id)
+    }
+
+    /// As [`IfEq::build`] with a pre-allocated action op (so outer
+    /// constructs — [`IfLe`] — can aim verbs at the action before it is
+    /// staged).
+    pub(crate) fn build_on(
+        p: &mut IrProgram,
+        ctrl: QId,
+        y: u64,
+        action: WorkRequest,
+        trigger: Option<(CqId, u64)>,
+        action_op_id: OpId,
+    ) -> IfEq {
         let y = operand48(y);
         let action_op = action.wqe.opcode;
         assert!(
@@ -76,58 +103,65 @@ impl IfEq {
 
         let mut counts = VerbCounts::default();
         // Branch body: staged as a NOOP carrying the action's operands.
-        let mut placeholder = action;
-        placeholder.wqe.opcode = Opcode::Noop;
-        placeholder.wqe.id = 0;
-        let staged_action = actions.stage(placeholder);
+        let staged_action = p.place(
+            action_op_id,
+            OpBuild::new(Kind::Raw(action))
+                .placeholder()
+                .label("if action"),
+        );
         counts.copies += 1;
 
         // Optional trigger edge.
         if let Some((cq, count)) = trigger {
-            ctrl.stage(WorkRequest::wait(cq, count));
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute { cq, count })).label("if trigger"),
+            );
             counts.ordering += 1;
         }
 
         // The branch: CAS on the action's header word.
-        let cas = ctrl.stage(
-            WorkRequest::cas(
-                staged_action.addr(WqeField::Header),
-                staged_action.queue.ring.rkey,
-                cond_compare(y),
-                cond_swap(action_op, y),
-                0,
-                0,
-            )
-            .signaled(),
+        let cas = p.push(
+            ctrl,
+            OpBuild::new(Kind::Transmute {
+                target: staged_action,
+                y,
+                into: action_op,
+            })
+            .signaled()
+            .label("if CAS"),
         );
         counts.atomics += 1;
 
         // Doorbell ordering: the action may only be fetched after the CAS
-        // completed.
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
-        ctrl.stage(WorkRequest::enable(
-            staged_action.queue.sq,
-            staged_action.index + 1,
-        ));
+        // completed. (The optimizer elides this WAIT into a `wait_prev`
+        // fence on the ENABLE.)
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("if CAS wait"),
+        );
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(staged_action)))
+                .label("if action release"),
+        );
         counts.ordering += 2;
 
+        let x_inject = p.field_ref(staged_action, WqeField::Id);
         IfEq {
             action: staged_action,
             cas,
-            x_inject_addr: staged_action.addr(WqeField::Id),
+            x_inject,
             counts,
         }
     }
 
     /// Host-side injection of the runtime operand (tests and host-driven
-    /// setups; RPC offloads use RECV scatter instead).
+    /// setups; RPC offloads use RECV scatter instead). Call after the
+    /// owning program deployed.
     pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
         let x = operand48(x);
-        sim.mem_write(
-            self.action.queue.node,
-            self.x_inject_addr,
-            &x.to_le_bytes()[..6],
-        )
+        self.x_inject.write(sim, &x.to_le_bytes()[..6])
     }
 }
 
@@ -142,26 +176,26 @@ impl IfEq {
 /// as NOOPs and the action never fires.
 #[derive(Clone, Debug)]
 pub struct IfEqWide {
-    /// The action WQE.
-    pub action: Staged,
-    /// Injection addresses for the operand segments, least-significant
-    /// first (6 bytes each).
-    pub x_inject_addrs: Vec<u64>,
-    /// Verb accounting.
+    /// The action op.
+    pub action: OpId,
+    /// Injection points for the operand segments, least-significant
+    /// first (6 bytes each); resolve after deploy.
+    pub x_injects: Vec<FieldRef>,
+    /// Verb accounting (paper cost model).
     pub counts: VerbCounts,
 }
 
 impl IfEqWide {
     /// Build a wide conditional comparing `bits` bits of `x` against `y`.
     pub fn build(
-        ctrl: &mut ChainBuilder,
-        stages: &mut ChainBuilder,
+        p: &mut IrProgram,
+        ctrl: QId,
+        stages_q: QId,
         y: u128,
         bits: u32,
         action: WorkRequest,
         trigger: Option<(CqId, u64)>,
     ) -> IfEqWide {
-        assert!(stages.queue().managed, "stage queue must be managed");
         let y_segs = wide_segments(y, bits);
         let k = y_segs.len();
         assert!(k >= 1);
@@ -170,97 +204,108 @@ impl IfEqWide {
 
         let mut counts = VerbCounts::default();
         if let Some((cq, count)) = trigger {
-            ctrl.stage(WorkRequest::wait(cq, count));
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute { cq, count })).label("wide trigger"),
+            );
             counts.ordering += 1;
         }
 
         // Stage the carriers T_1..T_{k-1} (NOOP -> CAS) and the action
         // T_k (NOOP -> action) in the managed queue, in order. Each
-        // carrier's CAS fields target the *next* staged WQE's header.
-        // We must know T_{i+1}'s address when staging T_i, so compute
-        // indices first.
-        let base = stages.next_index();
-        let queue = stages.queue();
-        let mut staged = Vec::with_capacity(k);
+        // carrier's CAS targets the *next* op — forward references, so
+        // allocate all k ops first.
+        let staged: Vec<OpId> = (0..k).map(|_| p.alloc(stages_q)).collect();
         for i in 0..k {
             let is_last = i == k - 1;
-            let next_slot_header = queue.slot_addr(base + i as u64 + 1) + WqeField::Header.offset();
-            let wr = if is_last {
-                let mut placeholder = action;
-                placeholder.wqe.opcode = Opcode::Noop;
-                placeholder.wqe.id = 0;
+            if is_last {
+                p.place(
+                    staged[i],
+                    OpBuild::new(Kind::Raw(action))
+                        .placeholder()
+                        .label("wide action"),
+                );
                 counts.copies += 1;
-                placeholder
             } else {
                 // Carrier: preset CAS fields testing segment i+1 on the
-                // next WQE; staged as a NOOP (id holds x_i, injected).
-                let target_op = if i + 1 == k - 1 && k > 1 {
+                // next op; staged as a NOOP (id holds x_i, injected).
+                let target_op = if i + 1 == k - 1 {
                     action_op
                 } else {
                     Opcode::Cas
                 };
-                let target_op = if i + 1 == k - 1 { action_op } else { target_op };
-                let mut wr = WorkRequest::cas(
-                    next_slot_header,
-                    queue.ring.rkey,
-                    cond_compare(y_segs[i + 1]),
-                    cond_swap(target_op, y_segs[i + 1]),
-                    0,
-                    0,
-                )
-                .signaled();
-                wr.wqe.opcode = Opcode::Noop;
+                p.place(
+                    staged[i],
+                    OpBuild::new(Kind::Transmute {
+                        target: staged[i + 1],
+                        y: y_segs[i + 1],
+                        into: target_op,
+                    })
+                    .signaled()
+                    .placeholder()
+                    .label("wide carrier"),
+                );
                 counts.atomics += 1;
-                wr
-            };
-            staged.push(stages.stage(wr));
+            }
         }
 
         // First CAS, from the control queue, tests segment 0 on T_1.
         let first_target = if k == 1 { action_op } else { Opcode::Cas };
-        ctrl.stage(
-            WorkRequest::cas(
-                staged[0].addr(WqeField::Header),
-                queue.ring.rkey,
-                cond_compare(y_segs[0]),
-                cond_swap(first_target, y_segs[0]),
-                0,
-                0,
-            )
-            .signaled(),
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Transmute {
+                target: staged[0],
+                y: y_segs[0],
+                into: first_target,
+            })
+            .signaled()
+            .label("wide first CAS"),
         );
         counts.atomics += 1;
 
         // Release the stages one at a time under doorbell ordering: each
         // stage may only be fetched once its predecessor CAS completed.
-        // Stage i's completion lands on `stages.cq()` (all carriers are
-        // signaled); the first CAS completes on `ctrl.cq()`.
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
-        ctrl.stage(WorkRequest::enable(queue.sq, staged[0].index + 1));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("wide CAS wait"),
+        );
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(staged[0])))
+                .label("wide stage release"),
+        );
         counts.ordering += 2;
-        for (i, stage) in staged.iter().enumerate().skip(1) {
+        for i in 1..k {
             // Carrier T_i completes (as NOOP or CAS) on the stage queue's
-            // CQ; its absolute completion count is base_signaled + i. The
-            // k−1 carriers are signaled; the action placeholder is not.
-            let wait_count = stages.next_wait_count() - (k as u64 - 1) + i as u64;
-            ctrl.stage(WorkRequest::wait(queue.cq, wait_count));
-            ctrl.stage(WorkRequest::enable(queue.sq, stage.index + 1));
+            // CQ; every carrier is signaled, the action placeholder not.
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Wait(WaitCond::OpDoneSignaled(staged[i - 1])))
+                    .label("wide carrier wait"),
+            );
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(staged[i])))
+                    .label("wide stage release"),
+            );
             counts.ordering += 2;
         }
 
         IfEqWide {
             action: staged[k - 1],
-            x_inject_addrs: staged.iter().map(|s| s.addr(WqeField::Id)).collect(),
+            x_injects: staged
+                .iter()
+                .map(|s| p.field_ref(*s, WqeField::Id))
+                .collect(),
             counts,
         }
     }
 
-    /// Host-side injection of a wide operand.
+    /// Host-side injection of a wide operand (after deploy).
     pub fn inject_x(&self, sim: &mut Simulator, x: u128) -> Result<()> {
-        let segs = wide_segments(x, self.x_inject_addrs.len() as u32 * OPERAND_BITS);
-        let node = self.action.queue.node;
-        for (addr, seg) in self.x_inject_addrs.iter().zip(segs) {
-            sim.mem_write(node, *addr, &seg.to_le_bytes()[..6])?;
+        let segs = wide_segments(x, self.x_injects.len() as u32 * OPERAND_BITS);
+        for (fr, seg) in self.x_injects.iter().zip(segs) {
+            fr.write(sim, &seg.to_le_bytes()[..6])?;
         }
         Ok(())
     }
@@ -274,10 +319,11 @@ impl IfEqWide {
 /// copies the result into the conditional's operand position and tests
 /// `scratch == y` — true iff `x <= y`. Everything runs on the NIC; the
 /// host (or a RECV scatter) only places `x` into the scratch word.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IfLe {
-    /// Where the runtime operand `x` must be written (8-byte word).
-    pub x_inject_addr: u64,
+    /// Where the runtime operand `x` must be written (8-byte pool cell;
+    /// resolves after deploy).
+    pub x_inject: ConstRef,
     /// The underlying equality conditional.
     pub inner: IfEq,
     /// Verb accounting (includes the MAX and the operand-move READ).
@@ -286,58 +332,63 @@ pub struct IfLe {
 
 impl IfLe {
     /// Build the construct. Requires calc-verb support on the NIC.
-    pub fn build(
-        sim: &mut Simulator,
-        ctrl: &mut ChainBuilder,
-        actions: &mut ChainBuilder,
-        pool: &mut crate::program::ConstPool,
-        y: u64,
-        action: WorkRequest,
-    ) -> Result<IfLe> {
+    pub fn build(p: &mut IrProgram, ctrl: QId, actions: QId, y: u64, action: WorkRequest) -> IfLe {
         let y = operand48(y);
-        let scratch = pool.reserve(sim, 8)?;
-        let pool_mr = pool.mr();
+        let scratch = p.const_zeroed(8);
         let mut counts = VerbCounts::default();
 
-        // The action placeholder will land at this index; compute its id
-        // address up front so the operand-move READ can target it before
-        // IfEq stages it.
-        let action_idx = actions.next_index();
-        let action_id_addr = actions.queue().slot_addr(action_idx) + WqeField::Id.offset();
+        // The action placeholder is allocated up front so the operand-move
+        // READ can target its id field before IfEq stages it.
+        let action_op = p.alloc(actions);
 
         // scratch = max(x, y).
-        ctrl.stage(WorkRequest::max(scratch, pool_mr.rkey, y).signaled());
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::MaxOf {
+                target: Loc::cst(scratch),
+                operand: y,
+            })
+            .signaled()
+            .label("le MAX"),
+        );
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("le MAX wait"),
+        );
         counts.atomics += 1;
         counts.ordering += 1;
 
         // Move the low 6 bytes of scratch into the action's id field.
-        let ring_lkey = actions.queue().ring.lkey;
-        ctrl.stage(
-            WorkRequest::read(action_id_addr, ring_lkey, 6, scratch, pool_mr.rkey).signaled(),
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Read {
+                dst: Loc::field(action_op, WqeField::Id),
+                len: 6,
+                src: Loc::cst(scratch),
+            })
+            .signaled()
+            .label("le operand move"),
         );
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("le move wait"),
+        );
         counts.copies += 1;
         counts.ordering += 1;
 
         // Equality test: max(x, y) == y  <=>  x <= y.
-        let inner = IfEq::build(ctrl, actions, y, action, None);
-        debug_assert_eq!(inner.action.index, action_idx);
+        let inner = IfEq::build_on(p, ctrl, y, action, None, action_op);
         let counts = counts.merge(&inner.counts);
-        Ok(IfLe {
-            x_inject_addr: scratch,
+        IfLe {
+            x_inject: p.const_ref(scratch),
             inner,
             counts,
-        })
+        }
     }
 
-    /// Place the runtime operand.
+    /// Place the runtime operand (after deploy).
     pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
-        sim.mem_write_u64(
-            self.inner.action.queue.node,
-            self.x_inject_addr,
-            operand48(x),
-        )
+        self.x_inject.write(sim, &operand48(x).to_le_bytes())
     }
 }
 
@@ -355,6 +406,7 @@ mod tests {
         node: NodeId,
         ctrl: ChainQueue,
         act: ChainQueue,
+        pool: ConstPool,
         flag: u64,
         flag_rkey: u32,
         one: u64,
@@ -373,6 +425,7 @@ mod tests {
             .depth(64)
             .build(&mut sim)
             .unwrap();
+        let pool = ConstPool::create(&mut sim, node, 4096, ProcessId(0)).unwrap();
         let flag = sim.alloc(node, 8, 8).unwrap();
         let fmr = sim.register_mr(node, flag, 8, Access::all()).unwrap();
         let one = sim.alloc(node, 8, 8).unwrap();
@@ -383,6 +436,7 @@ mod tests {
             node,
             ctrl,
             act,
+            pool,
             flag,
             flag_rkey: fmr.rkey,
             one,
@@ -390,17 +444,34 @@ mod tests {
         }
     }
 
+    /// Deploy a one-construct program: post actions, inject via `f`, post
+    /// ctrl, run.
+    fn run_program(
+        r: &mut Rig,
+        p: IrProgram,
+        ctrl: QId,
+        act: QId,
+        inject: impl FnOnce(&mut Simulator),
+    ) {
+        let mut lowered = p.deploy(&mut r.sim, &mut r.pool).unwrap().into_linear();
+        lowered.post(&mut r.sim, act).unwrap();
+        inject(&mut r.sim);
+        lowered.post(&mut r.sim, ctrl).unwrap();
+        r.sim.run().unwrap();
+    }
+
     fn run_if(x: u64, y: u64) -> (u64, VerbCounts) {
         let mut r = rig();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(r.act);
         let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
-        let parts = IfEq::build(&mut ctrl, &mut act, y, action, None);
+        let parts = IfEq::build(&mut p, ctrl, act, y, action, None);
         let counts = parts.counts;
-        act.post(&mut r.sim).unwrap();
-        parts.inject_x(&mut r.sim, x).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        let branch = parts.clone();
+        run_program(&mut r, p, ctrl, act, |sim| {
+            branch.inject_x(sim, x).unwrap();
+        });
         (r.sim.mem_read_u64(r.node, r.flag).unwrap(), counts)
     }
 
@@ -408,7 +479,8 @@ mod tests {
     fn if_taken_when_equal() {
         let (flag, counts) = run_if(5, 5);
         assert_eq!(flag, 1, "x == y must take the branch");
-        // Without a trigger: 1C + 1A + 2E.
+        // Without a trigger: 1C + 1A + 2E (paper cost model; the
+        // optimizer stages one ordering verb fewer).
         assert_eq!(counts.copies, 1);
         assert_eq!(counts.atomics, 1);
         assert_eq!(counts.ordering, 2);
@@ -424,14 +496,61 @@ mod tests {
     fn if_with_trigger_matches_table2() {
         // With the trigger WAIT the cost is the paper's 1C + 1A + 3E.
         let r = rig();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(r.act);
         let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
         let trigger_cq = r.act.cq; // any CQ works for accounting
-        let parts = IfEq::build(&mut ctrl, &mut act, 9, action, Some((trigger_cq, 0)));
+        let parts = IfEq::build(&mut p, ctrl, act, 9, action, Some((trigger_cq, 0)));
         assert_eq!(parts.counts.copies, 1);
         assert_eq!(parts.counts.atomics, 1);
         assert_eq!(parts.counts.ordering, 3);
+    }
+
+    #[test]
+    fn optimizer_elides_the_cas_wait() {
+        // The deployed chain carries one ordering verb fewer than the
+        // paper model: the WAIT between CAS and ENABLE becomes a
+        // wait_prev fence on the ENABLE.
+        let mut r = rig();
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(r.act);
+        let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let parts = IfEq::build(&mut p, ctrl, act, 5, action, None);
+        let mut lowered = p.deploy(&mut r.sim, &mut r.pool).unwrap().into_linear();
+        let report = lowered.report();
+        assert_eq!(report.waits_elided, 1);
+        assert_eq!(report.before.ordering, 2);
+        assert_eq!(report.after.ordering, 1);
+        lowered.post(&mut r.sim, act).unwrap();
+        parts.inject_x(&mut r.sim, 5).unwrap();
+        lowered.post(&mut r.sim, ctrl).unwrap();
+        r.sim.run().unwrap();
+        assert_eq!(r.sim.mem_read_u64(r.node, r.flag).unwrap(), 1);
+    }
+
+    #[test]
+    fn unmanaged_action_queue_is_rejected_by_the_verifier() {
+        // The §3.1 hazard as a deploy-time hard error (the old API
+        // asserted; the IR names the offending WQE instead).
+        let mut r = rig();
+        let unmanaged = ChainQueueBuilder::new(r.node, ProcessId(0))
+            .depth(32)
+            .build(&mut r.sim)
+            .unwrap();
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(unmanaged);
+        let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
+        let _ = IfEq::build(&mut p, ctrl, act, 5, action, None);
+        let err = match p.deploy(&mut r.sim, &mut r.pool) {
+            Err(e) => e,
+            Ok(_) => panic!("the verifier must reject the unmanaged action queue"),
+        };
+        let msg = format!("{err}");
+        assert!(msg.contains("UNMANAGED"), "{msg}");
+        assert!(msg.contains("if action"), "{msg}");
     }
 
     #[test]
@@ -449,31 +568,31 @@ mod tests {
         let mut r = rig();
         let flag2 = r.sim.alloc(r.node, 8, 8).unwrap();
         let fmr2 = r.sim.register_mr(r.node, flag2, 8, Access::all()).unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut act = ChainBuilder::new(&r.sim, r.act);
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(r.act);
         let a1 = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
         let a2 = WorkRequest::write(r.one, r.one_lkey, 8, flag2, fmr2.rkey);
-        let p1 = IfEq::build(&mut ctrl, &mut act, 1, a1, None);
-        let p2 = IfEq::build(&mut ctrl, &mut act, 2, a2, None);
-        act.post(&mut r.sim).unwrap();
-        p1.inject_x(&mut r.sim, 1).unwrap(); // taken
-        p2.inject_x(&mut r.sim, 3).unwrap(); // not taken
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        let p1 = IfEq::build(&mut p, ctrl, act, 1, a1, None);
+        let p2 = IfEq::build(&mut p, ctrl, act, 2, a2, None);
+        run_program(&mut r, p, ctrl, act, |sim| {
+            p1.inject_x(sim, 1).unwrap(); // taken
+            p2.inject_x(sim, 3).unwrap(); // not taken
+        });
         assert_eq!(r.sim.mem_read_u64(r.node, r.flag).unwrap(), 1);
         assert_eq!(r.sim.mem_read_u64(r.node, flag2).unwrap(), 0);
     }
 
     fn run_wide(x: u128, y: u128, bits: u32) -> u64 {
         let mut r = rig();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut stages = ChainBuilder::new(&r.sim, r.act);
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let act = p.chain(r.act);
         let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
-        let parts = IfEqWide::build(&mut ctrl, &mut stages, y, bits, action, None);
-        stages.post(&mut r.sim).unwrap();
-        parts.inject_x(&mut r.sim, x).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        let parts = IfEqWide::build(&mut p, ctrl, act, y, bits, action, None);
+        run_program(&mut r, p, ctrl, act, |sim| {
+            parts.inject_x(sim, x).unwrap();
+        });
         r.sim.mem_read_u64(r.node, r.flag).unwrap()
     }
 
@@ -509,15 +628,14 @@ mod tests {
         // x <= y via MAX + equality (§3.5), end to end on the NIC.
         for (x, y, expect) in [(3u64, 5u64, 1u64), (5, 5, 1), (7, 5, 0), (0, 5, 1)] {
             let mut r = rig();
-            let mut pool = ConstPool::create(&mut r.sim, r.node, 256, ProcessId(0)).unwrap();
-            let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-            let mut act = ChainBuilder::new(&r.sim, r.act);
+            let mut p = IrProgram::linear();
+            let ctrl = p.chain(r.ctrl);
+            let act = p.chain(r.act);
             let action = WorkRequest::write(r.one, r.one_lkey, 8, r.flag, r.flag_rkey);
-            let parts = IfLe::build(&mut r.sim, &mut ctrl, &mut act, &mut pool, y, action).unwrap();
-            act.post(&mut r.sim).unwrap();
-            parts.inject_x(&mut r.sim, x).unwrap();
-            ctrl.post(&mut r.sim).unwrap();
-            r.sim.run().unwrap();
+            let parts = IfLe::build(&mut p, ctrl, act, y, action);
+            run_program(&mut r, p, ctrl, act, |sim| {
+                parts.inject_x(sim, x).unwrap();
+            });
             let flag = r.sim.mem_read_u64(r.node, r.flag).unwrap();
             assert_eq!(flag, expect, "x={x} y={y}");
         }

@@ -24,10 +24,10 @@
 use rnic_sim::error::Result;
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{header_word, WorkRequest, FLAG_SIGNALED};
+use rnic_sim::wqe::{header_word, WorkRequest};
 
-use crate::builder::{ChainBuilder, Staged, VerbCounts};
-use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
+use crate::builder::{Staged, VerbCounts};
+use crate::encode::{operand48, WqeField};
 use crate::program::{ChainQueue, ConstPool};
 
 /// A built unrolled `while` loop searching for a match among `n`
@@ -36,22 +36,21 @@ use crate::program::{ChainQueue, ConstPool};
 /// Iteration `i` fires `responses[i]` when the injected operand `x`
 /// equals `values[i]`.
 pub struct UnrolledWhile {
-    /// Injection addresses (6 bytes each) — one per iteration; the same
-    /// `x` is scattered into every iteration's comparison target, which is
+    /// Injection points (6 bytes each) — one per iteration; the same `x`
+    /// is scattered into every iteration's comparison target, which is
     /// why the paper notes RECV's 16-scatter limit caps the loop size
-    /// (§5.3).
-    pub x_inject_addrs: Vec<u64>,
-    /// The response WQEs, one per iteration.
-    pub responses: Vec<Staged>,
-    /// Completion threshold on the response queue CQ after iteration `i`
-    /// (for hosts that want to observe progress).
+    /// (§5.3). Resolve after the owning program deploys.
+    pub x_injects: Vec<crate::ir::FieldRef>,
+    /// The response ops, one per iteration.
+    pub responses: Vec<crate::ir::OpId>,
+    /// Verb accounting (the paper's cost model, before the optimizer).
     pub counts: VerbCounts,
     /// Whether break-on-match is compiled in.
     pub break_enabled: bool,
 }
 
 impl UnrolledWhile {
-    /// Build the loop.
+    /// Build the loop into `p`.
     ///
     /// * `values[i]` — the constant iteration `i` compares against
     ///   (`A[i]` in Fig 5).
@@ -60,131 +59,159 @@ impl UnrolledWhile {
     /// * `break_enabled` — compile the Fig 6 break: iterations after a
     ///   match never execute.
     pub fn build(
-        sim: &mut Simulator,
-        ctrl: &mut ChainBuilder,
-        dyn_q: &mut ChainBuilder,
-        pool: &mut ConstPool,
+        p: &mut crate::ir::IrProgram,
+        ctrl: crate::ir::QId,
+        dyn_q: crate::ir::QId,
         values: &[u64],
         responses: &[WorkRequest],
         break_enabled: bool,
-    ) -> Result<UnrolledWhile> {
+    ) -> UnrolledWhile {
+        use crate::ir::{EnableTarget, Kind, Loc, OpBuild, WaitCond};
         assert_eq!(values.len(), responses.len());
-        assert!(dyn_q.queue().managed, "dynamic queue must be managed");
         let mut counts = VerbCounts::default();
         let mut inject = Vec::new();
-        let mut resp_handles = Vec::new();
-        let ring_rkey = dyn_q.queue().ring.rkey;
-        let pool_mr = pool.mr();
+        let mut resp_ops = Vec::new();
 
-        for (i, (&value, response)) in values.iter().zip(responses).enumerate() {
+        for (&value, response) in values.iter().zip(responses) {
             let y = operand48(value);
             let resp_op = response.wqe.opcode;
             assert!(resp_op != Opcode::Noop);
 
             if break_enabled {
                 // Stage the break placeholder, then the response, in the
-                // managed queue.
-                let resp_idx = dyn_q.next_index() + 1;
-                let resp_slot = dyn_q.queue().slot_addr(resp_idx);
-                // Pristine 12-byte image that the break WRITE deposits on
-                // the response slot: header = (resp_op, 0), flags = 0
-                // (unsignaled) — the response fires but the loop's
+                // managed queue. The break's pristine 12-byte image
+                // deposits header = (resp_op, 0), flags = 0 (unsignaled)
+                // on the response slot: the response fires but the loop's
                 // completion chain starves.
                 let mut image = Vec::with_capacity(12);
                 image.extend_from_slice(&header_word(resp_op, 0).to_le_bytes());
                 image.extend_from_slice(&0u32.to_le_bytes());
-                let image_addr = pool.push_bytes(sim, &image)?;
+                let image_c = p.const_bytes(image);
 
-                let mut brk =
-                    WorkRequest::write(image_addr, pool_mr.lkey, 12, resp_slot, ring_rkey)
-                        .signaled();
-                brk.wqe.opcode = Opcode::Noop; // transmuted on match
-                let brk_staged = dyn_q.stage(brk);
+                let resp_id = p.alloc(dyn_q); // forward ref: brk targets it
+                let brk = p.push(
+                    dyn_q,
+                    OpBuild::new(Kind::Write {
+                        src: Loc::cst(image_c),
+                        len: 12,
+                        dst: Loc::field(resp_id, WqeField::Header),
+                        imm: None,
+                    })
+                    .signaled()
+                    .placeholder() // transmuted on match
+                    .label("while break"),
+                );
                 counts.copies += 1;
 
                 // Response placeholder: NOOP, signaled — its completion
                 // drives the next iteration.
-                let mut resp = *response;
-                resp.wqe.opcode = Opcode::Noop;
-                resp.wqe.flags |= FLAG_SIGNALED;
-                resp.wqe.id = 0;
-                let resp_staged = dyn_q.stage(resp);
-                debug_assert_eq!(resp_staged.index, resp_idx);
+                p.place(
+                    resp_id,
+                    OpBuild::new(Kind::Raw(*response))
+                        .signaled()
+                        .placeholder()
+                        .label("while response"),
+                );
                 counts.copies += 1;
 
                 // x is injected into the *break* WQE's id; the CAS tests it
                 // there and transmutes NOOP -> WRITE(break image).
-                inject.push(brk_staged.addr(WqeField::Id));
-                ctrl.stage(
-                    WorkRequest::cas(
-                        brk_staged.addr(WqeField::Header),
-                        ring_rkey,
-                        cond_compare(y),
-                        cond_swap(Opcode::Write, y),
-                        0,
-                        0,
-                    )
-                    .signaled(),
+                inject.push(p.field_ref(brk, WqeField::Id));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Transmute {
+                        target: brk,
+                        y,
+                        into: Opcode::Write,
+                    })
+                    .signaled()
+                    .label("while CAS"),
                 );
                 counts.atomics += 1;
-                ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
-                ctrl.stage(WorkRequest::enable(dyn_q.queue().sq, brk_staged.index + 1));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("while CAS wait"),
+                );
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(brk)))
+                        .label("while break release"),
+                );
                 counts.ordering += 2;
                 // Release the response only after the break (NOOP or
                 // WRITE) completed — its overwrite must land first.
-                ctrl.stage(WorkRequest::wait(dyn_q.cq(), dyn_q.next_wait_count() - 1));
-                ctrl.stage(WorkRequest::enable(dyn_q.queue().sq, resp_staged.index + 1));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Wait(WaitCond::OpDoneSignaled(brk)))
+                        .label("while break wait"),
+                );
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(resp_id)))
+                        .label("while response release"),
+                );
                 counts.ordering += 2;
                 // The loop gate: proceed to iteration i+1 only once the
                 // response WQE *completed*. A break-overwritten response is
                 // unsignaled, so this WAIT starves and the loop exits.
-                ctrl.stage(WorkRequest::wait(dyn_q.cq(), dyn_q.next_wait_count()));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Wait(WaitCond::OpDoneSignaled(resp_id)))
+                        .label("while loop gate"),
+                );
                 counts.ordering += 1;
-                resp_handles.push(resp_staged);
+                resp_ops.push(resp_id);
             } else {
                 // Plain unrolled iteration: CAS transmutes the response
                 // NOOP directly (Fig 5) — every iteration executes.
-                let mut resp = *response;
-                resp.wqe.opcode = Opcode::Noop;
-                resp.wqe.flags |= FLAG_SIGNALED;
-                resp.wqe.id = 0;
-                let resp_staged = dyn_q.stage(resp);
+                let resp = p.push(
+                    dyn_q,
+                    OpBuild::new(Kind::Raw(*response))
+                        .signaled()
+                        .placeholder()
+                        .label("while response"),
+                );
                 counts.copies += 1;
-                inject.push(resp_staged.addr(WqeField::Id));
-                ctrl.stage(
-                    WorkRequest::cas(
-                        resp_staged.addr(WqeField::Header),
-                        ring_rkey,
-                        cond_compare(y),
-                        cond_swap(resp_op, y),
-                        0,
-                        0,
-                    )
-                    .signaled(),
+                inject.push(p.field_ref(resp, WqeField::Id));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Transmute {
+                        target: resp,
+                        y,
+                        into: resp_op,
+                    })
+                    .signaled()
+                    .label("while CAS"),
                 );
                 counts.atomics += 1;
-                ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
-                ctrl.stage(WorkRequest::enable(dyn_q.queue().sq, resp_staged.index + 1));
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("while CAS wait"),
+                );
+                p.push(
+                    ctrl,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(resp)))
+                        .label("while response release"),
+                );
                 counts.ordering += 2;
-                resp_handles.push(resp_staged);
+                resp_ops.push(resp);
             }
-            let _ = i;
         }
 
-        Ok(UnrolledWhile {
-            x_inject_addrs: inject,
-            responses: resp_handles,
+        UnrolledWhile {
+            x_injects: inject,
+            responses: resp_ops,
             counts,
             break_enabled,
-        })
+        }
     }
 
-    /// Host-side injection of the search operand into every iteration.
+    /// Host-side injection of the search operand into every iteration
+    /// (after the owning program deployed).
     pub fn inject_x(&self, sim: &mut Simulator, x: u64) -> Result<()> {
         let x = operand48(x);
-        for &addr in &self.x_inject_addrs {
-            let node = self.responses[0].queue.node;
-            sim.mem_write(node, addr, &x.to_le_bytes()[..6])?;
+        for fr in &self.x_injects {
+            fr.write(sim, &x.to_le_bytes()[..6])?;
         }
         Ok(())
     }
@@ -229,6 +256,19 @@ pub struct RecycledLoopBuilder {
     restore_slots: Vec<usize>,
     signaled: u64,
     cq_base: u64,
+}
+
+/// Options for [`RecycledLoopBuilder::finish_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FinishOpts {
+    /// Replace the tail WAIT with a `wait_prev` fence on the tail
+    /// self-ENABLE (the IR optimizer's tail elision): the ENABLE then
+    /// waits for *every* WQE of the round to complete — a strict
+    /// superset of the WAIT's threshold — and both the WAIT slot and its
+    /// head FETCH_ADD fix-up disappear. Must stay off when something
+    /// patches the tail ENABLE at run time (a compiled halt), because
+    /// the fence does not delay the ENABLE's own fetch snapshot.
+    pub elide_tail_wait: bool,
 }
 
 /// A running recycled loop.
@@ -351,7 +391,18 @@ impl RecycledLoopBuilder {
     ///   tail. They are therefore initialized one delta low
     ///   (`W0 − S`, `2L − L`), so the round-0 head bump lands them on the
     ///   correct round-0 values.
-    pub fn finish(mut self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<RecycledLoop> {
+    pub fn finish(self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<RecycledLoop> {
+        self.finish_with(sim, pool, FinishOpts::default())
+    }
+
+    /// As [`RecycledLoopBuilder::finish`], with explicit options (the IR
+    /// lowering's entry point).
+    pub fn finish_with(
+        mut self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        opts: FinishOpts,
+    ) -> Result<RecycledLoop> {
         let pool_mr = pool.mr();
         let ring_rkey = self.queue.ring.rkey;
         let depth = self.queue.depth as u64;
@@ -392,9 +443,12 @@ impl RecycledLoopBuilder {
         }
         debug_assert_eq!(self.signaled, s_per_round);
 
-        // 3. Padding, then the tail WAIT + self-ENABLE as the last two
-        // slots of the ring.
-        let used = self.wrs.len() as u64 + 2;
+        // 3. Padding, then the tail: WAIT + self-ENABLE as the last two
+        // slots of the ring — or, with the tail WAIT elided, just the
+        // self-ENABLE fenced by `wait_prev` (every WQE of the round must
+        // have completed before it issues, a superset of the WAIT).
+        let tail_n: u64 = if opts.elide_tail_wait { 1 } else { 2 };
+        let used = self.wrs.len() as u64 + tail_n;
         assert!(
             used <= depth,
             "recycled loop needs {used} slots but the ring has {depth}"
@@ -402,20 +456,29 @@ impl RecycledLoopBuilder {
         for _ in used..depth {
             self.stage(WorkRequest::noop());
         }
-        let tail_wait_rel = self.wrs.len();
-        let tail_enable_rel = tail_wait_rel + 1;
-        // Initialized one delta low (W0 − S = cq_base); the head FADDs
-        // bump them at the start of round 0.
-        let w_init = self.cq_base;
-        self.stage(WorkRequest::wait(self.queue.cq, w_init));
-        self.stage(WorkRequest::enable(self.queue.sq, depth));
+        let tail_enable_rel;
+        if opts.elide_tail_wait {
+            tail_enable_rel = self.wrs.len();
+            self.stage(WorkRequest::enable(self.queue.sq, depth).wait_prev());
+        } else {
+            let tail_wait_rel = self.wrs.len();
+            tail_enable_rel = tail_wait_rel + 1;
+            // Initialized one delta low (W0 − S = cq_base); the head
+            // FADDs bump them at the start of round 0.
+            let w_init = self.cq_base;
+            self.stage(WorkRequest::wait(self.queue.cq, w_init));
+            self.stage(WorkRequest::enable(self.queue.sq, depth));
+            // Head slot 0: bump the tail WAIT's threshold for next round.
+            let tail_wait_operand = self.slot_field_addr(tail_wait_rel, WqeField::Operand);
+            self.wrs[0] =
+                WorkRequest::fetch_add(tail_wait_operand, ring_rkey, s_per_round, 0, 0).signaled();
+        }
         debug_assert_eq!(self.wrs.len() as u64, depth);
 
-        // 4. Rewrite the two head placeholders into the tail fix-ups.
-        let tail_wait_operand = self.slot_field_addr(tail_wait_rel, WqeField::Operand);
+        // 4. Rewrite the remaining head placeholder(s) into tail fix-ups.
+        // (With the tail WAIT elided, head slot 0 stays a signaled NOOP —
+        // its completion is already part of S.)
         let tail_enable_operand = self.slot_field_addr(tail_enable_rel, WqeField::Operand);
-        self.wrs[0] =
-            WorkRequest::fetch_add(tail_wait_operand, ring_rkey, s_per_round, 0, 0).signaled();
         self.wrs[1] =
             WorkRequest::fetch_add(tail_enable_operand, ring_rkey, depth, 0, 0).signaled();
 
@@ -470,6 +533,7 @@ impl RecycledLoop {
 mod tests {
     use super::*;
     use crate::ctx::ChainQueueBuilder;
+    use crate::encode::{cond_compare, cond_swap};
     use rnic_sim::config::{HostConfig, NicConfig, SimConfig};
     use rnic_sim::ids::{NodeId, ProcessId};
     use rnic_sim::mem::Access;
@@ -522,25 +586,22 @@ mod tests {
     }
 
     fn build_search(r: &mut Rig, n: usize, brk: bool) -> UnrolledWhile {
+        build_search_with(r, n, brk, 12) // matches values[2]
+    }
+
+    fn build_search_with(r: &mut Rig, n: usize, brk: bool, x: u64) -> UnrolledWhile {
         let values: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
         let responses: Vec<WorkRequest> = (0..n as u64)
             .map(|i| WorkRequest::write(r.vals + i * 8, r.vals_lkey, 8, r.out, r.out_rkey))
             .collect();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut dyn_b = ChainBuilder::new(&r.sim, r.dyn_q);
-        let lw = UnrolledWhile::build(
-            &mut r.sim,
-            &mut ctrl,
-            &mut dyn_b,
-            &mut r.pool,
-            &values,
-            &responses,
-            brk,
-        )
-        .unwrap();
-        dyn_b.post(&mut r.sim).unwrap();
-        lw.inject_x(&mut r.sim, 12).unwrap(); // matches values[2]
-        ctrl.post(&mut r.sim).unwrap();
+        let mut p = crate::ir::IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let dyn_q = p.chain(r.dyn_q);
+        let lw = UnrolledWhile::build(&mut p, ctrl, dyn_q, &values, &responses, brk);
+        let mut lowered = p.deploy(&mut r.sim, &mut r.pool).unwrap().into_linear();
+        lowered.post(&mut r.sim, dyn_q).unwrap();
+        lw.inject_x(&mut r.sim, x).unwrap();
+        lowered.post(&mut r.sim, ctrl).unwrap();
         lw
     }
 
@@ -561,25 +622,7 @@ mod tests {
     #[test]
     fn unrolled_search_no_match_writes_nothing() {
         let mut r = rig();
-        let values: Vec<u64> = (0..4u64).map(|i| 10 + i).collect();
-        let responses: Vec<WorkRequest> = (0..4u64)
-            .map(|i| WorkRequest::write(r.vals + i * 8, r.vals_lkey, 8, r.out, r.out_rkey))
-            .collect();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut dyn_b = ChainBuilder::new(&r.sim, r.dyn_q);
-        let lw = UnrolledWhile::build(
-            &mut r.sim,
-            &mut ctrl,
-            &mut dyn_b,
-            &mut r.pool,
-            &values,
-            &responses,
-            false,
-        )
-        .unwrap();
-        dyn_b.post(&mut r.sim).unwrap();
-        lw.inject_x(&mut r.sim, 999).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
+        let _lw = build_search_with(&mut r, 4, false, 999);
         r.sim.run().unwrap();
         assert_eq!(r.sim.mem_read_u64(r.node, r.out).unwrap(), 0);
     }
@@ -603,21 +646,14 @@ mod tests {
         let responses: Vec<WorkRequest> = (0..4u64)
             .map(|i| WorkRequest::write(r.vals + i * 8, r.vals_lkey, 8, r.out, r.out_rkey))
             .collect();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut dyn_b = ChainBuilder::new(&r.sim, r.dyn_q);
-        let lw = UnrolledWhile::build(
-            &mut r.sim,
-            &mut ctrl,
-            &mut dyn_b,
-            &mut r.pool,
-            &values,
-            &responses,
-            true,
-        )
-        .unwrap();
-        dyn_b.post(&mut r.sim).unwrap();
+        let mut p = crate::ir::IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let dyn_q = p.chain(r.dyn_q);
+        let lw = UnrolledWhile::build(&mut p, ctrl, dyn_q, &values, &responses, true);
+        let mut lowered = p.deploy(&mut r.sim, &mut r.pool).unwrap().into_linear();
+        lowered.post(&mut r.sim, dyn_q).unwrap();
         lw.inject_x(&mut r.sim, 42).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
+        lowered.post(&mut r.sim, ctrl).unwrap();
         r.sim.run().unwrap();
         assert_eq!(r.sim.mem_read_u64(r.node, r.out).unwrap(), 100);
         assert_eq!(r.sim.wq_executed(r.dyn_q.sq), 2); // break + response only

@@ -14,14 +14,18 @@
 //! only perform memory-to-memory transfers, we assume these registers are
 //! stored in memory"). Stores (`mov [Rdst], Rsrc`) patch the *destination*
 //! address instead of the source.
+//!
+//! The unit emits [`crate::ir`] ops: the patched second-stage WRITE is a
+//! symbolic patch target (so the deploy-time verifier enforces its
+//! managed-queue placement), and the inter-step WAITs elide into
+//! `wait_prev` fences wherever the successor is not itself patched.
 
 use rnic_sim::error::Result;
 use rnic_sim::mem::MemoryRegion;
 use rnic_sim::sim::Simulator;
-use rnic_sim::wqe::WorkRequest;
 
-use crate::builder::ChainBuilder;
 use crate::encode::WqeField;
+use crate::ir::{EnableTarget, IrProgram, Kind, Loc, OpBuild, QId, WaitCond};
 use crate::program::ConstPool;
 
 /// A file of 8-byte registers stored in (registered) host memory.
@@ -81,7 +85,8 @@ impl RegisterFile {
     }
 }
 
-/// Emits `mov` operations onto a control chain + a managed patch queue.
+/// Emits `mov` operations onto a control queue + a managed patch queue of
+/// an [`IrProgram`].
 ///
 /// Every indirect/indexed mov stages its *second-stage* WRITE in the
 /// managed queue (its address field is modified at run time) and the
@@ -100,148 +105,174 @@ impl MovUnit {
         MovUnit { regs, data_mr }
     }
 
-    /// `mov Rdst, C` — immediate. One WRITE from a pooled constant.
-    pub fn mov_imm(
-        &self,
-        sim: &mut Simulator,
-        ctrl: &mut ChainBuilder,
-        pool: &mut ConstPool,
-        dst: usize,
-        c: u64,
-    ) -> Result<()> {
-        let c_addr = pool.push_u64(sim, c)?;
-        ctrl.stage(
-            WorkRequest::write(
-                c_addr,
-                pool.mr().lkey,
-                8,
-                self.regs.addr(dst),
-                self.regs.mr().rkey,
-            )
-            .signaled(),
+    /// `mov Rdst, C` — immediate. One WRITE from a program constant.
+    pub fn mov_imm(&self, p: &mut IrProgram, ctrl: QId, dst: usize, c: u64) {
+        let cell = p.const_bytes(c.to_le_bytes().to_vec());
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Write {
+                src: Loc::cst(cell),
+                len: 8,
+                dst: Loc::raw(self.regs.addr(dst), self.regs.mr().rkey),
+                imm: None,
+            })
+            .signaled()
+            .label("mov imm"),
         );
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
-        Ok(())
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+        );
     }
 
     /// `mov Rdst, Rsrc` — register to register.
-    pub fn mov_reg(&self, ctrl: &mut ChainBuilder, dst: usize, src: usize) {
-        ctrl.stage(
-            WorkRequest::write(
-                self.regs.addr(src),
-                self.regs.mr().lkey,
-                8,
-                self.regs.addr(dst),
-                self.regs.mr().rkey,
-            )
-            .signaled(),
+    pub fn mov_reg(&self, p: &mut IrProgram, ctrl: QId, dst: usize, src: usize) {
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(self.regs.addr(src), self.regs.mr().lkey),
+                len: 8,
+                dst: Loc::raw(self.regs.addr(dst), self.regs.mr().rkey),
+                imm: None,
+            })
+            .signaled()
+            .label("mov reg"),
         );
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+        );
     }
 
     /// `mov Rdst, [Rsrc + off]` — indirect/indexed load. `off = 0` is the
     /// pure indirect mode of Table 7.
     pub fn mov_load(
         &self,
-        ctrl: &mut ChainBuilder,
-        patched: &mut ChainBuilder,
+        p: &mut IrProgram,
+        ctrl: QId,
+        patched: QId,
         dst: usize,
         src: usize,
         off: u64,
     ) {
-        assert!(patched.queue().managed, "patched queue must be managed");
         // Second stage: WRITE([Rsrc + off] -> Rdst); its local_addr is
-        // patched at run time.
-        let mover = patched.stage(
-            WorkRequest::write(
-                0, // patched
-                self.data_mr.lkey,
-                8,
-                self.regs.addr(dst),
-                self.regs.mr().rkey,
-            )
-            .signaled(),
+        // patched at run time (the verifier enforces the managed queue).
+        let mover = p.push(
+            patched,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(0, self.data_mr.lkey), // patched
+                len: 8,
+                dst: Loc::raw(self.regs.addr(dst), self.regs.mr().rkey),
+                imm: None,
+            })
+            .signaled()
+            .label("mov load mover"),
         );
         // First stage: copy Rsrc's value into the mover's source-address
         // field.
-        ctrl.stage(
-            WorkRequest::write(
-                self.regs.addr(src),
-                self.regs.mr().lkey,
-                8,
-                mover.addr(WqeField::LocalAddr),
-                mover.queue.ring.rkey,
-            )
-            .signaled(),
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(self.regs.addr(src), self.regs.mr().lkey),
+                len: 8,
+                dst: Loc::field(mover, WqeField::LocalAddr),
+                imm: None,
+            })
+            .signaled()
+            .label("mov load patch"),
         );
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+        );
         // Indexed mode: add the offset to the patched address (Table 7's
         // extra ADD).
         if off != 0 {
-            ctrl.stage(
-                WorkRequest::fetch_add(
-                    mover.addr(WqeField::LocalAddr),
-                    mover.queue.ring.rkey,
-                    off,
-                    0,
-                    0,
-                )
-                .signaled(),
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::FetchAdd {
+                    target: Loc::field(mover, WqeField::LocalAddr),
+                    delta: off,
+                })
+                .signaled()
+                .label("mov index add"),
             );
-            ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+            );
         }
         // Release the mover under doorbell ordering, then wait for it so
         // program order is preserved for the next mov.
-        ctrl.stage(WorkRequest::enable(mover.queue.sq, mover.index + 1));
-        ctrl.stage(WorkRequest::wait(patched.cq(), patched.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(mover))).label("mov release"),
+        );
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::OpDoneSignaled(mover))).label("mov mover wait"),
+        );
     }
 
     /// `mov [Rdst + off], Rsrc` — indirect/indexed store.
     pub fn mov_store(
         &self,
-        ctrl: &mut ChainBuilder,
-        patched: &mut ChainBuilder,
+        p: &mut IrProgram,
+        ctrl: QId,
+        patched: QId,
         dst: usize,
         src: usize,
         off: u64,
     ) {
-        assert!(patched.queue().managed, "patched queue must be managed");
-        let mover = patched.stage(
-            WorkRequest::write(
-                self.regs.addr(src),
-                self.regs.mr().lkey,
-                8,
-                0, // patched
-                self.data_mr.rkey,
-            )
-            .signaled(),
+        let mover = p.push(
+            patched,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(self.regs.addr(src), self.regs.mr().lkey),
+                len: 8,
+                dst: Loc::raw(0, self.data_mr.rkey), // patched
+                imm: None,
+            })
+            .signaled()
+            .label("mov store mover"),
         );
-        ctrl.stage(
-            WorkRequest::write(
-                self.regs.addr(dst),
-                self.regs.mr().lkey,
-                8,
-                mover.addr(WqeField::RemoteAddr),
-                mover.queue.ring.rkey,
-            )
-            .signaled(),
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(self.regs.addr(dst), self.regs.mr().lkey),
+                len: 8,
+                dst: Loc::field(mover, WqeField::RemoteAddr),
+                imm: None,
+            })
+            .signaled()
+            .label("mov store patch"),
         );
-        ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+        );
         if off != 0 {
-            ctrl.stage(
-                WorkRequest::fetch_add(
-                    mover.addr(WqeField::RemoteAddr),
-                    mover.queue.ring.rkey,
-                    off,
-                    0,
-                    0,
-                )
-                .signaled(),
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::FetchAdd {
+                    target: Loc::field(mover, WqeField::RemoteAddr),
+                    delta: off,
+                })
+                .signaled()
+                .label("mov index add"),
             );
-            ctrl.stage(WorkRequest::wait(ctrl.cq(), ctrl.next_wait_count()));
+            p.push(
+                ctrl,
+                OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("mov order"),
+            );
         }
-        ctrl.stage(WorkRequest::enable(mover.queue.sq, mover.index + 1));
-        ctrl.stage(WorkRequest::wait(patched.cq(), patched.next_wait_count()));
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(mover))).label("mov release"),
+        );
+        p.push(
+            ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::OpDoneSignaled(mover))).label("mov mover wait"),
+        );
     }
 }
 
@@ -292,6 +323,18 @@ mod tests {
         }
     }
 
+    /// Build a program with `emit`, deploy it, and run it to completion.
+    fn run_movs(r: &mut Rig, emit: impl FnOnce(&mut IrProgram, QId, QId, &MovUnit)) {
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(r.ctrl);
+        let patched = p.chain(r.patched);
+        emit(&mut p, ctrl, patched, &r.unit);
+        let mut lowered = p.deploy(&mut r.sim, &mut r.pool).unwrap().into_linear();
+        lowered.post(&mut r.sim, patched).unwrap();
+        lowered.post(&mut r.sim, ctrl).unwrap();
+        r.sim.run().unwrap();
+    }
+
     #[test]
     fn register_file_layout() {
         let mut r = rig();
@@ -312,12 +355,9 @@ mod tests {
     #[test]
     fn mov_imm_writes_constant() {
         let mut r = rig();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        r.unit
-            .mov_imm(&mut r.sim, &mut ctrl, &mut r.pool, 0, 0xFEED)
-            .unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, _, unit| {
+            unit.mov_imm(p, ctrl, 0, 0xFEED);
+        });
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 0xFEED);
     }
 
@@ -325,10 +365,9 @@ mod tests {
     fn mov_reg_copies() {
         let mut r = rig();
         r.unit.regs.write(&mut r.sim, r.node, 1, 42).unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        r.unit.mov_reg(&mut ctrl, 2, 1);
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, _, unit| {
+            unit.mov_reg(p, ctrl, 2, 1);
+        });
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 2).unwrap(), 42);
     }
 
@@ -341,12 +380,9 @@ mod tests {
             .regs
             .write(&mut r.sim, r.node, 1, r.data + 16)
             .unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut patched = ChainBuilder::new(&r.sim, r.patched);
-        r.unit.mov_load(&mut ctrl, &mut patched, 0, 1, 0);
-        patched.post(&mut r.sim).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, patched, unit| {
+            unit.mov_load(p, ctrl, patched, 0, 1, 0);
+        });
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 0xABCD);
     }
 
@@ -356,12 +392,9 @@ mod tests {
         // data[3] = 7; R1 = &data[0]; mov R0, [R1 + 24].
         r.sim.mem_write_u64(r.node, r.data + 24, 7).unwrap();
         r.unit.regs.write(&mut r.sim, r.node, 1, r.data).unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut patched = ChainBuilder::new(&r.sim, r.patched);
-        r.unit.mov_load(&mut ctrl, &mut patched, 0, 1, 24);
-        patched.post(&mut r.sim).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, patched, unit| {
+            unit.mov_load(p, ctrl, patched, 0, 1, 24);
+        });
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 0).unwrap(), 7);
     }
 
@@ -374,12 +407,9 @@ mod tests {
             .regs
             .write(&mut r.sim, r.node, 1, r.data + 40)
             .unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut patched = ChainBuilder::new(&r.sim, r.patched);
-        r.unit.mov_store(&mut ctrl, &mut patched, 1, 0, 0);
-        patched.post(&mut r.sim).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, patched, unit| {
+            unit.mov_store(p, ctrl, patched, 1, 0, 0);
+        });
         assert_eq!(r.sim.mem_read_u64(r.node, r.data + 40).unwrap(), 0x99);
     }
 
@@ -392,13 +422,10 @@ mod tests {
         r.sim.mem_write_u64(r.node, r.data, r.data + 64).unwrap();
         r.sim.mem_write_u64(r.node, r.data + 64, 0x1234).unwrap();
         r.unit.regs.write(&mut r.sim, r.node, 1, r.data).unwrap();
-        let mut ctrl = ChainBuilder::new(&r.sim, r.ctrl);
-        let mut patched = ChainBuilder::new(&r.sim, r.patched);
-        r.unit.mov_load(&mut ctrl, &mut patched, 2, 1, 0);
-        r.unit.mov_load(&mut ctrl, &mut patched, 3, 2, 0);
-        patched.post(&mut r.sim).unwrap();
-        ctrl.post(&mut r.sim).unwrap();
-        r.sim.run().unwrap();
+        run_movs(&mut r, |p, ctrl, patched, unit| {
+            unit.mov_load(p, ctrl, patched, 2, 1, 0);
+            unit.mov_load(p, ctrl, patched, 3, 2, 0);
+        });
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 2).unwrap(), r.data + 64);
         assert_eq!(r.unit.regs.read(&r.sim, r.node, 3).unwrap(), 0x1234);
     }

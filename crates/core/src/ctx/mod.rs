@@ -55,7 +55,6 @@ use rnic_sim::error::Result;
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 
-use crate::builder::ChainBuilder;
 use crate::constructs::loops::RecycledLoopBuilder;
 use crate::program::{ChainQueue, ConstPool};
 use crate::turing::compile::CompiledTm;
@@ -194,9 +193,7 @@ impl OffloadCtx {
             self.program_queues = Some((ctrl, actions));
         }
         let (ctrl_q, act_q) = self.program_queues.expect("just filled");
-        let ctrl = ChainBuilder::new(sim, ctrl_q);
-        let actions = ChainBuilder::new(sim, act_q);
-        Ok(ChainProgram::new(self, ctrl, actions))
+        Ok(ChainProgram::new(self, ctrl_q, act_q))
     }
 
     /// Start a [`ChainProgram`] over a fresh queue pair with explicit
@@ -213,9 +210,7 @@ impl OffloadCtx {
             .managed()
             .depth(action_depth)
             .build(sim)?;
-        let ctrl = ChainBuilder::new(sim, ctrl_q);
-        let actions = ChainBuilder::new(sim, act_q);
-        Ok(ChainProgram::new(self, ctrl, actions))
+        Ok(ChainProgram::new(self, ctrl_q, act_q))
     }
 
     /// Start a CPU-free recycled loop (§3.4) on a fresh managed ring of
@@ -297,9 +292,9 @@ mod tests {
         assert_eq!(ctrl1.qp, ctrl2.qp);
         assert_eq!(act1.qp, act2.qp);
         // Sized programs get fresh queues.
-        let mut prog = ctx.chain_program_sized(&mut sim, 16, 16).unwrap();
-        assert_eq!(prog.ctrl().queue().depth, 16);
-        assert!(prog.actions().queue().managed);
+        let prog = ctx.chain_program_sized(&mut sim, 16, 16).unwrap();
+        assert_eq!(prog.ctrl_queue().depth, 16);
+        assert!(prog.action_queue().managed);
     }
 
     #[test]

@@ -133,8 +133,20 @@ impl HashGetBuilder {
         sim: &mut Simulator,
         pool: &mut ConstPool,
     ) -> Result<HashGetOffload> {
+        self.build_recycled_with(sim, pool, crate::ir::DeployOpts::default())
+    }
+
+    /// As [`HashGetBuilder::build_recycled`], with explicit IR deploy
+    /// switches (equivalence tests compare `optimize: false` against the
+    /// default lowering).
+    pub fn build_recycled_with(
+        self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        opts: crate::ir::DeployOpts,
+    ) -> Result<HashGetOffload> {
         let spec = self.resolve()?;
-        HashGetOffload::deploy_recycled(sim, self.node, self.owner, spec, pool)
+        HashGetOffload::deploy_recycled(sim, self.node, self.owner, spec, pool, opts)
     }
 
     fn resolve(&self) -> Result<HashGetSpec> {
@@ -284,8 +296,20 @@ impl ListWalkBuilder {
         sim: &mut Simulator,
         pool: &mut ConstPool,
     ) -> Result<ListWalkOffload> {
+        self.build_recycled_with(sim, pool, crate::ir::DeployOpts::default())
+    }
+
+    /// As [`ListWalkBuilder::build_recycled`], with explicit IR deploy
+    /// switches (equivalence tests compare `optimize: false` against the
+    /// default lowering).
+    pub fn build_recycled_with(
+        self,
+        sim: &mut Simulator,
+        pool: &mut ConstPool,
+        opts: crate::ir::DeployOpts,
+    ) -> Result<ListWalkOffload> {
         let spec = self.resolve()?;
-        ListWalkOffload::deploy_recycled(sim, self.node, self.owner, spec, pool)
+        ListWalkOffload::deploy_recycled(sim, self.node, self.owner, spec, pool, opts)
     }
 
     fn resolve(&self) -> Result<ListWalkSpec> {

@@ -1,18 +1,23 @@
-//! [`ChainProgram`]: the typed combinator layer over the §3 constructs.
+//! [`ChainProgram`]: the typed combinator layer over the §3 constructs —
+//! now a thin front-end over [`crate::ir`].
 //!
-//! A chain program owns a pair of builders — one over an *unmanaged
-//! control queue* (ordering verbs, CASes, patch WRITEs) and one over a
+//! A chain program owns an [`IrProgram`] spanning a pair of queues — an
+//! *unmanaged control queue* (ordering verbs, CASes, patch WRITEs) and a
 //! *managed action queue* (the self-modified branch bodies) — and exposes
 //! the paper's constructs as combinators. WAIT thresholds, ENABLE targets
-//! and patch-point addresses are computed internally; callers never do
-//! `next_wait_count()` arithmetic.
+//! and patch-point addresses stay symbolic until deployment; callers
+//! never do `next_wait_count()` arithmetic, and deployment runs the IR
+//! optimizer (WAIT elision, const deduplication) and the §3.1 static
+//! verifier before anything is posted. [`ChainProgram::deploy_unchecked`]
+//! is the escape hatch for programs the checker cannot see through.
 //!
 //! Deployment is two-phase, mirroring the hardware reality that injection
 //! must land *after* the action WQEs are in the ring but *before* the
 //! control chain starts consuming them:
 //!
-//! 1. [`ChainProgram::deploy`] posts the managed action queue (quiet — no
-//!    doorbell) and returns an [`ArmedProgram`];
+//! 1. [`ChainProgram::deploy`] verifies + optimizes + lowers, posts the
+//!    managed action queue (quiet — no doorbell) and returns an
+//!    [`ArmedProgram`];
 //! 2. the caller injects runtime operands (via the construct handles'
 //!    `inject_x`, or a RECV scatter);
 //! 3. [`ArmedProgram::launch`] posts the control queue, which rings its
@@ -26,31 +31,44 @@ use rnic_sim::ids::CqId;
 use rnic_sim::sim::Simulator;
 use rnic_sim::wqe::WorkRequest;
 
-use crate::builder::{ChainBuilder, Staged, VerbCounts};
+use crate::builder::{Staged, VerbCounts};
 use crate::constructs::cond::{IfEq, IfEqWide, IfLe};
 use crate::constructs::mov::{MovUnit, RegisterFile};
 use crate::ctx::OffloadCtx;
+use crate::ir::{
+    DeployOpts, IrProgram, Kind, LinearLowered, Lowered, OpBuild, OpId, PassReport, QId, WaitCond,
+};
 use crate::offloads::rpc::TriggerPoint;
+use crate::program::ChainQueue;
 
 /// A chain program under construction. Created by
 /// [`OffloadCtx::chain_program`].
 pub struct ChainProgram<'c> {
     ctx: &'c mut OffloadCtx,
-    ctrl: ChainBuilder,
-    actions: ChainBuilder,
+    p: IrProgram,
+    ctrl: QId,
+    actions: QId,
+    ctrl_q: ChainQueue,
+    act_q: ChainQueue,
     counts: VerbCounts,
 }
 
 impl<'c> ChainProgram<'c> {
     pub(crate) fn new(
         ctx: &'c mut OffloadCtx,
-        ctrl: ChainBuilder,
-        actions: ChainBuilder,
+        ctrl_q: ChainQueue,
+        act_q: ChainQueue,
     ) -> ChainProgram<'c> {
+        let mut p = IrProgram::linear();
+        let ctrl = p.chain(ctrl_q);
+        let actions = p.chain(act_q);
         ChainProgram {
             ctx,
+            p,
             ctrl,
             actions,
+            ctrl_q,
+            act_q,
             counts: VerbCounts::default(),
         }
     }
@@ -72,15 +90,16 @@ impl<'c> ChainProgram<'c> {
     /// of a batch armed back-to-back passes `n = k + 1`.
     pub fn on_nth_trigger(&mut self, sim: &Simulator, tp: &TriggerPoint, n: u64) -> &mut Self {
         let count = tp.wait_count_after(sim, n);
-        self.ctrl.stage(WorkRequest::wait(tp.recv_cq, count));
-        self.counts.ordering += 1;
-        self
+        self.wait_on(tp.recv_cq, count)
     }
 
     /// Gate everything staged after this on `cq` reaching `count`
     /// completions (absolute, monotonic — §3.4 semantics).
     pub fn wait_on(&mut self, cq: CqId, count: u64) -> &mut Self {
-        self.ctrl.stage(WorkRequest::wait(cq, count));
+        self.p.push(
+            self.ctrl,
+            OpBuild::new(Kind::Wait(WaitCond::Absolute { cq, count })).label("program wait"),
+        );
         self.counts.ordering += 1;
         self
     }
@@ -88,7 +107,7 @@ impl<'c> ChainProgram<'c> {
     /// `if (x == y) action` (Fig 4). Returns the construct handle; inject
     /// the runtime operand through it after [`ChainProgram::deploy`].
     pub fn if_eq(&mut self, y: u64, action: WorkRequest) -> IfEq {
-        let parts = IfEq::build(&mut self.ctrl, &mut self.actions, y, action, None);
+        let parts = IfEq::build(&mut self.p, self.ctrl, self.actions, y, action, None);
         self.counts = self.counts.merge(&parts.counts);
         parts
     }
@@ -96,24 +115,17 @@ impl<'c> ChainProgram<'c> {
     /// Wide-operand `if (x == y) action` via CAS chaining (§3.5),
     /// comparing `bits` bits.
     pub fn if_eq_wide(&mut self, y: u128, bits: u32, action: WorkRequest) -> IfEqWide {
-        let parts = IfEqWide::build(&mut self.ctrl, &mut self.actions, y, bits, action, None);
+        let parts = IfEqWide::build(&mut self.p, self.ctrl, self.actions, y, bits, action, None);
         self.counts = self.counts.merge(&parts.counts);
         parts
     }
 
-    /// `if (x <= y) action` via MAX + equality (§3.5). Scratch space comes
-    /// from the context's constant pool.
-    pub fn if_le(&mut self, sim: &mut Simulator, y: u64, action: WorkRequest) -> Result<IfLe> {
-        let parts = IfLe::build(
-            sim,
-            &mut self.ctrl,
-            &mut self.actions,
-            self.ctx.pool_mut(),
-            y,
-            action,
-        )?;
+    /// `if (x <= y) action` via MAX + equality (§3.5). Scratch space is a
+    /// program constant, placed at deploy.
+    pub fn if_le(&mut self, y: u64, action: WorkRequest) -> IfLe {
+        let parts = IfLe::build(&mut self.p, self.ctrl, self.actions, y, action);
         self.counts = self.counts.merge(&parts.counts);
-        Ok(parts)
+        parts
     }
 
     /// Allocate a register file + mov unit against `data` (Appendix A,
@@ -129,57 +141,97 @@ impl<'c> ChainProgram<'c> {
     }
 
     /// `mov Rdst, C` — immediate.
-    pub fn mov_imm(
-        &mut self,
-        sim: &mut Simulator,
-        unit: &MovUnit,
-        dst: usize,
-        c: u64,
-    ) -> Result<&mut Self> {
-        unit.mov_imm(sim, &mut self.ctrl, self.ctx.pool_mut(), dst, c)?;
-        Ok(self)
+    pub fn mov_imm(&mut self, unit: &MovUnit, dst: usize, c: u64) -> &mut Self {
+        unit.mov_imm(&mut self.p, self.ctrl, dst, c);
+        self
     }
 
     /// `mov Rdst, Rsrc` — register to register.
     pub fn mov_reg(&mut self, unit: &MovUnit, dst: usize, src: usize) -> &mut Self {
-        unit.mov_reg(&mut self.ctrl, dst, src);
+        unit.mov_reg(&mut self.p, self.ctrl, dst, src);
         self
     }
 
     /// `mov Rdst, [Rsrc + off]` — indirect/indexed load.
     pub fn mov_load(&mut self, unit: &MovUnit, dst: usize, src: usize, off: u64) -> &mut Self {
-        unit.mov_load(&mut self.ctrl, &mut self.actions, dst, src, off);
+        unit.mov_load(&mut self.p, self.ctrl, self.actions, dst, src, off);
         self
     }
 
     /// `mov [Rdst + off], Rsrc` — indirect/indexed store.
     pub fn mov_store(&mut self, unit: &MovUnit, dst: usize, src: usize, off: u64) -> &mut Self {
-        unit.mov_store(&mut self.ctrl, &mut self.actions, dst, src, off);
+        unit.mov_store(&mut self.p, self.ctrl, self.actions, dst, src, off);
         self
     }
 
-    /// Escape hatch: the control-queue builder, for staging raw verbs
-    /// alongside the combinators.
-    pub fn ctrl(&mut self) -> &mut ChainBuilder {
-        &mut self.ctrl
+    /// Stage a raw verb on the control queue, alongside the combinators.
+    pub fn stage_ctrl(&mut self, wr: WorkRequest) -> OpId {
+        self.p
+            .push(self.ctrl, OpBuild::new(Kind::Raw(wr)).label("raw ctrl"))
     }
 
-    /// Escape hatch: the managed action-queue builder.
-    pub fn actions(&mut self) -> &mut ChainBuilder {
-        &mut self.actions
+    /// Stage a raw verb on the managed action queue. The op must be
+    /// covered by an ENABLE (or declare the queue externally enabled via
+    /// the underlying program) — the verifier checks.
+    pub fn stage_action(&mut self, wr: WorkRequest) -> OpId {
+        self.p.push(
+            self.actions,
+            OpBuild::new(Kind::Raw(wr)).label("raw action"),
+        )
+    }
+
+    /// The control queue (CQ ids for audit trails, ring keys for
+    /// scatter targets).
+    pub fn ctrl_queue(&self) -> ChainQueue {
+        self.ctrl_q
+    }
+
+    /// The managed action queue.
+    pub fn action_queue(&self) -> ChainQueue {
+        self.act_q
+    }
+
+    /// The underlying IR program (escape hatch for typed staging beyond
+    /// the combinators).
+    pub fn ir_mut(&mut self) -> (&mut IrProgram, QId, QId) {
+        (&mut self.p, self.ctrl, self.actions)
     }
 
     /// Table 2 verb accounting of everything staged through the
-    /// combinators.
+    /// combinators — the *paper's* cost model; the deployed program's
+    /// [`PassReport`] shows what the optimizer actually staged.
     pub fn counts(&self) -> VerbCounts {
         self.counts
     }
 
-    /// Post the managed action queue (quiet). Inject runtime operands,
-    /// then [`ArmedProgram::launch`].
+    /// Verify, optimize, and lower the program, then post the managed
+    /// action queue (quiet). Inject runtime operands, then
+    /// [`ArmedProgram::launch`].
     pub fn deploy(self, sim: &mut Simulator) -> Result<ArmedProgram> {
-        let action_handles = self.actions.post(sim)?;
+        self.deploy_with(sim, DeployOpts::default())
+    }
+
+    /// Deploy without the static verifier (the escape hatch; the
+    /// optimizer still runs).
+    pub fn deploy_unchecked(self, sim: &mut Simulator) -> Result<ArmedProgram> {
+        self.deploy_with(
+            sim,
+            DeployOpts {
+                optimize: true,
+                verify: false,
+            },
+        )
+    }
+
+    /// Deploy with explicit IR switches.
+    pub fn deploy_with(self, sim: &mut Simulator, opts: DeployOpts) -> Result<ArmedProgram> {
+        let lowered = self.p.deploy_with(sim, self.ctx.pool_mut(), opts, None)?;
+        let Lowered::Linear(mut lowered) = lowered else {
+            unreachable!("chain programs are linear")
+        };
+        let action_handles = lowered.post(sim, self.actions)?;
         Ok(ArmedProgram {
+            lowered,
             ctrl: self.ctrl,
             action_handles,
         })
@@ -195,7 +247,8 @@ impl<'c> ChainProgram<'c> {
 /// A program whose action WQEs are posted; awaiting operand injection and
 /// [`ArmedProgram::launch`].
 pub struct ArmedProgram {
-    ctrl: ChainBuilder,
+    lowered: LinearLowered,
+    ctrl: QId,
     action_handles: Vec<Staged>,
 }
 
@@ -205,9 +258,14 @@ impl ArmedProgram {
         &self.action_handles
     }
 
+    /// What the IR optimizer did to the program.
+    pub fn report(&self) -> PassReport {
+        self.lowered.report()
+    }
+
     /// Post the control queue (ringing its doorbell): the NIC takes over.
-    pub fn launch(self, sim: &mut Simulator) -> Result<LaunchedProgram> {
-        let ctrl_handles = self.ctrl.post(sim)?;
+    pub fn launch(mut self, sim: &mut Simulator) -> Result<LaunchedProgram> {
+        let ctrl_handles = self.lowered.post(sim, self.ctrl)?;
         Ok(LaunchedProgram {
             action_handles: self.action_handles,
             ctrl_handles,
@@ -254,6 +312,9 @@ mod tests {
             let branch = prog.if_eq(y, action);
             assert_eq!(prog.counts().atomics, 1);
             let armed = prog.deploy(&mut sim).unwrap();
+            // The optimizer stages one ordering verb fewer than the
+            // paper model per conditional.
+            assert_eq!(armed.report().waits_elided, 1);
             branch.inject_x(&mut sim, x).unwrap();
             armed.launch(&mut sim).unwrap();
             sim.run().unwrap();
@@ -278,13 +339,10 @@ mod tests {
             80,
             WorkRequest::write(one, omr.lkey, 8, flags, fmr.rkey),
         );
-        let le = prog
-            .if_le(
-                &mut sim,
-                50,
-                WorkRequest::write(one, omr.lkey, 8, flags + 8, fmr.rkey),
-            )
-            .unwrap();
+        let le = prog.if_le(
+            50,
+            WorkRequest::write(one, omr.lkey, 8, flags + 8, fmr.rkey),
+        );
         let armed = prog.deploy(&mut sim).unwrap();
         wide.inject_x(&mut sim, wide_val).unwrap();
         le.inject_x(&mut sim, 49).unwrap();
@@ -340,12 +398,13 @@ mod tests {
         for k in 0..2u64 {
             let mut prog = ctx.chain_program(&mut sim).unwrap();
             prog.on_nth_trigger(&sim, &tp, k + 1);
+            let action_ring_lkey = prog.action_queue().ring.lkey;
             let branch = prog.if_eq(
                 7 + k,
                 WorkRequest::write(one, pool_lkey, 8, flags + 8 * k, fmr.rkey),
             );
             prog.run(&mut sim).unwrap();
-            let scatter = [(branch.x_inject_addr, branch.action.queue.ring.lkey, 6u32)];
+            let scatter = [(branch.x_inject.addr(), action_ring_lkey, 6u32)];
             tp.post_trigger_recv(&mut sim, ctx.pool_mut(), &scatter)
                 .unwrap();
         }
@@ -388,8 +447,7 @@ mod tests {
         let mr = sim.register_mr(node, buf, 16, Access::all()).unwrap();
         sim.mem_write_u64(node, buf, 0x77).unwrap();
         let mut prog = ctx.chain_program(&mut sim).unwrap();
-        prog.ctrl()
-            .stage(WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey).signaled());
+        prog.stage_ctrl(WorkRequest::write(buf, mr.lkey, 8, buf + 8, mr.rkey).signaled());
         let launched = prog.run(&mut sim).unwrap();
         assert_eq!(launched.ctrl_handles.len(), 1);
         sim.run().unwrap();

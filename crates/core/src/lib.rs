@@ -39,6 +39,7 @@ pub mod builder;
 pub mod constructs;
 pub mod ctx;
 pub mod encode;
+pub mod ir;
 pub mod offloads;
 pub mod program;
 pub mod turing;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use crate::constructs::mov::MovUnit;
     pub use crate::ctx::{ChainProgram, ClientDest, OffloadCtx, TableRegion, ValueSource};
     pub use crate::encode::WqeField;
+    pub use crate::ir::{IrProgram, OpBuild, PassReport};
     pub use crate::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
     pub use crate::offloads::list::ListWalkOffload;
     pub use crate::offloads::rpc::TriggerPoint;

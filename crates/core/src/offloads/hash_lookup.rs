@@ -36,18 +36,15 @@
 //! [`HashGetBuilder::build`]: crate::ctx::HashGetBuilder::build
 //! [`HashGetBuilder::build_recycled`]: crate::ctx::HashGetBuilder::build_recycled
 
+use crate::ctx::{ChainQueueBuilder, HashGetSpec, TriggerPointBuilder};
+use crate::encode::{operand48, WqeField};
+use crate::ir::{DeployOpts, EnableTarget, Kind, Loc, OpBuild, PassReport, SgeSpec, WaitCond};
+use crate::offloads::rpc::TriggerPoint;
+use crate::program::{ChainQueue, ConstPool};
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{Sge, WorkRequest, WQE_SIZE};
-
-use crate::builder::ChainBuilder;
-use crate::constructs::loops::RecycledLoopBuilder;
-use crate::ctx::{ChainQueueBuilder, HashGetSpec, TriggerPointBuilder};
-use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
-use crate::offloads::rpc::TriggerPoint;
-use crate::program::{ChainQueue, ConstPool};
 
 /// Size of one bucket in bytes.
 pub const BUCKET_SIZE: u64 = 16;
@@ -104,18 +101,9 @@ pub struct HashGetOffload {
     /// uses `trigger_base + k + 1` (absolute, monotonic).
     trigger_base: u64,
     node: NodeId,
+    /// IR optimizer report of the deployed round (recycled mode only).
+    report: Option<PassReport>,
     backend: Backend,
-}
-
-/// Pool allocations one `arm` call produced, memoized by ring-cycle
-/// position: once every ring has wrapped, later instances land on the
-/// same slots and reuse the same SGE tables instead of pushing fresh
-/// bytes — long host-armed runs no longer consume pool capacity.
-struct ArmTables {
-    /// READ scatter table per probe.
-    read_tables: Vec<u64>,
-    /// Trigger-RECV scatter table (address, entry count).
-    trigger_table: (u64, u32),
 }
 
 /// How armed instances come to exist.
@@ -130,10 +118,11 @@ enum Backend {
         ctrls: Vec<ChainQueue>,
         merge: ChainQueue,
         armed: u64,
-        /// Memoized pool allocations, keyed by `instance % cycle`.
-        cache: Vec<ArmTables>,
-        /// Instances until every ring returns to the same slot layout.
-        cycle: u64,
+        /// Content-addressed cache over the pool: once every ring has
+        /// wrapped, an instance's resolved SGE tables are byte-identical
+        /// to the ones staged a cycle earlier and intern to the same
+        /// cells — long host-armed runs stop consuming pool capacity.
+        interner: crate::ir::ConstInterner,
     },
     /// One ring of `slots` instances built at deploy time re-arms itself
     /// on the NIC every round (§3.4 WQ recycling): zero host work and
@@ -196,33 +185,35 @@ impl HashGetOffload {
             .on_port(spec.port)
             .build(sim)?;
         let trigger_base = sim.cq_total(tp.recv_cq);
-        // Pool-table reuse cycle: instances whose ring slots coincide can
-        // share SGE tables. The probe chains advance by `cw` slots per
-        // instance, the response ring by `probes`.
-        let probes = spec.variant.buckets() as u64;
-        let cw = if spec.variant == HashGetVariant::Sequential {
-            4
-        } else {
-            2
-        };
-        let chain_cycle = chains[0].depth as u64 / cw;
-        let resp_cycle = sim.wq_depth(sim.sq_of(tp.qp)) as u64 / probes;
-        let cycle = lcm(chain_cycle, resp_cycle);
         Ok(HashGetOffload {
             tp,
             spec,
             posted: 0,
             trigger_base,
             node,
+            report: None,
             backend: Backend::HostArmed {
                 chains,
                 ctrls,
                 merge,
                 armed: 0,
-                cache: Vec::new(),
-                cycle,
+                interner: crate::ir::ConstInterner::new(),
             },
         })
+    }
+
+    /// The IR optimizer's before/after verb accounting for one recycled
+    /// round (`None` for host-armed offloads, whose instances are staged
+    /// per `arm` call).
+    pub fn ir_report(&self) -> Option<PassReport> {
+        self.report
+    }
+
+    /// Optimized WQEs per request (one recycled round divided by its
+    /// instances); `None` for host-armed offloads.
+    pub fn verbs_per_op(&self) -> Option<f64> {
+        self.report
+            .map(|r| r.after.total() as f64 / f64::from(self.spec.pipeline_depth))
     }
 
     /// Deploy the self-recycling variant (§3.4 applied to serving): one
@@ -260,6 +251,7 @@ impl HashGetOffload {
         owner: ProcessId,
         spec: HashGetSpec,
         pool: &mut ConstPool,
+        opts: DeployOpts,
     ) -> Result<HashGetOffload> {
         if spec.variant == HashGetVariant::Parallel {
             return Err(Error::InvalidWr(
@@ -291,133 +283,140 @@ impl HashGetOffload {
             node,
         };
 
-        // Response ring: P*K pristine WRITE_IMM-carrying NOOPs, posted
-        // once. Their concatenated images are the restore source.
+        // The whole round as one typed IR program: the response ring's
+        // pristine NOOP placeholders (restore-marked — the optimizer
+        // merges their per-round re-arms into one scatter WRITE), and per
+        // instance a trigger WAIT, the probe READ→CAS pairs, and the
+        // response release. Patch points (READ remote addresses, CAS
+        // compare ids, response value pointers) stay symbolic until
+        // deploy.
+        let (mut p, ring) = crate::ir::IrProgram::recycled(crate::ir::RingSpec {
+            node,
+            owner,
+            pu: Some(pu(1)),
+            port: spec.port,
+        });
+        let resp_q = p.chain(tp_queue);
         let stride = spec.values.value_len.max(8) as u64;
-        let mut image = Vec::with_capacity((resp_slots * WQE_SIZE) as usize);
+        let mut resp_ops = Vec::with_capacity(resp_slots as usize);
         for inst in 0..k {
             for _ in 0..probes {
-                let mut resp = WorkRequest::write_imm(
-                    0, // patched per request: value pointer from the bucket
-                    spec.values.lkey(),
-                    spec.values.value_len,
-                    spec.dest.addr + inst * stride,
-                    spec.dest.rkey(),
-                    inst as u32,
-                )
-                .signaled();
-                resp.wqe.opcode = Opcode::Noop;
-                image.extend_from_slice(&resp.wqe.encode());
-                sim.post_send_quiet(tp.qp, resp)?;
+                resp_ops.push(
+                    p.push(
+                        resp_q,
+                        OpBuild::new(Kind::Write {
+                            src: Loc::raw(0, spec.values.lkey()), // patched: bucket value ptr
+                            len: spec.values.value_len,
+                            dst: Loc::raw(spec.dest.addr + inst * stride, spec.dest.rkey()),
+                            imm: Some(inst as u32),
+                        })
+                        .signaled()
+                        .placeholder()
+                        .restore()
+                        .label("response slot"),
+                    ),
+                );
             }
         }
-        let image_addr = pool.push_bytes(sim, &image)?;
 
-        // The probe ring: body + tail sized exactly (no padding needed,
-        // but the depth math must match what finish() appends).
-        let body = k * (2 + 2 * probes);
-        let fixups = 2 * k + 1;
-        let depth = 2 + body + 2 + fixups + 2;
-        let ring_q = ChainQueueBuilder::new(node, owner)
-            .managed()
-            .depth(depth as u32)
-            .on_pu(pu(1))
-            .on_port(spec.port)
-            .build(sim)?;
-        let mut lb = RecycledLoopBuilder::new(sim, ring_q);
-        let mut scatters: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(k as usize);
+        let mut scatter_ids = Vec::with_capacity(k as usize);
         for inst in 0..k {
-            let mut scatter = Vec::new();
-            lb.stage_bumped(WorkRequest::wait(tp.recv_cq, trigger_base + inst + 1), k);
+            p.push(
+                ring,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                    cq: tp.recv_cq,
+                    count: trigger_base + inst + 1,
+                }))
+                .bump(k)
+                .label("trigger wait"),
+            );
             // Both probes' READs first (they overlap in flight), then the
             // CASes, each gated on every prior completion.
-            let mut cas_slots = Vec::new();
-            for p in 0..probes {
-                let resp_slot = tp_queue.slot_addr(inst * probes + p);
-                let table = [
-                    Sge {
-                        addr: resp_slot + WqeField::LocalAddr.offset(),
-                        lkey: tp.ring.lkey,
+            let mut reads = Vec::new();
+            let mut cases = Vec::new();
+            for pr in 0..probes {
+                let resp = resp_ops[(inst * probes + pr) as usize];
+                let table = p.const_sges(vec![
+                    SgeSpec {
+                        target: Loc::field(resp, WqeField::LocalAddr),
                         len: 8,
                     },
-                    Sge {
-                        addr: resp_slot + WqeField::Id.offset(),
-                        lkey: tp.ring.lkey,
+                    SgeSpec {
+                        target: Loc::field(resp, WqeField::Id),
                         len: 6,
                     },
-                ];
-                let mut tbytes = Vec::new();
-                for e in &table {
-                    tbytes.extend_from_slice(&e.encode());
-                }
-                let table_addr = pool.push_bytes(sim, &tbytes)?;
-                let read = lb.stage(
-                    WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, spec.table.rkey())
-                        .signaled(),
+                ]);
+                reads.push(
+                    p.push(
+                        ring,
+                        OpBuild::new(Kind::ReadSgl {
+                            table,
+                            entries: 2,
+                            src: Loc::raw(0, spec.table.rkey()), // patched: bucket addr
+                        })
+                        .signaled()
+                        .label("bucket READ"),
+                    ),
                 );
-                scatter.push((
-                    lb.slot_field_addr(read, WqeField::RemoteAddr),
-                    ring_q.ring.lkey,
-                    8,
-                ));
-                cas_slots.push((resp_slot, read));
             }
-            for (resp_slot, _) in &cas_slots {
-                let mut cas = WorkRequest::cas(
-                    resp_slot + WqeField::Header.offset(),
-                    tp.ring.rkey,
-                    cond_compare(0), // low 6 bytes patched with x
-                    cond_swap(Opcode::WriteImm, 0),
-                    0,
-                    0,
-                )
-                .signaled()
-                .wait_prev();
-                cas.wqe.operand = cond_compare(0);
-                let cas_slot = lb.stage(cas);
-                scatter.push((
-                    lb.slot_field_addr(cas_slot, WqeField::Operand) + 2,
-                    ring_q.ring.lkey,
-                    6,
-                ));
+            for pr in 0..probes {
+                let resp = resp_ops[(inst * probes + pr) as usize];
+                cases.push(
+                    p.push(
+                        ring,
+                        OpBuild::new(Kind::Transmute {
+                            target: resp,
+                            y: 0, // compare id bits patched with x
+                            into: Opcode::WriteImm,
+                        })
+                        .signaled()
+                        .wait_prev()
+                        .label("key CAS"),
+                    ),
+                );
             }
-            lb.stage_bumped(
-                WorkRequest::enable(tp_queue.sq, (inst + 1) * probes).wait_prev(),
-                resp_slots,
+            p.push(
+                ring,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(
+                    resp_ops[((inst + 1) * probes - 1) as usize],
+                )))
+                .wait_prev()
+                .bump(resp_slots)
+                .label("response release"),
             );
-            // Trigger payload is probe-major ([addr, key] per probe);
-            // reorder the scatter to match: addr_p, key_p, addr_p+1, ...
-            let n = probes as usize;
-            let mut ordered = Vec::with_capacity(2 * n);
-            for p in 0..n {
-                ordered.push(scatter[p]);
-                ordered.push(scatter[n + p]);
+            // Trigger payload is probe-major ([addr, key] per probe).
+            let mut entries = Vec::with_capacity(2 * probes as usize);
+            for pr in 0..probes as usize {
+                entries.push(SgeSpec {
+                    target: Loc::field(reads[pr], WqeField::RemoteAddr),
+                    len: 8,
+                });
+                entries.push(SgeSpec {
+                    target: Loc::field_off(cases[pr], WqeField::Operand, 2),
+                    len: 6,
+                });
             }
-            scatters.push(ordered);
+            scatter_ids.push(p.scatter(entries));
         }
-        // Round tail: all of this round's responses executed, then restore
-        // the whole response ring with one WRITE.
-        lb.stage_bumped(
-            WorkRequest::wait(tp.send_cq, send_base + resp_slots),
-            resp_slots,
+        // Round tail: all of this round's responses executed; the restore
+        // WRITE over the pristine response images is synthesized from the
+        // restore marks (one WRITE per contiguous run after merging).
+        p.push(
+            ring,
+            OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                cq: tp.send_cq,
+                count: send_base + resp_slots,
+            }))
+            .bump(resp_slots)
+            .label("responses-executed wait"),
         );
-        lb.stage(
-            WorkRequest::write(
-                image_addr,
-                pool.mr().lkey,
-                (resp_slots * WQE_SIZE) as u32,
-                tp_queue.slot_addr(0),
-                tp.ring.rkey,
-            )
-            .signaled(),
-        );
-        let ring = lb.finish(sim, pool)?;
-        debug_assert_eq!(ring.round_len, depth);
+
+        let lowered = p.deploy_with(sim, pool, opts, None)?.into_recycled();
 
         // The trigger-RECV ring: one scatter program per instance, posted
         // once and recycled by the NIC as the ring wraps.
-        for scatter in &scatters {
-            tp.post_trigger_recv(sim, pool, scatter)?;
+        for sid in &scatter_ids {
+            tp.post_trigger_recv(sim, pool, &lowered.scatter(*sid))?;
         }
         sim.set_rq_cyclic(tp.qp)?;
 
@@ -427,11 +426,12 @@ impl HashGetOffload {
             posted: 0,
             trigger_base,
             node,
+            report: Some(lowered.report()),
             backend: Backend::Recycled {
-                ring: ring.queue,
+                ring: lowered.lp.queue,
                 slots: k,
                 completed: 0,
-                round_len: ring.round_len,
+                round_len: lowered.lp.round_len,
             },
         })
     }
@@ -452,8 +452,7 @@ impl HashGetOffload {
             ref ctrls,
             merge,
             armed,
-            ref mut cache,
-            cycle,
+            ..
         } = self.backend
         else {
             return Err(Error::InvalidWr(
@@ -471,164 +470,176 @@ impl HashGetOffload {
         } else {
             nbuckets.min(chains.len())
         };
-        let cached = (instance >= cycle).then(|| &cache[(instance % cycle) as usize]);
-        let mut fresh = ArmTables {
-            read_tables: Vec::new(),
-            trigger_table: (0, 0),
-        };
 
-        // Response WQEs live on the trigger QP's managed SQ.
-        let mut resp_b = ChainBuilder::new(
-            sim,
-            ChainQueue {
-                qp: self.tp.qp,
-                peer: self.tp.qp, // unused
-                sq: sim.sq_of(self.tp.qp),
-                cq: self.tp.send_cq,
-                ring: self.tp.ring,
-                managed: true,
-                depth: resp_depth,
-                node: self.node,
-            },
-        );
+        // One linear IR program per instance: the response placeholder on
+        // the trigger QP's managed SQ, the READ→CAS probe pairs on the
+        // managed chain queues, and the WAIT/ENABLE doorbell ladders on
+        // the unmanaged control/merge queues. Patch points (the READ's
+        // scatter into the response WQE, the trigger RECV's injections)
+        // stay symbolic; the verifier checks them against the §3.1 rule
+        // on every arm.
+        let mut p = crate::ir::IrProgram::linear();
+        let resp_qid = p.chain(ChainQueue {
+            qp: self.tp.qp,
+            peer: self.tp.qp, // unused
+            sq: sim.sq_of(self.tp.qp),
+            cq: self.tp.send_cq,
+            ring: self.tp.ring,
+            managed: true,
+            depth: resp_depth,
+            node: self.node,
+        });
+        let chain_qids: Vec<_> = chains.iter().map(|q| p.chain(*q)).collect();
+        let ctrl_qids: Vec<_> = ctrls.iter().map(|q| p.chain(*q)).collect();
+        let merge_qid = p.chain(merge);
 
-        let mut scatter: Vec<(u64, u32, u32)> = Vec::new();
-        let mut merge_b = ChainBuilder::new(sim, merge);
-        let mut chain_done_waits: Vec<(rnic_sim::ids::CqId, u64)> = Vec::new();
-        let mut resp_handles = Vec::new();
-
-        for p in 0..probes {
-            let chain_q = if seq_two {
-                chains[0]
+        let mut scatter_entries: Vec<SgeSpec> = Vec::new();
+        let mut cas_ops = Vec::new();
+        let mut resp_ops = Vec::new();
+        for pr in 0..probes {
+            let (chain_qid, ctrl_qid) = if seq_two {
+                (chain_qids[0], ctrl_qids[0])
             } else {
-                chains[p % chains.len()]
+                (
+                    chain_qids[pr % chain_qids.len()],
+                    ctrl_qids[pr % ctrl_qids.len()],
+                )
             };
-            let ctrl_q = if seq_two {
-                ctrls[0]
-            } else {
-                ctrls[p % ctrls.len()]
-            };
-            let mut chain_b = ChainBuilder::new(sim, chain_q);
-            let mut ctrl_b = ChainBuilder::new(sim, ctrl_q);
-            // Every WQE on the probe chain is signaled, so its absolute
-            // CQE counts equal its posted count — robust even when many
-            // instances are armed before any runs (pipelined arming).
-            let chain_base = sim.sq_posted(chain_q.qp);
-
             // Response placeholder: NOOP carrying the WRITE_IMM response.
             // Its source address and id are patched by the bucket READ.
             // The immediate carries the instance id so pipelined clients
             // can match completions to requests.
-            let mut resp = WorkRequest::write_imm(
-                0, // patched: value pointer from the bucket
-                self.spec.values.lkey(),
-                self.spec.values.value_len,
-                resp_addr,
-                self.spec.dest.rkey(),
-                instance as u32,
-            )
-            .signaled();
-            resp.wqe.opcode = Opcode::Noop;
-            let resp_staged = resp_b.stage(resp);
-            resp_handles.push(resp_staged);
+            let resp = p.push(
+                resp_qid,
+                OpBuild::new(Kind::Write {
+                    src: Loc::raw(0, self.spec.values.lkey()), // patched: bucket value ptr
+                    len: self.spec.values.value_len,
+                    dst: Loc::raw(resp_addr, self.spec.dest.rkey()),
+                    imm: Some(instance as u32),
+                })
+                .signaled()
+                .placeholder()
+                .label("response slot"),
+            );
+            resp_ops.push(resp);
 
-            // Bucket READ: one READ, two local scatter targets. The table
-            // depends only on the response slot, which repeats every
-            // `cycle` instances — reuse the staged bytes when it does.
-            let table_addr = match cached {
-                Some(t) => t.read_tables[p],
-                None => {
-                    let table = [
-                        Sge {
-                            addr: resp_staged.addr(WqeField::LocalAddr),
-                            lkey: self.tp.ring.lkey,
-                            len: 8,
-                        },
-                        Sge {
-                            addr: resp_staged.addr(WqeField::Id),
-                            lkey: self.tp.ring.lkey,
-                            len: 6,
-                        },
-                    ];
-                    let mut tbytes = Vec::new();
-                    for e in &table {
-                        tbytes.extend_from_slice(&e.encode());
-                    }
-                    let addr = pool.push_bytes(sim, &tbytes)?;
-                    fresh.read_tables.push(addr);
-                    addr
-                }
-            };
-            let read = chain_b.stage(
-                WorkRequest::read_sgl(table_addr, 2, 0 /* patched */, self.spec.table.rkey())
-                    .signaled(),
+            // Bucket READ: one READ, two local scatter targets (the
+            // resolved table bytes repeat every ring cycle and intern to
+            // the same pool cell — steady-state arms push nothing).
+            let table = p.const_sges(vec![
+                SgeSpec {
+                    target: Loc::field(resp, WqeField::LocalAddr),
+                    len: 8,
+                },
+                SgeSpec {
+                    target: Loc::field(resp, WqeField::Id),
+                    len: 6,
+                },
+            ]);
+            let read = p.push(
+                chain_qid,
+                OpBuild::new(Kind::ReadSgl {
+                    table,
+                    entries: 2,
+                    src: Loc::raw(0, self.spec.table.rkey()), // patched: bucket addr
+                })
+                .signaled()
+                .label("bucket READ"),
             );
 
             // The conditional CAS: compare patched with the client's key.
-            let mut cas = WorkRequest::cas(
-                resp_staged.addr(WqeField::Header),
-                self.tp.ring.rkey,
-                cond_compare(0), // low 6 bytes of the compare patched with x
-                cond_swap(Opcode::WriteImm, 0),
-                0,
-                0,
-            )
-            .signaled();
-            cas.wqe.operand = cond_compare(0);
-            let cas_staged = chain_b.stage(cas);
+            let cas = p.push(
+                chain_qid,
+                OpBuild::new(Kind::Transmute {
+                    target: resp,
+                    y: 0,
+                    into: Opcode::WriteImm,
+                })
+                .signaled()
+                .label("key CAS"),
+            );
+            cas_ops.push(cas);
 
             // RECV scatter: bucket address -> READ.remote_addr,
             // key -> CAS.operand id bits.
-            scatter.push((read.addr(WqeField::RemoteAddr), chain_q.ring.lkey, 8));
-            scatter.push((cas_staged.addr(WqeField::Operand) + 2, chain_q.ring.lkey, 6));
+            scatter_entries.push(SgeSpec {
+                target: Loc::field(read, WqeField::RemoteAddr),
+                len: 8,
+            });
+            scatter_entries.push(SgeSpec {
+                target: Loc::field_off(cas, WqeField::Operand, 2),
+                len: 6,
+            });
 
             // Control chain: trigger -> READ -> CAS under doorbell order.
-            ctrl_b.stage(WorkRequest::wait(self.tp.recv_cq, trigger_count));
-            ctrl_b.stage(WorkRequest::enable(chain_q.sq, read.index + 1));
-            ctrl_b.stage(WorkRequest::wait(chain_q.cq, chain_base + 1));
-            ctrl_b.stage(WorkRequest::enable(chain_q.sq, cas_staged.index + 1));
-            chain_done_waits.push((chain_q.cq, chain_base + 2));
-
-            chain_b.post(sim)?;
-            ctrl_b.post(sim)?;
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                    cq: self.tp.recv_cq,
+                    count: trigger_count,
+                }))
+                .label("trigger wait"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(read))).label("READ release"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Wait(WaitCond::OpDonePosted(read))).label("READ wait"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(cas))).label("CAS release"),
+            );
         }
 
         // Merge: release the response WQEs only after every probe's CAS
         // completed (prevents a fast probe from releasing a slow probe's
         // untransmuted response).
-        for (cq, count) in chain_done_waits {
-            merge_b.stage(WorkRequest::wait(cq, count));
+        for cas in &cas_ops {
+            p.push(
+                merge_qid,
+                OpBuild::new(Kind::Wait(WaitCond::OpDonePosted(*cas))).label("probe-done wait"),
+            );
         }
-        let last_resp = resp_handles.last().expect("at least one probe");
-        merge_b.stage(WorkRequest::enable(
-            sim.sq_of(self.tp.qp),
-            last_resp.index + 1,
-        ));
-        merge_b.post(sim)?;
-        resp_b.post(sim)?;
+        let last_resp = *resp_ops.last().expect("at least one probe");
+        p.push(
+            merge_qid,
+            OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(last_resp)))
+                .label("response release"),
+        );
+        // The trigger RECV's SGE table is a first-class program constant:
+        // lowering resolves, encodes, and interns it like every other
+        // table (steady-state arms reuse a cycle-old cell).
+        let n_entries = scatter_entries.len() as u32;
+        let trigger_table = p.const_sges(scatter_entries);
+        let table_ref = p.const_ref(trigger_table);
 
-        // The trigger RECV for this instance (scatter table likewise
-        // memoized per cycle position).
-        match cached {
-            Some(t) => {
-                let (addr, n) = t.trigger_table;
-                self.tp.post_trigger_recv_prebuilt(sim, addr, n)?;
-            }
-            None => {
-                fresh.trigger_table = self.tp.post_trigger_recv_staged(sim, pool, &scatter)?;
-            }
-        }
         let Backend::HostArmed {
+            ref mut interner,
             ref mut armed,
-            ref mut cache,
             ..
         } = self.backend
         else {
             unreachable!("checked above");
         };
-        if instance < cycle {
-            cache.push(fresh);
+        let mut lowered = p
+            .deploy_with(sim, pool, DeployOpts::default(), Some(interner))?
+            .into_linear();
+        // Post order: probe chains (quiet), control ladders (doorbell),
+        // merge, then the response placeholders.
+        for qid in &chain_qids {
+            lowered.post(sim, *qid)?;
         }
+        for qid in &ctrl_qids {
+            lowered.post(sim, *qid)?;
+        }
+        lowered.post(sim, merge_qid)?;
+        lowered.post(sim, resp_qid)?;
+
+        self.tp
+            .post_trigger_recv_prebuilt(sim, table_ref.addr(), n_entries)?;
         *armed += 1;
         Ok(())
     }
@@ -756,26 +767,13 @@ impl HashGetOffload {
     }
 }
 
-/// Greatest common divisor (for the arm-table reuse cycle).
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// Least common multiple (for the arm-table reuse cycle).
-fn lcm(a: u64, b: u64) -> u64 {
-    a / gcd(a, b) * b
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
     use rnic_sim::mem::Access;
     use rnic_sim::qp::QpConfig;
+    use rnic_sim::wqe::WorkRequest;
 
     use crate::ctx::OffloadCtx;
     use rnic_sim::mem::MemoryRegion;

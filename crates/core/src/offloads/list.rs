@@ -41,12 +41,11 @@ use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{header_word, Sge, WorkRequest, FLAG_SIGNALED, WQE_SIZE};
+use rnic_sim::wqe::header_word;
 
-use crate::builder::ChainBuilder;
-use crate::constructs::loops::RecycledLoopBuilder;
 use crate::ctx::{ChainQueueBuilder, ListWalkSpec, TriggerPointBuilder};
-use crate::encode::{cond_compare, cond_swap, operand48, WqeField};
+use crate::encode::{operand48, WqeField};
+use crate::ir::{DeployOpts, EnableTarget, Kind, Loc, OpBuild, PassReport, SgeSpec, WaitCond};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
 
@@ -95,6 +94,8 @@ pub struct ListWalkOffload {
     /// recv CQ completion count at creation (see hash_lookup).
     trigger_base: u64,
     node: NodeId,
+    /// IR optimizer report of the deployed round (recycled mode only).
+    report: Option<PassReport>,
     backend: Backend,
 }
 
@@ -181,6 +182,7 @@ impl ListWalkOffload {
             posted: 0,
             trigger_base,
             node,
+            report: None,
             backend: Backend::HostArmed {
                 chain,
                 ctrl,
@@ -189,6 +191,19 @@ impl ListWalkOffload {
                 ctrl_cqe_base,
             },
         })
+    }
+
+    /// The IR optimizer's before/after verb accounting for one recycled
+    /// round (`None` for host-armed offloads).
+    pub fn ir_report(&self) -> Option<PassReport> {
+        self.report
+    }
+
+    /// Optimized WQEs per request (one recycled round divided by its
+    /// instances); `None` for host-armed offloads.
+    pub fn verbs_per_op(&self) -> Option<f64> {
+        self.report
+            .map(|r| r.after.total() as f64 / f64::from(self.spec.pipeline_depth))
     }
 
     /// Deploy the self-recycling variant (§3.4 applied to list
@@ -221,6 +236,7 @@ impl ListWalkOffload {
         owner: ProcessId,
         spec: ListWalkSpec,
         pool: &mut ConstPool,
+        opts: DeployOpts,
     ) -> Result<ListWalkOffload> {
         assert!(spec.max_nodes >= 1);
         if spec.break_on_match {
@@ -257,172 +273,165 @@ impl ListWalkOffload {
             depth: resp_slots as u32,
             node,
         };
-        let pool_mr = pool.mr();
         let stride = spec.value_len.max(8) as u64;
 
-        // Per-(instance, iteration) value staging buffers plus a shared
-        // scrap sink for final next pointers and key pads.
-        let mut staging = Vec::with_capacity(resp_slots as usize);
-        for _ in 0..resp_slots {
-            staging.push(pool.reserve(sim, spec.value_len as u64)?);
-        }
-        let scratch = pool.reserve(sim, 16)?;
+        // The whole round as one typed IR program: per-iteration staging
+        // cells and response placeholders (restore-marked — the optimizer
+        // merges their per-round re-arms into one scatter WRITE), and per
+        // instance the wait_prev-serialized READ→CAS pointer chase.
+        let (mut p, ring) = crate::ir::IrProgram::recycled(crate::ir::RingSpec {
+            node,
+            owner,
+            pu: Some(pu(1)),
+            port: spec.port,
+        });
+        let resp_q = p.chain(tp_queue);
 
-        // Response ring: K*N pristine WRITE_IMM-carrying NOOPs, posted
-        // once; their concatenated images are the restore source. The
+        // Per-(instance, iteration) value staging buffers plus a shared
+        // scrap sink for final next pointers and key pads. Mutable cells:
+        // the dedup pass never merges them.
+        let staging: Vec<_> = (0..resp_slots)
+            .map(|_| p.const_zeroed(spec.value_len as u64))
+            .collect();
+        let scratch = p.const_zeroed(16);
+
+        // Response ring: K*N pristine WRITE_IMM-carrying NOOPs. The
         // local address is the iteration's staging buffer (fixed); only
         // the id bits (stored key) are patched per request.
-        let mut image = Vec::with_capacity((resp_slots * WQE_SIZE) as usize);
+        let mut resp_ops = Vec::with_capacity(resp_slots as usize);
         for inst in 0..k {
             for i in 0..n {
-                let mut resp = WorkRequest::write_imm(
-                    staging[(inst * n + i) as usize],
-                    pool_mr.lkey,
-                    spec.value_len,
-                    spec.dest.addr + inst * stride,
-                    spec.dest.rkey(),
-                    inst as u32,
-                )
-                .signaled();
-                resp.wqe.opcode = Opcode::Noop;
-                image.extend_from_slice(&resp.wqe.encode());
-                sim.post_send_quiet(tp.qp, resp)?;
+                resp_ops.push(
+                    p.push(
+                        resp_q,
+                        OpBuild::new(Kind::Write {
+                            src: Loc::cst(staging[(inst * n + i) as usize]),
+                            len: spec.value_len,
+                            dst: Loc::raw(spec.dest.addr + inst * stride, spec.dest.rkey()),
+                            imm: Some(inst as u32),
+                        })
+                        .signaled()
+                        .placeholder()
+                        .restore()
+                        .label("response slot"),
+                    ),
+                );
             }
         }
-        let image_addr = pool.push_bytes(sim, &image)?;
 
-        // The walk ring: body + tail sized exactly.
-        let body = k * (2 + 2 * n);
-        let fixups = 2 * k + 1;
-        let depth = 2 + body + 2 + fixups + 2;
-        let ring_q = ChainQueueBuilder::new(node, owner)
-            .managed()
-            .depth(depth as u32)
-            .on_pu(pu(1))
-            .on_port(spec.port)
-            .build(sim)?;
-        let mut lb = RecycledLoopBuilder::new(sim, ring_q);
-        let mut scatters: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(k as usize);
+        let mut scatter_ids = Vec::with_capacity(k as usize);
         for inst in 0..k {
-            // Instance body starts after the 2 reserved head slots:
-            // WAIT at `base`, READ_i at `base + 1 + 2i`, CAS_i right
-            // after its READ, the response ENABLE last.
-            let base = 2 + inst * (2 * n + 2);
-            let read_rel = |i: u64| (base + 1 + 2 * i) as usize;
-            lb.stage_bumped(WorkRequest::wait(tp.recv_cq, trigger_base + inst + 1), k);
-            let mut scatter = Vec::with_capacity(1 + n as usize);
-            let mut key_scatter = Vec::with_capacity(n as usize);
+            p.push(
+                ring,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                    cq: tp.recv_cq,
+                    count: trigger_base + inst + 1,
+                }))
+                .bump(k)
+                .label("trigger wait"),
+            );
+            // Forward-allocate the READs: READ_i's scatter aims at
+            // READ_{i+1}'s remote-address field (the pointer chase).
+            let reads: Vec<_> = (0..n).map(|_| p.alloc(ring)).collect();
+            let mut head_entry = None;
+            let mut key_entries = Vec::with_capacity(n as usize);
             for i in 0..n {
-                let resp_slot = tp_queue.slot_addr(inst * n + i);
+                let resp = resp_ops[(inst * n + i) as usize];
                 // READ scatter: next -> next iteration's READ.remote_addr
                 // (or scratch for the last), key(6B) -> response id,
                 // pad(2B) -> scratch, value -> staging.
-                let (next_target, next_lkey) = if i + 1 < n {
-                    (
-                        lb.slot_field_addr(read_rel(i + 1), WqeField::RemoteAddr),
-                        ring_q.ring.lkey,
-                    )
+                let next_target = if i + 1 < n {
+                    Loc::field(reads[(i + 1) as usize], WqeField::RemoteAddr)
                 } else {
-                    (scratch, pool_mr.lkey)
+                    Loc::cst(scratch)
                 };
-                let entries = [
-                    Sge {
-                        addr: next_target,
-                        lkey: next_lkey,
+                let table = p.const_sges(vec![
+                    SgeSpec {
+                        target: next_target,
                         len: 8,
                     },
-                    Sge {
-                        addr: resp_slot + WqeField::Id.offset(),
-                        lkey: tp.ring.lkey,
+                    SgeSpec {
+                        target: Loc::field(resp, WqeField::Id),
                         len: 6,
                     },
-                    Sge {
-                        addr: scratch + 8,
-                        lkey: pool_mr.lkey,
+                    SgeSpec {
+                        target: Loc::cst_off(scratch, 8),
                         len: 2,
                     },
-                    Sge {
-                        addr: staging[(inst * n + i) as usize],
-                        lkey: pool_mr.lkey,
+                    SgeSpec {
+                        target: Loc::cst(staging[(inst * n + i) as usize]),
                         len: spec.value_len,
                     },
-                ];
-                let mut tbytes = Vec::new();
-                for e in &entries {
-                    tbytes.extend_from_slice(&e.encode());
-                }
-                let table_addr = pool.push_bytes(sim, &tbytes)?;
-                let mut read = WorkRequest::read_sgl(
-                    table_addr,
-                    4,
-                    0, // patched: head from the trigger / next from READ i-1
-                    spec.list.rkey(),
-                )
-                .signaled();
+                ]);
+                let mut read = OpBuild::new(Kind::ReadSgl {
+                    table,
+                    entries: 4,
+                    src: Loc::raw(0, spec.list.rkey()), // patched: head / prev next
+                })
+                .signaled()
+                .label("node READ");
                 if i > 0 {
                     // The pointer chase: READ_i's remote address is
                     // patched by READ_{i-1}'s scatter.
                     read = read.wait_prev();
                 }
-                let read_idx = lb.stage(read);
-                debug_assert_eq!(read_idx, read_rel(i));
+                p.place(reads[i as usize], read);
                 if i == 0 {
-                    scatter.push((
-                        lb.slot_field_addr(read_idx, WqeField::RemoteAddr),
-                        ring_q.ring.lkey,
-                        8,
-                    ));
+                    head_entry = Some(SgeSpec {
+                        target: Loc::field(reads[0], WqeField::RemoteAddr),
+                        len: 8,
+                    });
                 }
-                let mut cas = WorkRequest::cas(
-                    resp_slot + WqeField::Header.offset(),
-                    tp.ring.rkey,
-                    cond_compare(0), // low 6 bytes patched with x
-                    cond_swap(Opcode::WriteImm, 0),
-                    0,
-                    0,
-                )
-                .signaled()
-                .wait_prev();
-                cas.wqe.operand = cond_compare(0);
-                let cas_idx = lb.stage(cas);
-                key_scatter.push((
-                    lb.slot_field_addr(cas_idx, WqeField::Operand) + 2,
-                    ring_q.ring.lkey,
-                    6,
-                ));
+                let cas = p.push(
+                    ring,
+                    OpBuild::new(Kind::Transmute {
+                        target: resp,
+                        y: 0, // compare id bits patched with x
+                        into: Opcode::WriteImm,
+                    })
+                    .signaled()
+                    .wait_prev()
+                    .label("key CAS"),
+                );
+                key_entries.push(SgeSpec {
+                    target: Loc::field_off(cas, WqeField::Operand, 2),
+                    len: 6,
+                });
             }
-            lb.stage_bumped(
-                WorkRequest::enable(tp_queue.sq, (inst + 1) * n).wait_prev(),
-                resp_slots,
+            p.push(
+                ring,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(
+                    resp_ops[((inst + 1) * n - 1) as usize],
+                )))
+                .wait_prev()
+                .bump(resp_slots)
+                .label("response release"),
             );
             // Trigger payload is [N0][x × N]: head entry first, then one
             // key entry per iteration's CAS (the folded R3).
-            scatter.extend(key_scatter);
-            scatters.push(scatter);
+            let mut entries = vec![head_entry.expect("n >= 1")];
+            entries.extend(key_entries);
+            scatter_ids.push(p.scatter(entries));
         }
-        // Round tail: all of this round's responses executed, then
-        // restore the whole response ring with one WRITE.
-        lb.stage_bumped(
-            WorkRequest::wait(tp.send_cq, send_base + resp_slots),
-            resp_slots,
+        // Round tail: all of this round's responses executed; the
+        // restore WRITE over the pristine response images is synthesized
+        // from the restore marks.
+        p.push(
+            ring,
+            OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                cq: tp.send_cq,
+                count: send_base + resp_slots,
+            }))
+            .bump(resp_slots)
+            .label("responses-executed wait"),
         );
-        lb.stage(
-            WorkRequest::write(
-                image_addr,
-                pool_mr.lkey,
-                (resp_slots * WQE_SIZE) as u32,
-                tp_queue.slot_addr(0),
-                tp.ring.rkey,
-            )
-            .signaled(),
-        );
-        let ring = lb.finish(sim, pool)?;
-        debug_assert_eq!(ring.round_len, depth);
+
+        let lowered = p.deploy_with(sim, pool, opts, None)?.into_recycled();
 
         // The trigger-RECV ring: one scatter program per instance, posted
         // once and recycled by the NIC as the ring wraps.
-        for scatter in &scatters {
-            tp.post_trigger_recv(sim, pool, scatter)?;
+        for sid in &scatter_ids {
+            tp.post_trigger_recv(sim, pool, &lowered.scatter(*sid))?;
         }
         sim.set_rq_cyclic(tp.qp)?;
 
@@ -432,11 +441,12 @@ impl ListWalkOffload {
             posted: 0,
             trigger_base,
             node,
+            report: Some(lowered.report()),
             backend: Backend::Recycled {
-                ring: ring.queue,
+                ring: lowered.lp.queue,
                 slots: k,
                 completed: 0,
-                round_len: ring.round_len,
+                round_len: lowered.lp.round_len,
             },
         })
     }
@@ -466,184 +476,178 @@ impl ListWalkOffload {
         let slot = instance % self.spec.pipeline_depth as u64;
         let resp_addr = self.spec.dest.addr + slot * self.response_stride();
         let spec = self.spec;
-        let pool_mr = pool.mr();
-        let mut wr_count = 0usize;
-
-        let mut chain_b = ChainBuilder::new(sim, chain);
-        let mut ctrl_b = ChainBuilder::new(sim, ctrl);
-        let mut resp_b = ChainBuilder::new(
-            sim,
-            ChainQueue {
-                qp: self.tp.qp,
-                peer: self.tp.qp,
-                sq: sim.sq_of(self.tp.qp),
-                cq: self.tp.send_cq,
-                ring: self.tp.ring,
-                managed: true,
-                depth: resp_depth,
-                node: self.node,
-            },
-        );
-        // All chain-queue WQEs are signaled: absolute CQE count == posted.
-        let chain_base = sim.sq_posted(chain.qp);
         // With breaks, suppressed completions make posted != CQE count, so
         // break offloads are single-shot: gate on the live CQ totals.
         let resp_cqe_base = sim.cq_total(self.tp.send_cq);
-        let brk_base = brk_q.map(|q| sim.sq_posted(q.qp)).unwrap_or(0);
-        let mut brk_b = brk_q.map(|q| ChainBuilder::new(sim, q));
+
+        // One linear IR program per walk instance (see the hash-get arm
+        // for the pattern): responses and break placeholders on managed
+        // queues, the READ→CAS unroll on the managed chain queue, and the
+        // WAIT/ENABLE doorbell ladder on the unmanaged control queue.
+        let mut p = crate::ir::IrProgram::linear();
+        let resp_qid = p.chain(ChainQueue {
+            qp: self.tp.qp,
+            peer: self.tp.qp,
+            sq: sim.sq_of(self.tp.qp),
+            cq: self.tp.send_cq,
+            ring: self.tp.ring,
+            managed: true,
+            depth: resp_depth,
+            node: self.node,
+        });
+        let chain_qid = p.chain(chain);
+        let ctrl_qid = p.chain(ctrl);
+        let brk_qid = brk_q.map(|q| p.chain(q));
 
         // The client's key is scattered once into a pool cell; each
         // iteration's R3 WRITE copies it into that iteration's CAS.
-        let x_cell = pool.reserve(sim, 8)?;
-        // Per-iteration value staging buffers.
-        let mut staging = Vec::new();
-        for _ in 0..spec.max_nodes {
-            staging.push(pool.reserve(sim, spec.value_len as u64)?);
-        }
-        // Scratch sinks for the last iteration's next pointer and pads.
-        let scratch = pool.reserve(sim, 16)?;
-
-        // Pre-compute chain slot indices: per iteration the chain queue
-        // holds [READ, CAS] (+ [BREAK] before the response when breaking).
-        // Responses (and break targets) live on the trigger QP's SQ.
-        let per_iter_chain = 2;
-        let read_idx = |i: usize| chain_base + (i * per_iter_chain) as u64;
-
-        let mut resp_handles = Vec::new();
-        let mut break_handles = Vec::new();
+        let x_cell = p.const_zeroed(8);
+        // Per-iteration value staging buffers, plus scratch sinks for the
+        // last iteration's next pointer and the key pads.
+        let staging: Vec<_> = (0..spec.max_nodes)
+            .map(|_| p.const_zeroed(spec.value_len as u64))
+            .collect();
+        let scratch = p.const_zeroed(16);
 
         // Stage responses (and break placeholders) first so READ scatter
         // tables can reference their fields.
+        let mut resp_ops = Vec::with_capacity(spec.max_nodes);
+        let mut break_ops = Vec::new();
         for &stage_buf in staging.iter() {
-            let mut resp = WorkRequest::write_imm(
-                stage_buf,
-                pool_mr.lkey,
-                spec.value_len,
-                resp_addr,
-                spec.dest.rkey(),
-                instance as u32,
+            let resp = p.push(
+                resp_qid,
+                OpBuild::new(Kind::Write {
+                    src: Loc::cst(stage_buf),
+                    len: spec.value_len,
+                    dst: Loc::raw(resp_addr, spec.dest.rkey()),
+                    imm: Some(instance as u32),
+                })
+                .signaled()
+                .placeholder()
+                .label("response slot"),
             );
-            resp.wqe.flags |= FLAG_SIGNALED;
-            resp.wqe.opcode = Opcode::Noop;
-            let resp_staged = resp_b.stage(resp);
-            resp_handles.push(resp_staged);
-            wr_count += 1;
+            resp_ops.push(resp);
 
             if spec.break_on_match {
                 // Break placeholder: NOOP -> WRITE(12B) onto the response
                 // slot, turning it into an *unsignaled* WRITE_IMM. Lives
                 // on a server loopback queue so its WRITE addresses
                 // server memory.
-                let resp_slot =
-                    self.tp.ring.addr + (resp_staged.index % resp_depth as u64) * WQE_SIZE;
                 let mut image = Vec::with_capacity(12);
                 image.extend_from_slice(&header_word(Opcode::WriteImm, 0).to_le_bytes());
                 image.extend_from_slice(&0u32.to_le_bytes());
-                let image_addr = pool.push_bytes(sim, &image)?;
-                let mut brk =
-                    WorkRequest::write(image_addr, pool_mr.lkey, 12, resp_slot, self.tp.ring.rkey)
-                        .signaled();
-                brk.wqe.opcode = Opcode::Noop;
-                let brk_staged = brk_b.as_mut().expect("break queue").stage(brk);
-                break_handles.push(brk_staged);
-                wr_count += 1;
+                let image_c = p.const_bytes(image);
+                break_ops.push(
+                    p.push(
+                        brk_qid.expect("break queue"),
+                        OpBuild::new(Kind::Write {
+                            src: Loc::cst(image_c),
+                            len: 12,
+                            dst: Loc::field(resp, WqeField::Header),
+                            imm: None,
+                        })
+                        .signaled()
+                        .placeholder()
+                        .label("break placeholder"),
+                    ),
+                );
             }
         }
 
-        // Now the per-iteration chain.
+        // Forward-allocate the chain ops: READ_i's scatter aims at
+        // READ_{i+1}'s remote-address field, and each R3 WRITE aims at
+        // its iteration's CAS before the CAS is placed.
+        let reads: Vec<_> = (0..spec.max_nodes).map(|_| p.alloc(chain_qid)).collect();
+        let cases: Vec<_> = (0..spec.max_nodes).map(|_| p.alloc(chain_qid)).collect();
+
         for i in 0..spec.max_nodes {
-            let resp_staged = resp_handles[i];
             // READ scatter: next -> next iteration's READ.remote_addr (or
-            // scratch for the last), key(6B) -> response id, pad(2B) ->
-            // scratch, value -> staging.
+            // scratch for the last), key(6B) -> the id bits of whatever
+            // WQE the CAS will test (break placeholder when breaking, the
+            // response otherwise), pad(2B) -> scratch, value -> staging.
             let next_target = if i + 1 < spec.max_nodes {
-                chain.slot_addr(read_idx(i + 1)) + WqeField::RemoteAddr.offset()
+                Loc::field(reads[i + 1], WqeField::RemoteAddr)
             } else {
-                scratch
+                Loc::cst(scratch)
             };
-            let next_lkey = if i + 1 < spec.max_nodes {
-                chain.ring.lkey
-            } else {
-                pool_mr.lkey
-            };
-            // The key lands in the id bits of whatever WQE the CAS will
-            // test: the break placeholder when breaking, the response
-            // otherwise.
             let id_target = if spec.break_on_match {
-                break_handles[i]
+                break_ops[i]
             } else {
-                resp_staged
+                resp_ops[i]
             };
-            let entries = [
-                Sge {
-                    addr: next_target,
-                    lkey: next_lkey,
+            let table = p.const_sges(vec![
+                SgeSpec {
+                    target: next_target,
                     len: 8,
                 },
-                Sge {
-                    addr: id_target.addr(WqeField::Id),
-                    lkey: id_target.queue.ring.lkey,
+                SgeSpec {
+                    target: Loc::field(id_target, WqeField::Id),
                     len: 6,
                 },
-                Sge {
-                    addr: scratch + 8,
-                    lkey: pool_mr.lkey,
+                SgeSpec {
+                    target: Loc::cst_off(scratch, 8),
                     len: 2,
                 },
-                Sge {
-                    addr: staging[i],
-                    lkey: pool_mr.lkey,
+                SgeSpec {
+                    target: Loc::cst(staging[i]),
                     len: spec.value_len,
                 },
-            ];
-            let mut tbytes = Vec::new();
-            for e in &entries {
-                tbytes.extend_from_slice(&e.encode());
-            }
-            let table_addr = pool.push_bytes(sim, &tbytes)?;
-            let read = chain_b.stage(
-                WorkRequest::read_sgl(table_addr, 4, 0 /* patched */, spec.list.rkey()).signaled(),
+            ]);
+            p.place(
+                reads[i],
+                OpBuild::new(Kind::ReadSgl {
+                    table,
+                    entries: 4,
+                    src: Loc::raw(0, spec.list.rkey()), // patched: head / prev next
+                })
+                .signaled()
+                .label("node READ"),
             );
-            debug_assert_eq!(read.index, read_idx(i));
-            wr_count += 1;
 
             // The trigger gate must precede anything that consumes the
             // scattered arguments (x_cell is only valid after the RECV).
             if i == 0 {
-                ctrl_b.stage(WorkRequest::wait(self.tp.recv_cq, trigger_count));
-                wr_count += 1;
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                        cq: self.tp.recv_cq,
+                        count: trigger_count,
+                    }))
+                    .label("trigger wait"),
+                );
             }
 
             // R3: copy the key operand into the CAS compare field (paper
             // Fig 12's WRITE; x lives in a pool cell filled by the RECV).
-            let cas_idx = read.index + 1;
-            let cas_compare_addr = chain.slot_addr(cas_idx) + WqeField::Operand.offset() + 2;
-            ctrl_b.stage(
-                WorkRequest::write(x_cell, pool_mr.lkey, 6, cas_compare_addr, chain.ring.rkey)
-                    .signaled(),
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Write {
+                    src: Loc::cst(x_cell),
+                    len: 6,
+                    dst: Loc::field_off(cases[i], WqeField::Operand, 2),
+                    imm: None,
+                })
+                .signaled()
+                .label("R3 key copy"),
             );
-            wr_count += 1;
 
             // The conditional: transmute either the break NOOP (break
             // variant) or the response NOOP directly.
-            let (cas_target, cas_swap_op) = if spec.break_on_match {
-                (break_handles[i], Opcode::Write)
+            let into = if spec.break_on_match {
+                Opcode::Write
             } else {
-                (resp_handles[i], Opcode::WriteImm)
+                Opcode::WriteImm
             };
-            let mut cas = WorkRequest::cas(
-                cas_target.addr(WqeField::Header),
-                cas_target.queue.ring.rkey,
-                cond_compare(0), // patched with x
-                cond_swap(cas_swap_op, 0),
-                0,
-                0,
-            )
-            .signaled();
-            cas.wqe.operand = cond_compare(0);
-            let cas_staged = chain_b.stage(cas);
-            debug_assert_eq!(cas_staged.index, cas_idx);
-            wr_count += 1;
+            p.place(
+                cases[i],
+                OpBuild::new(Kind::Transmute {
+                    target: id_target,
+                    y: 0, // compare id bits patched with x
+                    into,
+                })
+                .signaled()
+                .label("key CAS"),
+            );
 
             // Release the READ after (a) trigger/previous iteration and
             // (b) the R3 write completed. Only the R3 WRITEs are signaled
@@ -651,65 +655,97 @@ impl ListWalkOffload {
             // the absolute, monotonic `ctrl_cqe_base + k*N + i + 1` —
             // correct even with many instances armed before any runs.
             let r3_done = ctrl_cqe_base + instance * spec.max_nodes as u64 + i as u64 + 1;
-            ctrl_b.stage(WorkRequest::wait(ctrl.cq, r3_done));
-            ctrl_b.stage(WorkRequest::enable(chain.sq, read.index + 1));
-            ctrl_b.stage(WorkRequest::wait(
-                chain.cq,
-                chain_base + (i * per_iter_chain) as u64 + 1,
-            ));
-            ctrl_b.stage(WorkRequest::enable(chain.sq, cas_staged.index + 1));
-            ctrl_b.stage(WorkRequest::wait(
-                chain.cq,
-                chain_base + (i * per_iter_chain) as u64 + 2,
-            ));
-            wr_count += 5;
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                    cq: ctrl.cq,
+                    count: r3_done,
+                }))
+                .label("R3 wait"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(reads[i])))
+                    .label("READ release"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Wait(WaitCond::OpDonePosted(reads[i]))).label("READ wait"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(cases[i]))).label("CAS release"),
+            );
+            p.push(
+                ctrl_qid,
+                OpBuild::new(Kind::Wait(WaitCond::OpDonePosted(cases[i]))).label("CAS wait"),
+            );
 
             if spec.break_on_match {
                 // Release the break WQE; wait for it; release the
                 // response; gate the next iteration on the response's
                 // completion (suppressed by a taken break).
-                let brk = break_handles[i];
-                let brk_sq = brk_q.expect("break queue").sq;
-                let brk_cq = brk_q.expect("break queue").cq;
-                ctrl_b.stage(WorkRequest::enable(brk_sq, brk.index + 1));
-                ctrl_b.stage(WorkRequest::wait(brk_cq, brk_base + i as u64 + 1));
-                ctrl_b.stage(WorkRequest::enable(
-                    sim.sq_of(self.tp.qp),
-                    resp_handles[i].index + 1,
-                ));
-                ctrl_b.stage(WorkRequest::wait(
-                    self.tp.send_cq,
-                    resp_cqe_base + i as u64 + 1,
-                ));
-                wr_count += 4;
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(break_ops[i])))
+                        .label("break release"),
+                );
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Wait(WaitCond::OpDonePosted(break_ops[i])))
+                        .label("break wait"),
+                );
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(resp_ops[i])))
+                        .label("response release"),
+                );
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Wait(WaitCond::Absolute {
+                        cq: self.tp.send_cq,
+                        count: resp_cqe_base + i as u64 + 1,
+                    }))
+                    .label("response wait"),
+                );
             } else {
                 // Plain variant: release the response; all iterations
                 // always run (Fig 5 semantics).
-                ctrl_b.stage(WorkRequest::enable(
-                    sim.sq_of(self.tp.qp),
-                    resp_handles[i].index + 1,
-                ));
-                wr_count += 1;
+                p.push(
+                    ctrl_qid,
+                    OpBuild::new(Kind::Enable(EnableTarget::OpsThrough(resp_ops[i])))
+                        .label("response release"),
+                );
             }
         }
 
-        chain_b.post(sim)?;
-        resp_b.post(sim)?;
-        if let Some(b) = brk_b {
-            b.post(sim)?;
-        }
-        ctrl_b.post(sim)?;
-
         // Trigger RECV: N0 -> first READ's remote address, x -> x_cell.
-        let scatter = [
-            (
-                chain.slot_addr(read_idx(0)) + WqeField::RemoteAddr.offset(),
-                chain.ring.lkey,
-                8u32,
-            ),
-            (x_cell, pool_mr.lkey, 6u32),
-        ];
-        self.tp.post_trigger_recv(sim, pool, &scatter)?;
+        let sid = p.scatter(vec![
+            SgeSpec {
+                target: Loc::field(reads[0], WqeField::RemoteAddr),
+                len: 8,
+            },
+            SgeSpec {
+                target: Loc::cst(x_cell),
+                len: 6,
+            },
+        ]);
+
+        let wr_count = p.queue_len(resp_qid)
+            + p.queue_len(chain_qid)
+            + p.queue_len(ctrl_qid)
+            + brk_qid.map(|q| p.queue_len(q)).unwrap_or(0);
+
+        let mut lowered = p.deploy(sim, pool)?.into_linear();
+        lowered.post(sim, chain_qid)?;
+        lowered.post(sim, resp_qid)?;
+        if let Some(q) = brk_qid {
+            lowered.post(sim, q)?;
+        }
+        lowered.post(sim, ctrl_qid)?;
+
+        let entries = lowered.scatter(sid);
+        self.tp.post_trigger_recv(sim, pool, &entries)?;
         let Backend::HostArmed { ref mut armed, .. } = self.backend else {
             unreachable!("checked above");
         };
@@ -834,6 +870,7 @@ mod tests {
     use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};
     use rnic_sim::mem::Access;
     use rnic_sim::qp::QpConfig;
+    use rnic_sim::wqe::WorkRequest;
 
     use crate::ctx::OffloadCtx;
     use rnic_sim::mem::MemoryRegion;

@@ -62,6 +62,7 @@ pub struct ConstPool {
     base: u64,
     cap: u64,
     used: u64,
+    leases: u64,
     mr: MemoryRegion,
 }
 
@@ -80,6 +81,7 @@ impl ConstPool {
             base,
             cap,
             used: 0,
+            leases: 0,
             mr,
         })
     }
@@ -102,6 +104,7 @@ impl ConstPool {
         }
         sim.mem_write(self.node, addr, bytes)?;
         self.used = aligned + bytes.len() as u64;
+        self.leases += 1;
         Ok(addr)
     }
 
@@ -118,6 +121,22 @@ impl ConstPool {
     /// Bytes used so far.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// Peak bytes ever allocated — the bump cursor is monotonic, so this
+    /// equals [`ConstPool::used`]; named for the accounting reports that
+    /// track it over time (a serving loop whose high-water mark moves is
+    /// leaking pool capacity per request).
+    pub fn high_water(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of successful allocations (pushes and reserves) served.
+    /// With the IR's const-pool deduplication, a steady-state serving
+    /// loop holds this flat: identical constants intern to earlier cells
+    /// instead of taking new leases.
+    pub fn leases(&self) -> u64 {
+        self.leases
     }
 }
 

@@ -1,9 +1,18 @@
 //! Compiling Turing machines to self-modifying RDMA rings.
 //!
-//! One WQ-recycling round (see
-//! [`RecycledLoopBuilder`](crate::constructs::loops::RecycledLoopBuilder))
-//! executes one TM step. The dynamic machine configuration lives in
-//! registered host memory:
+//! One WQ-recycling round executes one TM step. Since PR 5 the compiler
+//! is an [`redn_core::ir`](crate::ir) front-end: it emits a typed
+//! recycled [`IrProgram`] whose patch points, restore marks and WAIT
+//! edges are symbolic, and lets `deploy` verify, optimize and lower it.
+//! The optimizer elides the phase WAITs whose successors are not patch
+//! targets (three per step), merges the per-slot restore WRITEs into two
+//! scatter WRITEs (one over the trigger block, one over the action
+//! region), and deduplicates identical rule constants — a machine with
+//! `R` rules runs a `3R + 20`-slot round instead of the naive `4R + 29`
+//! (plus the tail WAIT, kept only when a halting rule must be able to
+//! kill the tail ENABLE).
+//!
+//! The dynamic machine configuration lives in registered host memory:
 //!
 //! * `head_reg` — the *absolute address* of the cell under the head
 //!   (moves are fetch-and-adds of ±8);
@@ -19,8 +28,8 @@
 //! CASes each trigger against its rule's `(state, symbol)` constant
 //! (NOOP→WRITE on the unique match); the matched trigger copies its
 //! rule's prebuilt *action image* over a generic 5-slot action region
-//! (write symbol / set state / move head / halt / raise flag); the action
-//! executes; the ring restores its code from pristine images and
+//! (write symbol / set state / move head / halt / raise flag); the
+//! action executes; the ring restores its code from pristine images and
 //! re-enables itself. A halting image's fourth slot overwrites the tail
 //! ENABLE's header with a NOOP — the ring never re-arms and the
 //! simulation's event queue simply drains.
@@ -33,11 +42,12 @@ use rnic_sim::error::Result;
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::Opcode;
-use rnic_sim::wqe::{header_word, WorkRequest, FLAG_SIGNALED, WQE_SIZE};
+use rnic_sim::wqe::{header_word, WorkRequest, WQE_SIZE};
 
-use crate::constructs::loops::{RecycledLoop, RecycledLoopBuilder};
-use crate::ctx::ChainQueueBuilder;
-use crate::encode::{cond_compare, cond_swap, WqeField};
+use crate::constructs::loops::RecycledLoop;
+use crate::ir::{
+    DeployOpts, ImageWqe, IrProgram, Kind, Loc, OpBuild, PassReport, RingSpec, WaitCond,
+};
 use crate::program::ConstPool;
 use crate::turing::machine::{Move, TuringMachine};
 
@@ -50,6 +60,8 @@ const ACTION_SLOTS: usize = 5;
 pub struct CompiledTm {
     /// The recycled ring executing the machine.
     pub lp: RecycledLoop,
+    /// What the IR optimizer did to the step program (per round).
+    pub report: PassReport,
     /// Node it runs on.
     pub node: NodeId,
     /// Tape base address.
@@ -86,7 +98,6 @@ impl CompiledTm {
     /// [`OffloadCtx::compile_tm`](crate::ctx::OffloadCtx::compile_tm)
     /// uses, so the context genuinely owns the machine's resources. A
     /// machine needs roughly `tape + 64 * rules + 2 KiB` bytes of pool.
-    #[allow(clippy::too_many_arguments)]
     pub fn compile_in_pool(
         sim: &mut Simulator,
         node: NodeId,
@@ -96,16 +107,40 @@ impl CompiledTm {
         tape: &[u32],
         head: usize,
     ) -> Result<CompiledTm> {
+        CompiledTm::compile_in_pool_with(
+            sim,
+            node,
+            owner,
+            pool,
+            tm,
+            tape,
+            head,
+            DeployOpts::default(),
+        )
+    }
+
+    /// As [`CompiledTm::compile_in_pool`], with explicit deploy switches
+    /// (the equivalence property tests compare `optimize: false` against
+    /// the default lowering).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_in_pool_with(
+        sim: &mut Simulator,
+        node: NodeId,
+        owner: ProcessId,
+        pool: &mut ConstPool,
+        tm: &TuringMachine,
+        tape: &[u32],
+        head: usize,
+        opts: DeployOpts,
+    ) -> Result<CompiledTm> {
         tm.validate().expect("machine must be valid");
         assert!(!tape.is_empty() && head < tape.len());
         let nrules = tm.rules.len();
-        // Ring: 16 + 3R body + (R + 5) restores + 6 WAIT fix-ups + 2 tail.
-        let need = 29 + 4 * nrules;
-        let depth = (need as u32).next_power_of_two().max(64);
-
         let pool_mr = pool.mr();
 
-        // Machine memory.
+        // Machine memory: mutable state lives as direct pool cells (its
+        // addresses are part of the machine's identity, not program
+        // constants).
         let tape_addr = pool.reserve(sim, tape.len() as u64 * CELL_SIZE)?;
         for (i, &s) in tape.iter().enumerate() {
             sim.mem_write_u64(node, tape_addr + i as u64 * CELL_SIZE, s as u64)?;
@@ -113,174 +148,198 @@ impl CompiledTm {
         let head_reg = pool.push_u64(sim, tape_addr + head as u64 * CELL_SIZE)?;
         let sreg = pool.push_u64(sim, tm.start as u64)?; // symbol filled per step
         let halt_flag = pool.reserve(sim, 8)?;
-        let one_cell = pool.push_u64(sim, 1)?;
-        let noop_header = pool.push_u64(sim, header_word(Opcode::Noop, 0))?;
 
-        // Per-rule constants: written symbol and next state (3 bytes
-        // each, padded to 8).
-        let mut sym_cells = Vec::new();
-        let mut state_cells = Vec::new();
-        for r in &tm.rules {
-            sym_cells.push(pool.push_u64(sim, r.write as u64)?);
-            state_cells.push(pool.push_u64(sim, r.next as u64)?);
-        }
+        let (mut p, ring) = IrProgram::recycled(RingSpec {
+            node,
+            owner,
+            pu: None,
+            port: 0,
+        });
 
-        let queue = ChainQueueBuilder::new(node, owner)
-            .managed()
-            .depth(depth)
-            .build(sim)?;
-        let mut lb = RecycledLoopBuilder::new(sim, queue);
+        // Rule constants are IR consts: identical written symbols / next
+        // states across rules deduplicate into one pool cell each.
+        let one_cell = p.const_bytes(1u64.to_le_bytes().to_vec());
+        let noop_header = p.const_bytes(header_word(Opcode::Noop, 0).to_le_bytes().to_vec());
+        let sym_cells: Vec<_> = tm
+            .rules
+            .iter()
+            .map(|r| p.const_bytes((r.write as u64).to_le_bytes().to_vec()))
+            .collect();
+        let state_cells: Vec<_> = tm
+            .rules
+            .iter()
+            .map(|r| p.const_bytes((r.next as u64).to_le_bytes().to_vec()))
+            .collect();
+
+        // Forward-allocated patch targets.
+        let read_op = p.alloc(ring);
+        let trig_ops: Vec<_> = (0..nrules).map(|_| p.alloc(ring)).collect();
+        let action_ops: Vec<_> = (0..ACTION_SLOTS).map(|_| p.alloc(ring)).collect();
+
+        let wait_all = || OpBuild::new(Kind::Wait(WaitCond::LocalAllSignaled)).label("phase wait");
 
         // --- Step prologue: read the cell under the head ---------------
-        // The READ lands two slots ahead (after the WAIT).
-        let read_slot = lb.len() + 2;
-        let read_raddr = lb.slot_field_addr(read_slot, WqeField::RemoteAddr);
-        lb.stage(
-            WorkRequest::write(head_reg, pool_mr.lkey, 8, read_raddr, queue.ring.rkey).signaled(),
+        p.push(
+            ring,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(head_reg, pool_mr.lkey),
+                len: 8,
+                dst: Loc::field(read_op, crate::encode::WqeField::RemoteAddr),
+                imm: None,
+            })
+            .signaled()
+            .label("head->READ patch"),
         );
-        lb.stage_wait_all();
-        let staged_read = lb.stage(
-            WorkRequest::read(
-                sreg + 3,
-                pool_mr.lkey,
-                3,
-                0, /* patched */
-                pool_mr.rkey,
-            )
-            .signaled(),
+        p.push(ring, wait_all());
+        p.place(
+            read_op,
+            OpBuild::new(Kind::Read {
+                dst: Loc::raw(sreg + 3, pool_mr.lkey),
+                len: 3,
+                src: Loc::raw(0, pool_mr.rkey), // patched per round
+            })
+            .signaled()
+            .label("cell READ"),
         );
-        debug_assert_eq!(staged_read, read_slot);
-        lb.stage_wait_all();
+        p.push(ring, wait_all());
 
         // --- Rule dispatch ---------------------------------------------
-        // Trigger slots come after: injections (R), a WAIT, CASes (R), a
-        // WAIT — so trigger r sits at len + 2R + 2 + r when staging the
-        // first injection.
-        let first_trigger_slot = lb.len() + 2 * nrules + 2;
-
         // Inject sreg (state|symbol) into every trigger's id bits.
-        for r in 0..nrules {
-            let trig_id = lb.slot_field_addr(first_trigger_slot + r, WqeField::Id);
-            lb.stage(
-                WorkRequest::write(sreg, pool_mr.lkey, 6, trig_id, queue.ring.rkey).signaled(),
+        for &trig in &trig_ops {
+            p.push(
+                ring,
+                OpBuild::new(Kind::Write {
+                    src: Loc::raw(sreg, pool_mr.lkey),
+                    len: 6,
+                    dst: Loc::field(trig, crate::encode::WqeField::Id),
+                    imm: None,
+                })
+                .signaled()
+                .label("sreg inject"),
             );
         }
-        lb.stage_wait_all();
+        p.push(ring, wait_all());
 
         // One CAS per rule: (state, symbol) packed into 48 bits.
         for (r, rule) in tm.rules.iter().enumerate() {
             let cond = rule.state as u64 | ((rule.read as u64) << 24);
-            let trig_header = lb.slot_field_addr(first_trigger_slot + r, WqeField::Header);
-            lb.stage(
-                WorkRequest::cas(
-                    trig_header,
-                    queue.ring.rkey,
-                    cond_compare(cond),
-                    cond_swap(Opcode::Write, cond),
-                    0,
-                    0,
-                )
-                .signaled(),
+            p.push(
+                ring,
+                OpBuild::new(Kind::Transmute {
+                    target: trig_ops[r],
+                    y: cond,
+                    into: Opcode::Write,
+                })
+                .signaled()
+                .label("rule dispatch CAS"),
             );
         }
-        lb.stage_wait_all();
-        debug_assert_eq!(lb.len(), first_trigger_slot);
+        p.push(ring, wait_all());
 
-        // Trigger placeholders: NOOP -> WRITE(action image -> action
-        // region). Action slots live after [triggers, WAIT, patch, WAIT].
-        let action_slot0 = first_trigger_slot + nrules + 3;
-        let action_region_addr = queue.slot_addr(action_slot0 as u64);
-
-        // Build each rule's action image: 5 WQEs worth of bytes.
-        let mut image_addrs = Vec::new();
+        // Build each rule's action image: 5 WQEs worth of bytes, with
+        // symbolic source/target patches resolved at lowering.
         for (r, rule) in tm.rules.iter().enumerate() {
-            let mut image = Vec::with_capacity(ACTION_SLOTS * WQE_SIZE as usize);
+            let mut wqes = Vec::with_capacity(ACTION_SLOTS);
             // A0: write the new symbol to tape[head] (remote patched in
-            // every round by the W_patch below — the image leaves 0).
-            let mut w_sym =
-                WorkRequest::write(sym_cells[r], pool_mr.lkey, 3, 0, pool_mr.rkey).signaled();
-            w_sym.wqe.flags |= FLAG_SIGNALED;
-            image.extend_from_slice(&w_sym.wqe.encode());
+            // every round by the head patch below — the image leaves 0).
+            wqes.push(ImageWqe {
+                wr: WorkRequest::write(0, pool_mr.lkey, 3, 0, pool_mr.rkey).signaled(),
+                patches: vec![(crate::encode::WqeField::LocalAddr, Loc::cst(sym_cells[r]))],
+            });
             // A1: set the next state (low 3 bytes of sreg).
-            let w_state =
-                WorkRequest::write(state_cells[r], pool_mr.lkey, 3, sreg, pool_mr.rkey).signaled();
-            image.extend_from_slice(&w_state.wqe.encode());
+            wqes.push(ImageWqe {
+                wr: WorkRequest::write(0, pool_mr.lkey, 3, sreg, pool_mr.rkey).signaled(),
+                patches: vec![(crate::encode::WqeField::LocalAddr, Loc::cst(state_cells[r]))],
+            });
             // A2: move the head.
             let delta: u64 = match rule.mv {
                 Move::Left => (CELL_SIZE as i64).wrapping_neg() as u64,
                 Move::Right => CELL_SIZE,
                 Move::Stay => 0,
             };
-            let f_head = WorkRequest::fetch_add(head_reg, pool_mr.rkey, delta, 0, 0).signaled();
-            image.extend_from_slice(&f_head.wqe.encode());
+            wqes.push(ImageWqe {
+                wr: WorkRequest::fetch_add(head_reg, pool_mr.rkey, delta, 0, 0).signaled(),
+                patches: vec![],
+            });
             // A3/A4: halting rules kill the tail ENABLE and raise the
             // flag; others pad with signaled NOOPs.
             if rule.next == tm.halt {
-                let kill = WorkRequest::write(
-                    noop_header,
-                    pool_mr.lkey,
-                    8,
-                    0, // patched below once the tail address is known
-                    queue.ring.rkey,
-                )
-                .signaled();
-                image.extend_from_slice(&kill.wqe.encode());
-                let flag = WorkRequest::write(one_cell, pool_mr.lkey, 8, halt_flag, pool_mr.rkey)
-                    .signaled();
-                image.extend_from_slice(&flag.wqe.encode());
+                wqes.push(ImageWqe {
+                    wr: WorkRequest::write(0, pool_mr.lkey, 8, 0, 0).signaled(),
+                    patches: vec![
+                        (crate::encode::WqeField::LocalAddr, Loc::cst(noop_header)),
+                        (
+                            crate::encode::WqeField::RemoteAddr,
+                            Loc::TailEnable {
+                                field: crate::encode::WqeField::Header,
+                            },
+                        ),
+                    ],
+                });
+                wqes.push(ImageWqe {
+                    wr: WorkRequest::write(0, pool_mr.lkey, 8, halt_flag, pool_mr.rkey).signaled(),
+                    patches: vec![(crate::encode::WqeField::LocalAddr, Loc::cst(one_cell))],
+                });
             } else {
-                image.extend_from_slice(&WorkRequest::noop().signaled().wqe.encode());
-                image.extend_from_slice(&WorkRequest::noop().signaled().wqe.encode());
+                wqes.push(ImageWqe {
+                    wr: WorkRequest::noop().signaled(),
+                    patches: vec![],
+                });
+                wqes.push(ImageWqe {
+                    wr: WorkRequest::noop().signaled(),
+                    patches: vec![],
+                });
             }
-            image_addrs.push(pool.push_bytes(sim, &image)?);
-        }
+            let image = p.const_images(wqes);
 
-        for (r, &image_addr) in image_addrs.iter().enumerate() {
-            let mut trig = WorkRequest::write(
-                image_addr,
-                pool_mr.lkey,
-                (ACTION_SLOTS as u64 * WQE_SIZE) as u32,
-                action_region_addr,
-                queue.ring.rkey,
-            )
-            .signaled();
-            trig.wqe.opcode = Opcode::Noop;
-            let slot = lb.stage(trig);
-            debug_assert_eq!(slot, first_trigger_slot + r);
-            lb.mark_restore(slot);
+            // Trigger placeholder r: NOOP -> WRITE(image -> action
+            // region), restored from its pristine image every round.
+            p.place(
+                trig_ops[r],
+                OpBuild::new(Kind::Write {
+                    src: Loc::cst(image),
+                    len: (ACTION_SLOTS as u64 * WQE_SIZE) as u32,
+                    dst: Loc::field(action_ops[0], crate::encode::WqeField::Header),
+                    imm: None,
+                })
+                .signaled()
+                .placeholder()
+                .restore()
+                .label("rule trigger"),
+            );
         }
-        lb.stage_wait_all();
+        p.push(ring, wait_all());
 
         // Patch the symbol-write's destination with the current head.
-        let a0_raddr = lb.slot_field_addr(action_slot0, WqeField::RemoteAddr);
-        lb.stage(
-            WorkRequest::write(head_reg, pool_mr.lkey, 8, a0_raddr, queue.ring.rkey).signaled(),
+        p.push(
+            ring,
+            OpBuild::new(Kind::Write {
+                src: Loc::raw(head_reg, pool_mr.lkey),
+                len: 8,
+                dst: Loc::field(action_ops[0], crate::encode::WqeField::RemoteAddr),
+                imm: None,
+            })
+            .signaled()
+            .label("head->A0 patch"),
         );
-        lb.stage_wait_all();
+        p.push(ring, wait_all());
 
         // The generic action region: signaled NOOP placeholders,
         // restored every round.
-        debug_assert_eq!(lb.len(), action_slot0);
-        for _ in 0..ACTION_SLOTS {
-            let slot = lb.stage(WorkRequest::noop().signaled());
-            lb.mark_restore(slot);
+        for &a in &action_ops {
+            p.place(
+                a,
+                OpBuild::new(Kind::Noop)
+                    .signaled()
+                    .restore()
+                    .label("action slot"),
+            );
         }
 
-        // The tail ENABLE lands at slot depth-1; halting images must aim
-        // their kill-WRITE there. Patch the images now that we know it.
-        let tail_enable_header = queue.slot_addr(depth as u64 - 1) + WqeField::Header.offset();
-        for (r, rule) in tm.rules.iter().enumerate() {
-            if rule.next == tm.halt {
-                // The kill WRITE is image WQE A3: offset 3*WQE_SIZE,
-                // remote_addr field.
-                let addr = image_addrs[r] + 3 * WQE_SIZE + WqeField::RemoteAddr.offset();
-                sim.mem_write(node, addr, &tail_enable_header.to_le_bytes())?;
-            }
-        }
-
-        let lp = lb.finish(sim, pool)?;
+        let lowered = p.deploy_with(sim, pool, opts, None)?.into_recycled();
         Ok(CompiledTm {
-            lp,
+            report: lowered.report(),
+            lp: lowered.lp,
             node,
             tape_addr,
             tape_len: tape.len(),
@@ -392,5 +451,59 @@ mod tests {
         assert!(steps > 20, "expected many steps, got {steps}");
         // Still running: events remain pending.
         assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn optimizer_shrinks_the_step_ring_and_preserves_the_machine() {
+        // The IR pass report: a machine with R rules drops from the
+        // naive 4R + 29 round to 3R + 20 (three phase WAITs elided with
+        // their FETCH_ADD fix-ups, R + 5 restore WRITEs merged into 2),
+        // with the tail WAIT kept because halting rules patch the tail
+        // ENABLE.
+        let (mut sim, node) = setup();
+        let tm = TuringMachine::busy_beaver_2();
+        let tape = vec![0u32; 9];
+        let compiled = CompiledTm::compile(&mut sim, node, ProcessId(0), &tm, &tape, 4).unwrap();
+        let r = tm.rules.len();
+        let rep = compiled.report;
+        assert_eq!(rep.before.total(), 4 * r + 29, "naive round size");
+        assert_eq!(rep.after.total(), 3 * r + 20, "optimized round size");
+        assert_eq!(rep.waits_elided, 3);
+        assert_eq!(rep.restores_merged, r + 5 - 2);
+        assert_eq!(compiled.lp.round_len, (3 * r + 20) as u64);
+        // And the optimized machine still computes the right thing.
+        sim.run().unwrap();
+        let reference = tm.run(&tape, 4, 1000);
+        assert_eq!(compiled.read_tape(&sim).unwrap(), reference.tape);
+        assert_eq!(compiled.steps(&sim), reference.steps);
+    }
+
+    #[test]
+    fn unoptimized_lowering_still_runs_the_machine() {
+        let (mut sim, node) = setup();
+        let tm = TuringMachine::busy_beaver_2();
+        let tape = vec![0u32; 9];
+        let mut pool = ConstPool::create(&mut sim, node, 1 << 17, ProcessId(0)).unwrap();
+        let compiled = CompiledTm::compile_in_pool_with(
+            &mut sim,
+            node,
+            ProcessId(0),
+            &mut pool,
+            &tm,
+            &tape,
+            4,
+            crate::ir::DeployOpts {
+                optimize: false,
+                verify: true,
+            },
+        )
+        .unwrap();
+        let r = tm.rules.len();
+        assert_eq!(compiled.report.after.total(), 4 * r + 29);
+        sim.run().unwrap();
+        let reference = tm.run(&tape, 4, 1000);
+        assert!(compiled.halted(&sim).unwrap());
+        assert_eq!(compiled.read_tape(&sim).unwrap(), reference.tape);
+        assert_eq!(compiled.steps(&sim), reference.steps);
     }
 }

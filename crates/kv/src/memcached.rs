@@ -156,48 +156,6 @@ pub struct ReapedGet {
     pub at: Time,
 }
 
-/// Non-blocking RedN get: claims the next armed offload instance, stages
-/// the payload in that instance's request slot and fires the trigger
-/// SEND, returning without stepping the simulator.
-#[deprecated(
-    since = "0.1.0",
-    note = "use redn_kv::session::Session::get — the typed Session API replaces the free functions"
-)]
-pub fn redn_get_nb(
-    sim: &mut Simulator,
-    off: &mut HashGetOffload,
-    ep: &ClientEndpoint,
-    server: &MemcachedServer,
-    key: u64,
-) -> Result<PendingGet> {
-    let mut burst = post_get_burst(sim, off, ep, &server.table, &[key])?;
-    Ok(burst.pop().expect("one request posted"))
-}
-
-/// Batched non-blocking RedN gets under one doorbell.
-#[deprecated(
-    since = "0.1.0",
-    note = "use redn_kv::session::Session::get_burst — the typed Session API replaces the free functions"
-)]
-pub fn redn_get_burst(
-    sim: &mut Simulator,
-    off: &mut HashGetOffload,
-    ep: &ClientEndpoint,
-    server: &MemcachedServer,
-    keys: &[u64],
-) -> Result<Vec<PendingGet>> {
-    post_get_burst(sim, off, ep, &server.table, keys)
-}
-
-/// Reap up to `max` completed pipelined gets from `ep`'s receive CQ.
-#[deprecated(
-    since = "0.1.0",
-    note = "use redn_kv::session::Session::reap — the typed Session API replaces the free functions"
-)]
-pub fn redn_reap(sim: &mut Simulator, ep: &ClientEndpoint, max: usize) -> Vec<ReapedGet> {
-    reap_gets(sim, ep, max)
-}
-
 /// Batched non-blocking RedN gets (the engine behind
 /// [`Session::get_burst`](crate::session::Session::get_burst) and the
 /// deprecated free-function shims): stage every request's payload and

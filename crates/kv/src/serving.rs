@@ -209,6 +209,13 @@ pub struct FleetStats {
     /// Doorbells the client CPUs rang — batched trigger SENDs make this
     /// ~1 per generator tick rather than 1 per request.
     pub client_doorbells: u64,
+    /// The serving pool's high-water mark at the end of the run (peak
+    /// bytes ever allocated). Flat across runs once the IR's const-pool
+    /// deduplication interns every steady-state constant.
+    pub pool_high_water: u64,
+    /// Allocations the serving pool has served in total (leases). Flat
+    /// across steady-state runs for the same reason.
+    pub pool_leases: u64,
 }
 
 /// A fleet client's request stream.
@@ -503,7 +510,7 @@ impl ServingFleet {
                 break;
             }
         }
-        Ok(self.finish(sim, start, None, base))
+        Ok(self.finish(sim, pool, start, None, base))
     }
 
     /// Open-loop run: every client *schedules* a request every
@@ -587,7 +594,7 @@ impl ServingFleet {
             }
         }
         let offered = offered_per_client * self.clients.len() as f64;
-        Ok(self.finish(sim, start, Some(offered), base))
+        Ok(self.finish(sim, pool, start, Some(offered), base))
     }
 
     /// Reset per-run accounting and top every host-armed client's
@@ -624,6 +631,7 @@ impl ServingFleet {
     fn finish(
         &mut self,
         sim: &Simulator,
+        pool: &ConstPool,
         start: Time,
         offered: Option<f64>,
         base: (u64, u64, u64),
@@ -667,6 +675,8 @@ impl ServingFleet {
             server_doorbells: sim.node_doorbells(self.server_node) - base.0,
             server_posts: sim.node_posts(self.server_node) - base.1,
             client_doorbells: sim.node_doorbells(self.client_node) - base.2,
+            pool_high_water: pool.high_water(),
+            pool_leases: pool.leases(),
         }
     }
 }
@@ -877,6 +887,8 @@ mod tests {
             .run_closed_loop(&mut sim, ctx.pool_mut(), 100, 8)
             .unwrap();
         let pool_used = ctx.pool().used();
+        let pool_high_water = ctx.pool().high_water();
+        let pool_leases = ctx.pool().leases();
         let server_node = server.node;
         let doorbells = sim.node_doorbells(server_node);
         let posts = sim.node_posts(server_node);
@@ -888,6 +900,14 @@ mod tests {
         assert_eq!(stats.timeouts, 0);
         assert_eq!(stats.host_arm_calls, 0);
         assert_eq!(ctx.pool().used(), pool_used, "pool usage stays flat");
+        assert_eq!(
+            stats.pool_high_water, pool_high_water,
+            "pool high-water mark stays flat across 100K ops"
+        );
+        assert_eq!(
+            stats.pool_leases, pool_leases,
+            "no new pool leases across 100K ops (the dedup invariant)"
+        );
         assert_eq!(
             sim.node_doorbells(server_node),
             doorbells,

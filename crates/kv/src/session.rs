@@ -3,9 +3,9 @@
 //! A [`Session`] is one client's connection to one serving offload: a
 //! pipelined [`ClientEndpoint`] (slotted request/response buffers sized
 //! to the service's pipeline depth) bound to the deployed service whose
-//! responses land in it. It replaces the loose free-function client API
-//! (`redn_get_nb` / `redn_get_burst` / `redn_reap`, kept as deprecated
-//! shims for one release) with typed operations:
+//! responses land in it. It replaced the loose free-function client API
+//! (`redn_get_nb` / `redn_get_burst` / `redn_reap` — deprecated for one
+//! release, since removed) with typed operations:
 //!
 //! * [`Session::get`] / [`Session::get_burst`] — hash-table lookups
 //!   (§3.4), returning [`PendingGet`] handles;
@@ -247,6 +247,23 @@ impl Session {
     /// Whether this session drives a hash-get service.
     pub fn is_get(&self) -> bool {
         matches!(self.bound, Bound::Get { .. })
+    }
+
+    /// The IR optimizer's before/after verb accounting for the bound
+    /// service's recycled round (`None` for host-armed services).
+    pub fn ir_report(&self) -> Option<redn_core::ir::PassReport> {
+        match &self.bound {
+            Bound::Get { off, .. } => off.ir_report(),
+            Bound::Walk { off } => off.ir_report(),
+        }
+    }
+
+    /// Optimized WQEs per request of the bound recycled service.
+    pub fn verbs_per_op(&self) -> Option<f64> {
+        match &self.bound {
+            Bound::Get { off, .. } => off.verbs_per_op(),
+            Bound::Walk { off } => off.verbs_per_op(),
+        }
     }
 
     /// Post one lookup (a one-element [`Session::get_burst`]).

@@ -52,6 +52,10 @@ pub enum Error {
     Unsupported(&'static str),
     /// Malformed work request (bad SGE count, misaligned atomic, ...).
     InvalidWr(&'static str),
+    /// A chain program was rejected by a static checker before anything
+    /// was posted (the deploy-time verifier of `redn_core::ir`). Carries
+    /// a full diagnostic naming the offending WQE.
+    Verifier(String),
     /// A receiver had no RECV posted and the retry budget was exhausted
     /// (receiver-not-ready).
     RnrExhausted(QpId),
@@ -86,6 +90,7 @@ impl fmt::Display for Error {
             Error::BadQpState(qp, what) => write!(f, "{qp}: {what}"),
             Error::Unsupported(what) => write!(f, "unsupported on this NIC: {what}"),
             Error::InvalidWr(what) => write!(f, "invalid work request: {what}"),
+            Error::Verifier(what) => write!(f, "chain program rejected by verifier: {what}"),
             Error::RnrExhausted(qp) => {
                 write!(f, "receiver not ready on {qp} (RNR retries exhausted)")
             }

@@ -144,7 +144,7 @@ fn offloads_are_auditable_via_completions() {
     let mr = sim.register_mr(n, buf, 8, Access::all()).unwrap();
     let mut prog = ctx.chain_program(&mut sim).unwrap();
     let branch = prog.if_eq(9, WorkRequest::write(buf, mr.lkey, 8, buf, mr.rkey));
-    let ctrl_cq = prog.ctrl().cq();
+    let ctrl_cq = prog.ctrl_queue().cq;
     let armed = prog.deploy(&mut sim).unwrap();
     branch.inject_x(&mut sim, 9).unwrap();
     armed.launch(&mut sim).unwrap();

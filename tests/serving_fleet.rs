@@ -133,39 +133,42 @@ fn session_post_reap_round_trips_values_through_instance_slots() {
     }
 }
 
-/// The pre-Session free functions survive one release as deprecated
-/// shims over the same engine; they must keep working until removed.
+/// Successor of the removed free-function shim test (`redn_get_nb` /
+/// `redn_get_burst` / `redn_reap` are gone): the same single + burst +
+/// reap flow, expressed through the typed Session API that replaced
+/// them.
 #[test]
-#[allow(deprecated)]
-fn deprecated_free_function_shims_still_serve() {
-    use redn::kv::baselines::ClientEndpoint;
-    use redn::kv::memcached::{redn_get_burst, redn_get_nb, redn_reap};
+fn session_api_covers_the_old_free_function_flow() {
+    use redn::kv::session::{Session, SessionOpts};
 
     let (mut sim, c, server, mut ctx) = stand_up(64);
-    let depth = 4u32;
-    let ep = ClientEndpoint::create_pipelined(&mut sim, c, 64, depth).unwrap();
-    let mut off = server
-        .redn_builder(&ctx)
-        .respond_to(ep.dest())
-        .variant(HashGetVariant::Sequential)
-        .pipeline_depth(depth)
-        .build_recycled(&mut sim, ctx.pool_mut())
-        .unwrap();
-    sim.connect_qps(ep.qp, off.tp.qp).unwrap();
+    let mut session = Session::connect_get(
+        &mut sim,
+        &mut ctx,
+        &server,
+        c,
+        HashGetVariant::Sequential,
+        SessionOpts {
+            pipeline_depth: 4,
+            self_recycling: true,
+            ..SessionOpts::default()
+        },
+    )
+    .unwrap();
 
-    let single = redn_get_nb(&mut sim, &mut off, &ep, &server, 7).unwrap();
-    let burst = redn_get_burst(&mut sim, &mut off, &ep, &server, &[11, 23]).unwrap();
+    let single = session.get(&mut sim, 7).unwrap();
+    let burst = session.get_burst(&mut sim, &[11, 23]).unwrap();
     assert_eq!(burst.len(), 2);
     sim.run().unwrap();
-    let reaped = redn_reap(&mut sim, &ep, 8);
-    assert_eq!(reaped.len(), 3, "shim-posted gets all complete");
+    let reaped = session.reap(&mut sim, 8);
+    assert_eq!(reaped.len(), 3, "session-posted gets all complete");
     for _ in 0..3 {
-        off.complete_instance();
+        session.complete();
     }
     assert_eq!(
-        sim.mem_read(c, ep.resp_slot(single.slot), 1).unwrap()[0],
+        session.read_value(&sim, single.instance, 1).unwrap()[0],
         7,
-        "shim single get lands in its slot"
+        "single get lands in its slot"
     );
 }
 
