@@ -7,15 +7,22 @@
 //! cargo run -p redn_bench --release --bin throughput -- --out x.json
 //! ```
 
+use redn_bench::clusterbench::{cluster_read_point, failover_point, ClusterSweepConfig};
 use redn_bench::report::{kops, print_table, us, Row};
 use redn_bench::servebench::{throughput_sweep, SweepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = if args.iter().any(|a| a == "--small") {
+    let small = args.iter().any(|a| a == "--small");
+    let cfg = if small {
         SweepConfig::small()
     } else {
         SweepConfig::full()
+    };
+    let ccfg = if small {
+        ClusterSweepConfig::small()
+    } else {
+        ClusterSweepConfig::full()
     };
     let out_path = args
         .iter()
@@ -27,7 +34,13 @@ fn main() {
         "# Serving-layer throughput sweep ({} clients, depth {}, {} ops/client)",
         cfg.clients, cfg.pipeline_depth, cfg.ops_per_client
     );
-    let report = throughput_sweep(&cfg).expect("throughput sweep");
+    let mut report = throughput_sweep(&cfg).expect("throughput sweep");
+    println!(
+        "# Cluster sweep ({} nodes x {} clients, window {})",
+        ccfg.nodes, ccfg.clients_per_node, ccfg.window
+    );
+    report.cluster = Some(cluster_read_point(&ccfg).expect("cluster read sweep"));
+    report.failover = Some(failover_point(&ccfg).expect("failover soak"));
 
     let mut rows = vec![Row::new(
         "sync baseline (1 client)",
@@ -75,6 +88,24 @@ fn main() {
             format!("{} gets / {} walks", m.stats.get_ops, m.stats.walk_ops),
         ));
     }
+    if let Some(c) = &report.cluster {
+        let note = c
+            .stats
+            .latency
+            .map(|l| format!("p99 {}", us(l.p99_us)))
+            .unwrap_or_default();
+        rows.push(Row::new(
+            format!(
+                "cluster ({} nodes x {} clients) K={}",
+                c.nodes,
+                c.clients / c.nodes,
+                c.k
+            ),
+            kops(c.stats.ops_per_sec / 1e3),
+            "—",
+            note,
+        ));
+    }
     print_table(
         "Serving-layer throughput",
         ["run", "achieved", "paper", "note"],
@@ -92,6 +123,25 @@ fn main() {
     }
     if let Some(s) = report.mixed_speedup_vs_sync() {
         println!("mixed (gets + walks) speedup vs sync baseline: {s:.2}x");
+    }
+    if let Some(f) = &report.failover {
+        println!(
+            "failover soak: detection {} -> promote {} -> re-replicate {} ({} records), blip {}, steady p99 {}, acked lost {}",
+            us(f.detection_us),
+            us(f.promote_us),
+            us(f.rereplicate_us),
+            f.records_recovered,
+            us(f.blip_us),
+            us(f.steady_p99_us),
+            f.acked_lost
+        );
+        println!(
+            "replication chain: {:.2} verbs/put on the NIC, {:.4} primary doorbells/put, {:.4} primary posts/put, {:.4} arm calls/put",
+            f.repl_verbs_per_op,
+            f.repl_primary_doorbells_per_put,
+            f.repl_primary_posts_per_put,
+            f.repl_primary_arm_calls_per_put
+        );
     }
 
     std::fs::write(&out_path, report.to_json()).expect("write artifact");

@@ -17,9 +17,11 @@
 //! | [`crash`] | Fig 16, Table 6 |
 //! | [`turingbench`] | Appendix A (mov + TM on the NIC) |
 //! | [`servebench`] | serving-layer throughput sweep (`BENCH_throughput.json`) |
+//! | [`clusterbench`] | sharded cluster row + kill-a-node failover soak |
 
 #![warn(missing_docs)]
 
+pub mod clusterbench;
 pub mod contention;
 pub mod crash;
 pub mod hashbench;

@@ -1,0 +1,403 @@
+//! Typed client sessions against a deployed [`Cluster`]: per-shard get
+//! sessions reusing the [`redn_kv`] `Session` API, and a
+//! [`PutSession`] per shard driving the NIC-resident replication chain.
+//!
+//! Routing is client-side ([`ShardRouter`]); failure surfaces as typed
+//! values, never hangs — a dead primary yields
+//! [`CqeStatus::RnrError`] completions (dead-QP timeout) on the put
+//! path and drained-simulator timeouts on the get path.
+//!
+//! [`ShardRouter`]: crate::router::ShardRouter
+//! [`CqeStatus::RnrError`]: rnic_sim::cq::CqeStatus::RnrError
+
+use crate::cluster::Cluster;
+use redn_core::ctx::ClientDest;
+use redn_core::ir::DeployOpts;
+use redn_core::offloads::hash_lookup::HashGetVariant;
+use redn_core::offloads::replicate::{
+    encode_record, ReplicationBuilder, ReplicationLog, ReplicationOffload,
+};
+use redn_kv::cuckoo::CuckooTable;
+use redn_kv::session::{Completion, Session, SessionOpts};
+use rnic_sim::cq::CqeStatus;
+use rnic_sim::error::{Error, Result};
+use rnic_sim::ids::{CqId, NodeId, ProcessId, QpId};
+use rnic_sim::mem::{Access, MemoryRegion};
+use rnic_sim::qp::QpConfig;
+use rnic_sim::sim::Simulator;
+use rnic_sim::time::Time;
+use rnic_sim::wqe::WorkRequest;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A successfully acked PUT.
+#[derive(Clone, Copy, Debug)]
+pub struct PutAck {
+    /// Global instance (= journal slot) of the write.
+    pub instance: u64,
+    /// The acked sequence number (`instance + 1`).
+    pub seq: u64,
+    /// The written key.
+    pub key: u64,
+    /// Simulated ack time.
+    pub at: Time,
+}
+
+/// A PUT that failed with a typed completion instead of an ack.
+#[derive(Clone, Copy, Debug)]
+pub struct PutFailure {
+    /// Global instance of the failed write.
+    pub instance: u64,
+    /// The key that was being written.
+    pub key: u64,
+    /// The CQE status the client observed (a dead primary surfaces
+    /// [`CqeStatus::RnrError`] after the dead-QP timeout).
+    pub status: CqeStatus,
+    /// Simulated failure time.
+    pub at: Time,
+}
+
+/// Everything one reap pass drained from a put session's CQs.
+#[derive(Clone, Debug, Default)]
+pub struct PutReap {
+    /// Acked writes.
+    pub acks: Vec<PutAck>,
+    /// Failed writes (typed errors — the §5.6 "no hangs" guarantee).
+    pub failures: Vec<PutFailure>,
+}
+
+/// One client's write path to one shard: a window of in-flight PUTs
+/// into that shard's NIC-resident replication chain.
+///
+/// Durability and the ack are NIC-only (the chain); **applying** an
+/// acked record to the shard's read index (the cuckoo table) happens
+/// host-side when the ack is reaped — the state-machine apply of chain
+/// replication, analogous to Memcached's CPU-managed inserts. It costs
+/// no doorbells, posts or arm calls, so the replication path's
+/// zero-host-work property is untouched.
+pub struct PutSession {
+    repl: ReplicationOffload,
+    table: Rc<RefCell<CuckooTable>>,
+    qp: QpId,
+    send_cq: CqId,
+    recv_cq: CqId,
+    req: MemoryRegion,
+    ack: MemoryRegion,
+    client: NodeId,
+    /// (instance, key) per SEND posted on `qp`, indexed by wqe_index.
+    sent: Vec<(u64, u64)>,
+    /// Send indices already resolved (acked or failed).
+    resolved: Vec<bool>,
+}
+
+impl PutSession {
+    /// Deploy a replication chain on the shard stack at
+    /// `cluster.shards[stack]` forwarding to `journals`, and connect a
+    /// fresh client window from the cluster's client node. `start_slot`
+    /// continues an existing journal (post-failover rebuilds).
+    pub fn connect(
+        sim: &mut Simulator,
+        cluster: &mut Cluster,
+        stack: usize,
+        journals: &[ReplicationLog],
+        start_slot: u64,
+    ) -> Result<PutSession> {
+        let depth = cluster.spec.put_depth;
+        let value_len = cluster.spec.value_len;
+        let client = cluster.client;
+        let rec_len = redn_core::offloads::replicate::record_len(value_len) as u64;
+
+        let req_addr = sim.alloc(client, depth as u64 * rec_len, 64)?;
+        let req = sim.register_mr_owned(
+            client,
+            req_addr,
+            depth as u64 * rec_len,
+            Access::all(),
+            ProcessId(0),
+        )?;
+        let ack_addr = sim.alloc(client, depth as u64 * 8, 8)?;
+        let ack = sim.register_mr_owned(
+            client,
+            ack_addr,
+            depth as u64 * 8,
+            Access::all(),
+            ProcessId(0),
+        )?;
+
+        let shard = &mut cluster.shards[stack];
+        let table = shard.server.table.clone();
+        let mut b = ReplicationBuilder::new(shard.node, shard.pid)
+            .value_len(value_len)
+            .pipeline_depth(depth)
+            .start_slot(start_slot)
+            .ack_to(ClientDest::of(&ack));
+        for j in journals {
+            b = b.forward_to(j);
+        }
+        let repl = b.build_recycled(sim, shard.ctx.pool_mut(), DeployOpts::default())?;
+
+        let ccq = sim.create_cq(client, 256)?;
+        let rcq = sim.create_cq(client, 256)?;
+        let qp = sim.create_qp_owned(
+            client,
+            QpConfig::new(ccq)
+                .recv_cq(rcq)
+                .sq_depth(256)
+                .rq_depth(depth),
+            ProcessId(0),
+        )?;
+        sim.connect_qps(qp, repl.tp.qp)?;
+        for _ in 0..depth {
+            sim.post_recv(qp, WorkRequest::recv(0, 0, 0))?;
+        }
+        sim.set_rq_cyclic(qp)?;
+
+        Ok(PutSession {
+            repl,
+            table,
+            qp,
+            send_cq: ccq,
+            recv_cq: rcq,
+            req,
+            ack,
+            client,
+            sent: Vec::new(),
+            resolved: Vec::new(),
+        })
+    }
+
+    /// The chain this session drives.
+    pub fn offload(&self) -> &ReplicationOffload {
+        &self.repl
+    }
+
+    /// Post one PUT. Claims a window slot (errors when the window is
+    /// full), stamps `seq = instance + 1`, and SENDs the record. Returns
+    /// the claimed instance.
+    pub fn put(&mut self, sim: &mut Simulator, key: u64, value: &[u8]) -> Result<u64> {
+        let inst = self.repl.take_instance()?;
+        let slot = self.repl.response_tag(inst) as u64;
+        let rec = encode_record(inst + 1, key, value, self.repl.value_len());
+        let rec_len = self.repl.record_len();
+        let addr = self.req.addr + slot * rec_len as u64;
+        sim.mem_write(self.client, addr, &rec)?;
+        let idx = sim.post_send(
+            self.qp,
+            WorkRequest::send(addr, self.req.lkey, rec_len).signaled(),
+        )?;
+        debug_assert_eq!(idx as usize, self.sent.len());
+        self.sent.push((inst, key));
+        self.resolved.push(false);
+        Ok(inst)
+    }
+
+    /// Window slots currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.repl.pipeline_depth() as u64 - self.repl.instances_available()
+    }
+
+    /// Drain both CQs: acks from the recv side, typed failures from the
+    /// send side. Does not step the simulator.
+    pub fn reap(&mut self, sim: &mut Simulator) -> PutReap {
+        let mut out = PutReap::default();
+        for cqe in sim.poll_cq(self.recv_cq, 64) {
+            if cqe.status != CqeStatus::Success {
+                continue;
+            }
+            let Some(slot) = cqe.imm else { continue };
+            // The ack slot holds the acked seq; instance = seq - 1.
+            let seq = sim
+                .mem_read_u64(self.client, self.ack.addr + slot as u64 * 8)
+                .unwrap_or(0);
+            if seq == 0 {
+                continue;
+            }
+            let inst = seq - 1;
+            if let Some(pos) = self
+                .sent
+                .iter()
+                .position(|&(i, _)| i == inst)
+                .filter(|&p| !self.resolved[p])
+            {
+                self.resolved[pos] = true;
+                let key = self.sent[pos].1;
+                // State-machine apply: the acked record (still in its
+                // request slot — the window frees it only below) goes
+                // into the shard's read index.
+                let rec_len = self.repl.record_len() as u64;
+                let slot = u64::from(self.repl.response_tag(inst));
+                let value = sim
+                    .mem_read(
+                        self.client,
+                        self.req.addr + slot * rec_len + 16,
+                        u64::from(self.repl.value_len()),
+                    )
+                    .expect("request slot readable");
+                self.table
+                    .borrow_mut()
+                    .insert(sim, key, &value)
+                    .expect("apply readable record")
+                    .then_some(())
+                    .expect("shard table full applying acked put");
+                out.acks.push(PutAck {
+                    instance: inst,
+                    seq,
+                    key,
+                    at: cqe.time,
+                });
+                self.repl.complete_instance();
+            }
+        }
+        for cqe in sim.poll_cq(self.send_cq, 64) {
+            if cqe.status == CqeStatus::Success {
+                continue;
+            }
+            let pos = cqe.wqe_index as usize;
+            if pos < self.sent.len() && !self.resolved[pos] {
+                self.resolved[pos] = true;
+                let (instance, key) = self.sent[pos];
+                out.failures.push(PutFailure {
+                    instance,
+                    key,
+                    status: cqe.status,
+                    at: cqe.time,
+                });
+                self.repl.complete_instance();
+            }
+        }
+        out
+    }
+
+    /// Heartbeat-based failure suspicion (§5.6 detection): true when
+    /// writes are in flight but the ack CQ has been silent — no
+    /// completion at all — for longer than `timeout`.
+    pub fn suspect(&self, sim: &Simulator, timeout: Time) -> bool {
+        self.in_flight() > 0 && sim.now() > sim.cq_last_completion(self.recv_cq) + timeout
+    }
+}
+
+/// A cluster-wide typed client: one get [`Session`] and one
+/// [`PutSession`] per shard, fanned out by the cluster's router.
+pub struct ClusterSession {
+    gets: Vec<Session>,
+    puts: Vec<PutSession>,
+    value_len: u32,
+}
+
+impl ClusterSession {
+    /// Connect to every shard: a self-recycling hash-get session plus a
+    /// replication-chain put session whose journal lives on the next
+    /// node (shard `i` journals on node `i+1 mod N`, hull-owned so it
+    /// survives a primary kill).
+    pub fn connect(
+        sim: &mut Simulator,
+        cluster: &mut Cluster,
+        opts: SessionOpts,
+    ) -> Result<ClusterSession> {
+        let n = cluster.shards.len();
+        let mut gets = Vec::with_capacity(n);
+        let mut puts = Vec::with_capacity(n);
+        for s in 0..n {
+            let client = cluster.client;
+            let shard = &mut cluster.shards[s];
+            gets.push(Session::connect_get(
+                sim,
+                &mut shard.ctx,
+                &shard.server,
+                client,
+                HashGetVariant::Sequential,
+                opts,
+            )?);
+            let backup_node = cluster.shards[(s + 1) % n].node;
+            let journal = ReplicationLog::create(
+                sim,
+                backup_node,
+                ProcessId(0),
+                cluster.spec.journal_capacity,
+                cluster.spec.value_len,
+            )?;
+            puts.push(PutSession::connect(sim, cluster, s, &[journal], 0)?);
+        }
+        Ok(ClusterSession {
+            gets,
+            puts,
+            value_len: cluster.spec.value_len,
+        })
+    }
+
+    /// The get session serving shard id `s`.
+    pub fn get_session_mut(&mut self, s: usize) -> &mut Session {
+        &mut self.gets[s]
+    }
+
+    /// Shared view of shard `s`'s put session (heartbeat checks).
+    pub fn put_session(&self, s: usize) -> &PutSession {
+        &self.puts[s]
+    }
+
+    /// The put session serving shard id `s`.
+    pub fn put_session_mut(&mut self, s: usize) -> &mut PutSession {
+        &mut self.puts[s]
+    }
+
+    /// Replace shard `s`'s sessions (failover rebinds them to the
+    /// promoted stack).
+    pub fn rebind(&mut self, s: usize, get: Session, put: PutSession) {
+        self.gets[s] = get;
+        self.puts[s] = put;
+    }
+
+    /// Route, post, and drain one get. Returns the value bytes, or a
+    /// typed error when the owning shard never responds (drained
+    /// simulator — a dead or unreachable primary).
+    pub fn get_blocking(
+        &mut self,
+        sim: &mut Simulator,
+        cluster: &Cluster,
+        key: u64,
+    ) -> Result<Vec<u8>> {
+        let s = cluster.shard_for(key);
+        let value_len = u64::from(self.value_len);
+        let session = &mut self.gets[s];
+        let pending = session.get(sim, key)?;
+        sim.run()?;
+        let want = session.response_tag(pending.instance);
+        let got = session.reap(sim, 16).into_iter().find(|c| c.tag() == want);
+        match got {
+            Some(Completion::Get(_)) | Some(Completion::Walk(_)) => {
+                let v = session.read_value(sim, pending.instance, value_len)?;
+                session.complete();
+                Ok(v)
+            }
+            None => {
+                session.abandon();
+                Err(Error::InvalidWr("get timed out (shard unreachable)"))
+            }
+        }
+    }
+
+    /// Route, post, and drain one put. Returns the ack, or a typed
+    /// error carrying the observed failure status.
+    pub fn put_blocking(
+        &mut self,
+        sim: &mut Simulator,
+        cluster: &Cluster,
+        key: u64,
+        value: &[u8],
+    ) -> Result<PutAck> {
+        let s = cluster.shard_for(key);
+        let session = &mut self.puts[s];
+        let inst = session.put(sim, key, value)?;
+        sim.run()?;
+        let reaped = session.reap(sim);
+        if let Some(ack) = reaped.acks.into_iter().find(|a| a.instance == inst) {
+            return Ok(ack);
+        }
+        if reaped.failures.iter().any(|f| f.instance == inst) {
+            return Err(Error::InvalidWr(
+                "put failed with a typed completion (primary dead?)",
+            ));
+        }
+        Err(Error::InvalidWr("put never completed (shard unreachable)"))
+    }
+}

@@ -11,9 +11,14 @@
 //!   the uniform runtime surface (prime / claim / retire / recycle
 //!   accounting) every serving offload family implements, so
 //!   heterogeneous fleets can deploy them side by side on one NIC.
+//! * [`replicate`] — chain-replicated PUTs: the primary's NIC forwards
+//!   each acked record to backup journals and acks the client, with zero
+//!   host involvement in steady state (§3.4 recycling on the write
+//!   path).
 
 pub mod hash_lookup;
 pub mod list;
+pub mod replicate;
 pub mod rpc;
 pub mod service;
 

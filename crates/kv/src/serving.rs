@@ -218,6 +218,46 @@ pub struct FleetStats {
     pub pool_leases: u64,
 }
 
+impl FleetStats {
+    /// Merge per-node fleet stats into one cluster-level view.
+    ///
+    /// Cluster nodes serve their shards concurrently, so op counts,
+    /// throughputs, arm-call/doorbell/post counters and pool accounting
+    /// **sum**, while `elapsed` takes the slowest node (the cluster run
+    /// spans the longest per-node run). Latency summaries merge
+    /// count-weighted via [`LatencyStats::merge`] — approximate
+    /// percentiles, exact `max_us`.
+    pub fn merge(&self, other: &FleetStats) -> FleetStats {
+        let lat = |x: Option<LatencyStats>, y: Option<LatencyStats>| match (x, y) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            (a, b) => a.or(b),
+        };
+        let load = |x: Option<f64>, y: Option<f64>| match (x, y) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        FleetStats {
+            ops: self.ops + other.ops,
+            get_ops: self.get_ops + other.get_ops,
+            walk_ops: self.walk_ops + other.walk_ops,
+            elapsed: self.elapsed.max(other.elapsed),
+            ops_per_sec: self.ops_per_sec + other.ops_per_sec,
+            latency: lat(self.latency, other.latency),
+            service_latency: lat(self.service_latency, other.service_latency),
+            timeouts: self.timeouts + other.timeouts,
+            offered_ops_per_sec: load(self.offered_ops_per_sec, other.offered_ops_per_sec),
+            host_arm_calls: self.host_arm_calls + other.host_arm_calls,
+            get_arm_calls: self.get_arm_calls + other.get_arm_calls,
+            walk_arm_calls: self.walk_arm_calls + other.walk_arm_calls,
+            server_doorbells: self.server_doorbells + other.server_doorbells,
+            server_posts: self.server_posts + other.server_posts,
+            client_doorbells: self.client_doorbells + other.client_doorbells,
+            pool_high_water: self.pool_high_water + other.pool_high_water,
+            pool_leases: self.pool_leases + other.pool_leases,
+        }
+    }
+}
+
 /// A fleet client's request stream.
 enum Stream {
     /// Keys for a hash-get session.
@@ -973,5 +1013,61 @@ mod tests {
         assert_eq!(stats.host_arm_calls, 0, "both families self-recycle");
         assert_eq!(stats.server_doorbells, 0);
         assert_eq!(stats.server_posts, 0);
+    }
+
+    #[test]
+    fn fleet_stats_merge_sums_counts_and_weights_latency() {
+        let lat = |count, avg, p50, p99, max| LatencyStats {
+            count,
+            avg_us: avg,
+            p50_us: p50,
+            p99_us: p99,
+            max_us: max,
+        };
+        let a = FleetStats {
+            ops: 100,
+            get_ops: 60,
+            walk_ops: 40,
+            elapsed: Time::from_us(50),
+            ops_per_sec: 2.0e6,
+            latency: Some(lat(100, 10.0, 9.0, 20.0, 25.0)),
+            service_latency: Some(lat(100, 8.0, 7.0, 15.0, 18.0)),
+            timeouts: 1,
+            offered_ops_per_sec: Some(3.0e6),
+            host_arm_calls: 0,
+            get_arm_calls: 0,
+            walk_arm_calls: 0,
+            server_doorbells: 0,
+            server_posts: 0,
+            client_doorbells: 10,
+            pool_high_water: 4096,
+            pool_leases: 7,
+        };
+        let mut b = a;
+        b.ops = 300;
+        b.elapsed = Time::from_us(80);
+        b.ops_per_sec = 4.0e6;
+        b.latency = Some(lat(300, 30.0, 29.0, 40.0, 90.0));
+        b.offered_ops_per_sec = None;
+        b.host_arm_calls = 2;
+
+        let m = a.merge(&b);
+        assert_eq!(m.ops, 400);
+        assert_eq!(m.get_ops, 120);
+        assert_eq!(m.elapsed, Time::from_us(80), "slowest node spans the run");
+        assert!((m.ops_per_sec - 6.0e6).abs() < 1.0, "throughputs sum");
+        let ml = m.latency.unwrap();
+        assert_eq!(ml.count, 400);
+        // Count-weighted: (10*100 + 30*300) / 400 = 25.
+        assert!((ml.avg_us - 25.0).abs() < 1e-9);
+        assert!((ml.p99_us - 35.0).abs() < 1e-9);
+        assert_eq!(ml.max_us, 90.0, "max is exact");
+        assert_eq!(m.offered_ops_per_sec, Some(3.0e6), "one-sided load kept");
+        assert_eq!(m.host_arm_calls, 2);
+        assert_eq!(m.pool_high_water, 8192);
+        // Merging with an empty-latency side keeps the populated side.
+        let mut c = a;
+        c.latency = None;
+        assert_eq!(a.merge(&c).latency.unwrap().count, 100);
     }
 }

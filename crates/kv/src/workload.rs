@@ -53,6 +53,19 @@ impl Workload {
         }
     }
 
+    /// A workload over an explicit key set, visited sequentially with
+    /// wrap-around. The cluster layer hands each shard's fleet exactly
+    /// the keys that route to that shard.
+    pub fn from_keys(keys: Vec<u64>) -> Workload {
+        assert!(!keys.is_empty(), "workload needs at least one key");
+        Workload {
+            rng: StdRng::seed_from_u64(keys[0]),
+            keys,
+            cursor: 0,
+            sequential: true,
+        }
+    }
+
     /// Split the populated key space `[1, nkeys]` into `clients` disjoint
     /// sequential ranges — one [`Workload::sequential`] per serving-fleet
     /// client (any remainder keys beyond an even split go unused).
@@ -93,6 +106,32 @@ pub struct LatencyStats {
     pub p99_us: f64,
     /// Maximum, microseconds.
     pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Merge two sample-set summaries, count-weighted. Without the raw
+    /// samples the merged percentiles are approximations — a weighted
+    /// mean of the inputs' percentiles — which is exact when the
+    /// distributions match and conservative enough for cluster-level
+    /// aggregation (`max_us` stays exact). Callers needing exact merged
+    /// percentiles must pool raw samples instead.
+    pub fn merge(&self, other: &LatencyStats) -> LatencyStats {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let (a, b) = (self.count as f64, other.count as f64);
+        let w = |x: f64, y: f64| (x * a + y * b) / (a + b);
+        LatencyStats {
+            count: self.count + other.count,
+            avg_us: w(self.avg_us, other.avg_us),
+            p50_us: w(self.p50_us, other.p50_us),
+            p99_us: w(self.p99_us, other.p99_us),
+            max_us: self.max_us.max(other.max_us),
+        }
+    }
 }
 
 /// Compute statistics from raw latencies.

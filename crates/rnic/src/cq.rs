@@ -60,6 +60,10 @@ pub struct CompletionQueue {
     pub entries: VecDeque<Cqe>,
     /// Monotonic count of CQEs ever generated — the WAIT target value.
     pub total: u64,
+    /// Simulated time of the most recent completion ([`Time::ZERO`] if
+    /// none yet) — the heartbeat a failure detector compares against
+    /// `now` to decide a peer has gone silent (§5.6 failover).
+    pub last_completion: Time,
     /// Work queues parked by WAIT verbs: `(wq, threshold)` pairs released
     /// when `total >= threshold`.
     pub waiters: Vec<(WqId, u64)>,
@@ -80,6 +84,7 @@ impl CompletionQueue {
             depth,
             entries: VecDeque::new(),
             total: 0,
+            last_completion: Time::ZERO,
             waiters: Vec::new(),
             overrun: false,
             listener: None,
@@ -91,6 +96,7 @@ impl CompletionQueue {
     /// list of work queues whose WAIT threshold is now satisfied.
     pub fn push(&mut self, cqe: Cqe) -> Vec<WqId> {
         self.total += 1;
+        self.last_completion = cqe.time;
         if self.entries.len() as u32 >= self.depth {
             self.overrun = true;
         } else {

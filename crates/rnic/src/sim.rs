@@ -162,6 +162,18 @@ impl Simulator {
         self.links.insert((b.0, a.0), link.one_way);
     }
 
+    /// Connect every pair of `nodes` with identical bidirectional links —
+    /// the full-mesh wiring a multi-node serving cluster assumes (each
+    /// shard primary forwards to backups on any other node). Existing
+    /// links between listed pairs are overwritten.
+    pub fn connect_mesh(&mut self, nodes: &[NodeId], link: LinkConfig) {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                self.connect_nodes(a, b, link.clone());
+            }
+        }
+    }
+
     fn one_way(&self, a: NodeId, b: NodeId) -> Option<Time> {
         if a == b {
             return Some(Time::ZERO);
@@ -587,6 +599,15 @@ impl Simulator {
     /// Monotonic completion count of a CQ (the WAIT target value).
     pub fn cq_total(&self, cq: CqId) -> u64 {
         self.cqs[cq.index()].total
+    }
+
+    /// Simulated time of the CQ's most recent completion
+    /// ([`Time::ZERO`] if it never completed anything). Failure
+    /// detectors use this as a heartbeat: a client whose ack CQ has been
+    /// silent for longer than its timeout while requests are in flight
+    /// declares the primary suspect (§5.6 failover detection).
+    pub fn cq_last_completion(&self, cq: CqId) -> Time {
+        self.cqs[cq.index()].last_completion
     }
 
     /// Whether the CQ has ever dropped a pollable entry because it was

@@ -7,18 +7,22 @@
 //!   (self-modifying chains, conditionals, loops, offloads, Turing
 //!   machines);
 //! * [`kv`] ([`redn_kv`]) — the Memcached-like key-value substrate and
-//!   the paper's baselines.
+//!   the paper's baselines;
+//! * [`cluster`] ([`redn_cluster`]) — sharded multi-node serving with
+//!   NIC-resident chain replication and failover.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 #![warn(missing_docs)]
 
+pub use redn_cluster as cluster;
 pub use redn_core as core;
 pub use redn_kv as kv;
 pub use rnic_sim as sim;
 
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {
+    pub use redn_cluster::prelude::*;
     pub use redn_core::prelude::*;
     pub use redn_kv::prelude::*;
     pub use rnic_sim::prelude::*;

@@ -1,0 +1,145 @@
+//! End-to-end failover soak: kill a shard primary mid-stream and prove
+//! the §5.6 story at cluster level — every acked write survives on the
+//! promoted backup, in-flight writes surface as typed errors (never
+//! hangs), and the rebuilt chain continues the sequence.
+
+use redn::cluster::prelude::*;
+use redn::kv::session::SessionOpts;
+use rnic_sim::cq::CqeStatus;
+use rnic_sim::time::Time;
+
+/// Keys owned by shard `s` that are NOT in the populated seed range, so
+/// puts exercise fresh inserts end to end.
+fn fresh_keys(cluster: &Cluster, s: usize, n: usize) -> Vec<u64> {
+    (cluster.spec.nkeys + 1..)
+        .filter(|&k| cluster.shard_for(k) == s)
+        .take(n)
+        .collect()
+}
+
+#[test]
+fn killed_primary_loses_no_acked_write() {
+    let (mut sim, mut cluster) = Cluster::deploy(ClusterSpec::small()).unwrap();
+    let mut session =
+        ClusterSession::connect(&mut sim, &mut cluster, SessionOpts::default()).unwrap();
+    let controller = FailoverController::default();
+
+    // Write a batch of acked records to one shard.
+    let s = cluster.shard_for(cluster.spec.nkeys + 1);
+    let keys = fresh_keys(&cluster, s, 10);
+    let mut acked = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        let value = vec![0xA0 + i as u8; 16];
+        let ack = session
+            .put_blocking(&mut sim, &cluster, key, &value)
+            .unwrap();
+        assert_eq!(ack.seq, i as u64 + 1, "sequence is contiguous");
+        acked.push((key, value));
+    }
+
+    // Kill the primary's serving process.
+    let stack = cluster.serving_stack(s);
+    let (dead_node, dead_pid) = (cluster.shards[stack].node, cluster.shards[stack].pid);
+    assert!(sim.kill_process(dead_node, dead_pid));
+
+    // An in-flight put must fail typed, not hang: the SEND completes
+    // with RnrError after the dead-QP timeout.
+    let extra = fresh_keys(&cluster, s, 11)[10];
+    session
+        .put_session_mut(s)
+        .put(&mut sim, extra, &[0xFF; 16])
+        .unwrap();
+    sim.run().unwrap();
+
+    // Heartbeat detection fires before the client even reaps: writes
+    // are in flight and the ack CQ has gone silent.
+    assert!(
+        session.put_session(s).suspect(&sim, Time::from_us(50)),
+        "heartbeat silence marks the primary suspect"
+    );
+    let reaped = session.put_session_mut(s).reap(&mut sim);
+    assert!(reaped.acks.is_empty(), "no ack from a dead primary");
+    assert_eq!(reaped.failures.len(), 1, "typed failure, not a hang");
+    let failure = reaped.failures[0];
+    assert_eq!(failure.status, CqeStatus::RnrError);
+    assert_eq!(failure.key, extra);
+    assert!(controller.suspect(&sim, &session, s, Some(failure.status)));
+
+    // Fail over: promote the journal holder, re-route, re-replicate.
+    let report = controller
+        .fail_over(&mut sim, &mut cluster, &mut session, s)
+        .unwrap();
+    assert_eq!(report.old_node, dead_node);
+    assert_eq!(
+        report.records_recovered, 10,
+        "exactly the acked writes — the failed in-flight put never replicated"
+    );
+    assert_ne!(report.new_node, dead_node);
+    assert!(report.promote_us() >= 0.0);
+    assert!(
+        report.rereplicate_us() > 0.0,
+        "journal copy to the new backup takes simulated time"
+    );
+    assert_ne!(cluster.serving_stack(s), stack, "shard re-routed");
+
+    // Every acked write is readable from the promoted backup.
+    for (key, value) in &acked {
+        let got = session.get_blocking(&mut sim, &cluster, *key).unwrap();
+        assert_eq!(&got, value, "acked write for key {key} survived");
+    }
+
+    // The rebuilt chain continues the sequence past the recovery.
+    let more = fresh_keys(&cluster, s, 12)[11];
+    let ack = session
+        .put_blocking(&mut sim, &cluster, more, &[0x55; 16])
+        .unwrap();
+    assert_eq!(ack.seq, 11, "sequence continues after failover");
+    assert_eq!(
+        session.get_blocking(&mut sim, &cluster, more).unwrap(),
+        vec![0x55; 16]
+    );
+
+    // Untouched shards still serve their seed data throughout.
+    for key in 1..=8u64 {
+        if cluster.shard_for(key) == s {
+            continue;
+        }
+        let got = session.get_blocking(&mut sim, &cluster, key).unwrap();
+        assert_eq!(got, vec![(key & 0xFF) as u8; 16], "shard for key {key}");
+    }
+}
+
+#[test]
+fn acked_writes_replicate_with_zero_primary_host_work() {
+    let (mut sim, mut cluster) = Cluster::deploy(ClusterSpec::small()).unwrap();
+    let mut session =
+        ClusterSession::connect(&mut sim, &mut cluster, SessionOpts::default()).unwrap();
+
+    let s = cluster.shard_for(cluster.spec.nkeys + 1);
+    let keys = fresh_keys(&cluster, s, 12);
+    let primary = cluster.shards[cluster.serving_stack(s)].node;
+
+    // Warm-up: one full window.
+    for &key in &keys[..4] {
+        session
+            .put_blocking(&mut sim, &cluster, key, &[1; 16])
+            .unwrap();
+    }
+    let doorbells = sim.node_doorbells(primary);
+    let posts = sim.node_posts(primary);
+    for &key in &keys[4..] {
+        session
+            .put_blocking(&mut sim, &cluster, key, &[2; 16])
+            .unwrap();
+    }
+    assert_eq!(
+        sim.node_doorbells(primary),
+        doorbells,
+        "steady-state replication rings no primary doorbell"
+    );
+    assert_eq!(
+        sim.node_posts(primary),
+        posts,
+        "steady-state replication posts no primary WQE"
+    );
+}

@@ -1,0 +1,91 @@
+//! Property tests for the cluster shard router: rendezvous consistent
+//! hashing stays balanced across 4–16 shards and a lost shard remaps
+//! only ~1/N of the key space (nothing else moves).
+
+use proptest::prelude::*;
+use redn::cluster::router::ShardRouter;
+
+const KEYS: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distribution_is_balanced_within_20_percent(
+        shards in 4usize..=16,
+        offset in any::<u32>(),
+    ) {
+        let r = ShardRouter::new(0..shards);
+        let base = offset as u64;
+        let mut counts = vec![0u64; shards];
+        for key in base..base + KEYS {
+            counts[r.route(key)] += 1;
+        }
+        let expected = KEYS as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            prop_assert!(
+                dev <= 0.20,
+                "shard {s} holds {c} keys, expected {expected:.0} ±20% ({} shards)",
+                shards
+            );
+        }
+    }
+
+    #[test]
+    fn node_loss_remaps_only_the_lost_shards_keys(
+        shards in 4usize..=16,
+        lost_pick in any::<u64>(),
+        offset in any::<u32>(),
+    ) {
+        let mut r = ShardRouter::new(0..shards);
+        let lost = (lost_pick % shards as u64) as usize;
+        let base = offset as u64;
+        let before: Vec<usize> = (base..base + KEYS).map(|k| r.route(k)).collect();
+        prop_assert!(r.remove_shard(lost));
+
+        let mut moved = 0u64;
+        for (i, &owner) in before.iter().enumerate() {
+            let now = r.route(base + i as u64);
+            if owner == lost {
+                moved += 1;
+                prop_assert!(now != lost, "key routed to a removed shard");
+            } else {
+                // The minimal-disruption property: survivors keep
+                // every key they had.
+                prop_assert_eq!(now, owner, "surviving shard lost a key");
+            }
+        }
+        // Only the lost shard's share moved — ~1/N of the key space.
+        let expected = KEYS as f64 / shards as f64;
+        prop_assert!(
+            (moved as f64) < 1.5 * expected && (moved as f64) > 0.5 * expected,
+            "moved {moved} keys, expected ~{expected:.0} (1/{shards})"
+        );
+    }
+
+    #[test]
+    fn adding_a_shard_steals_about_one_share(
+        shards in 4usize..=15,
+        offset in any::<u32>(),
+    ) {
+        let mut r = ShardRouter::new(0..shards);
+        let base = offset as u64;
+        let before: Vec<usize> = (base..base + KEYS).map(|k| r.route(k)).collect();
+        r.add_shard(shards);
+        let mut moved = 0u64;
+        for (i, &owner) in before.iter().enumerate() {
+            let now = r.route(base + i as u64);
+            if now != owner {
+                moved += 1;
+                // Keys only ever move *to* the new shard.
+                prop_assert_eq!(now, shards);
+            }
+        }
+        let expected = KEYS as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 1.5 * expected && (moved as f64) > 0.5 * expected,
+            "new shard stole {moved} keys, expected ~{expected:.0}"
+        );
+    }
+}
