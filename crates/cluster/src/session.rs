@@ -12,6 +12,7 @@
 
 use crate::cluster::Cluster;
 use redn_core::ctx::ClientDest;
+use redn_core::ir::analysis::{AnalysisReport, DeploymentVerifier};
 use redn_core::ir::DeployOpts;
 use redn_core::offloads::hash_lookup::HashGetVariant;
 use redn_core::offloads::replicate::{
@@ -282,6 +283,9 @@ pub struct ClusterSession {
     gets: Vec<Session>,
     puts: Vec<PutSession>,
     value_len: u32,
+    /// Connect-time non-interference proof (clean by construction — a
+    /// dirty report aborts [`ClusterSession::connect`]).
+    isolation: AnalysisReport,
 }
 
 impl ClusterSession {
@@ -318,11 +322,44 @@ impl ClusterSession {
             )?;
             puts.push(PutSession::connect(sim, cluster, s, &[journal], 0)?);
         }
+        // Tenant isolation across the whole deployment: every shard node
+        // co-hosts its own get offload and replication chain, and chain
+        // `s` additionally writes into node `s+1`'s journal — so the
+        // footprints are compared cluster-wide (spans are node- or
+        // rkey-qualified, so cross-node spans cannot falsely collide).
+        // Any overlap — aliased response slots, journal windows, ring
+        // WQEs, shared CQ thresholds — is a hard connect error.
+        let mut verifier = DeploymentVerifier::new("cluster");
+        for (s, g) in gets.iter().enumerate() {
+            if let Some(fp) = g.service().footprint() {
+                verifier.add(fp.clone().named(format!("shard {}: {}", s, fp.name)));
+            }
+        }
+        for (s, p) in puts.iter().enumerate() {
+            let fp = p.offload().footprint();
+            verifier.add(fp.clone().named(format!("shard {}: {}", s, fp.name)));
+        }
+        let isolation = verifier.verify();
+        if let Some(d) = isolation.diagnostics.first() {
+            return Err(Error::Verifier(format!(
+                "cluster isolation[{}]: {}",
+                d.rule.name(),
+                d.message
+            )));
+        }
         Ok(ClusterSession {
             gets,
             puts,
             value_len: cluster.spec.value_len,
+            isolation,
         })
+    }
+
+    /// The connect-time non-interference proof over every shard's get
+    /// offload and replication chain (clean by construction — a dirty
+    /// report aborts [`ClusterSession::connect`]).
+    pub fn isolation_report(&self) -> &AnalysisReport {
+        &self.isolation
     }
 
     /// The get session serving shard id `s`.

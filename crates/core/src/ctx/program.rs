@@ -211,8 +211,16 @@ impl<'c> ChainProgram<'c> {
         self.deploy_with(sim, DeployOpts::default())
     }
 
-    /// Deploy without the static verifier (the escape hatch; the
+    /// Deploy without the static checks (the escape hatch; the
     /// optimizer still runs).
+    ///
+    /// **Waived rules**: the three `redn_core::ir::verify` families
+    /// (§3.1 fetch-horizon hazard, unreachable ENABLE targets,
+    /// non-monotonic recycled thresholds) *and* the
+    /// `redn_core::ir::analysis` suite (happens-before deadlock and
+    /// horizon cycles, recycled induction, symbolic bounds). Nothing in
+    /// the shipped tree deploys through this path; it exists for user
+    /// programs whose ordering is established outside the IR.
     pub fn deploy_unchecked(self, sim: &mut Simulator) -> Result<ArmedProgram> {
         self.deploy_with(
             sim,

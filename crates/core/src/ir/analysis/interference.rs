@@ -1,0 +1,426 @@
+//! Pairwise non-interference across co-resident programs.
+//!
+//! Lowering collects a [`Footprint`] for every deployed program — the
+//! spans it *writes* at run time (response slots, journal windows,
+//! staging cells, atomic words), the WQE ring slots it owns (its patch
+//! points live inside them), and the CQ/SQ identities its thresholds
+//! and horizons are counted against. [`DeploymentVerifier`] then proves,
+//! for every pair of programs sharing a node, that none of these alias:
+//! a WRITE landing in another program's ring slot rewrites foreign
+//! WQEs; two programs bumping one response slot corrupt each other's
+//! replies; an absolute WAIT counted against a foreign program's CQ
+//! moves when *that* program completes work.
+//!
+//! Spans live in an address *space*: a known simulated node, or — for
+//! client-facing trigger points whose peer QP only connects after
+//! deploy — the remote key itself ([`Space::Key`]): two co-resident
+//! programs targeting one client region share its rkey, which is
+//! exactly the aliasing the serving path must exclude.
+
+use rnic_sim::ids::{CqId, NodeId, WqId};
+use rnic_sim::sim::Simulator;
+
+use super::{AnalysisReport, Diagnostic, Rule};
+use crate::ir::{ConstSpec, IrProgram, Kind, Loc, Mode, Resolution, WaitCond};
+use crate::ir::{EnableTarget, QId};
+
+/// The address space a [`Span`] lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Space {
+    /// A simulated node's physical address space.
+    Node(NodeId),
+    /// A remote region named only by its rkey (the peer connects after
+    /// deploy — client response windows).
+    Key(u32),
+}
+
+impl std::fmt::Display for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Space::Node(n) => write!(f, "node {}", n.index()),
+            Space::Key(k) => write!(f, "remote key {}", k),
+        }
+    }
+}
+
+/// One byte range a program touches or owns.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Which address space `addr` is meaningful in.
+    pub space: Space,
+    /// Start address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// What the range is (diagnostics name it).
+    pub what: String,
+}
+
+impl Span {
+    fn overlaps(&self, o: &Span) -> bool {
+        self.space == o.space && self.addr < o.addr + o.len && o.addr < self.addr + self.len
+    }
+}
+
+/// Everything one deployed program writes, owns, and counts against —
+/// the non-interference unit.
+#[derive(Clone, Debug, Default)]
+pub struct Footprint {
+    /// Subject name ("hash-get@node1"); set via [`Footprint::named`].
+    pub name: String,
+    /// Byte ranges the program writes at run time (response slots,
+    /// journal windows, staging cells, atomic words).
+    pub writes: Vec<Span>,
+    /// WQE ring slots the program owns — its patch points live here.
+    pub rings: Vec<Span>,
+    /// CQs owned by the program's queues (plus any trigger CQ claimed
+    /// via [`Footprint::claim_cq`]).
+    pub owned_cqs: Vec<CqId>,
+    /// Foreign CQs the program's absolute WAIT thresholds count.
+    pub wait_cqs: Vec<CqId>,
+    /// SQs owned by the program's queues.
+    pub owned_sqs: Vec<WqId>,
+    /// Foreign SQs the program raises ENABLE horizons on.
+    pub enable_sqs: Vec<WqId>,
+}
+
+impl Footprint {
+    /// Attach the subject name diagnostics use.
+    pub fn named(mut self, name: impl Into<String>) -> Footprint {
+        self.name = name.into();
+        self
+    }
+
+    /// Claim a CQ created outside the IR (a trigger point's RECV CQ) as
+    /// owned by this program.
+    pub fn claim_cq(&mut self, cq: CqId) {
+        if !self.owned_cqs.contains(&cq) {
+            self.owned_cqs.push(cq);
+        }
+    }
+
+    fn display_name(&self) -> &str {
+        if self.name.is_empty() {
+            "unnamed program"
+        } else {
+            &self.name
+        }
+    }
+}
+
+/// Collect a deployed program's footprint (called by lowering once
+/// slots, constants, and scatters are resolved).
+pub(crate) fn collect(p: &IrProgram, sim: &Simulator, res: &Resolution) -> Footprint {
+    let mut fp = Footprint::default();
+    let ring = match p.mode {
+        Mode::Recycled { ring } => Some(ring),
+        Mode::Linear => None,
+    };
+
+    // Per-queue space resolution for remote raw operands.
+    let remote_space = |qi: usize, key: u32| -> Space {
+        let q = p.queues[qi].bound().expect("lowered");
+        if q.peer != q.qp {
+            Space::Node(sim.node_of_qp(q.peer))
+        } else {
+            Space::Key(key)
+        }
+    };
+    let local_node = |qi: usize| p.queues[qi].bound().expect("lowered").node;
+
+    let span_of = |qi: usize, loc: &Loc, len: u64, local: bool, what: String| -> Option<Span> {
+        match loc {
+            Loc::Raw { addr, key } => {
+                let space = if local {
+                    Space::Node(local_node(qi))
+                } else {
+                    remote_space(qi, *key)
+                };
+                Some(Span {
+                    space,
+                    addr: *addr,
+                    len,
+                    what,
+                })
+            }
+            Loc::Const { c, off } => Some(Span {
+                space: Space::Node(local_node(qi)),
+                addr: res.const_addr[c.0].expect("lowered") + off,
+                len,
+                what,
+            }),
+            // Patch points into the program's own slots: the ring spans
+            // below own them.
+            Loc::Field { .. } | Loc::TailEnable { .. } => None,
+        }
+    };
+
+    for (qi, ops) in p.queue_ops.iter().enumerate() {
+        let q = *p.queues[qi].bound().expect("lowered");
+        // Ring slots: the recycled ring owns its whole registered ring
+        // (tail fix-ups included); bound queues own the slots this
+        // program's ops occupy.
+        if Some(QId(qi)) == ring {
+            fp.rings.push(Span {
+                space: Space::Node(q.node),
+                addr: q.ring.addr,
+                len: q.ring.len,
+                what: "recycled ring".to_string(),
+            });
+        } else {
+            for id in ops {
+                fp.rings.push(Span {
+                    space: Space::Node(q.node),
+                    addr: res.op_slot[id.0].expect("lowered"),
+                    len: rnic_sim::wqe::WQE_SIZE,
+                    what: format!("slot of {}", p.label_of(*id)),
+                });
+            }
+        }
+        if !fp.owned_cqs.contains(&q.cq) {
+            fp.owned_cqs.push(q.cq);
+        }
+        if !fp.owned_sqs.contains(&q.sq) {
+            fp.owned_sqs.push(q.sq);
+        }
+        for id in ops {
+            let who = p.label_of(*id);
+            match &p.op(*id).kind {
+                Kind::Write { len, dst, .. } => {
+                    if let Some(s) =
+                        span_of(qi, dst, *len as u64, false, format!("WRITE dst of {}", who))
+                    {
+                        fp.writes.push(s);
+                    }
+                }
+                Kind::Read { dst, len, .. } => {
+                    if let Some(s) =
+                        span_of(qi, dst, *len as u64, true, format!("READ sink of {}", who))
+                    {
+                        fp.writes.push(s);
+                    }
+                }
+                Kind::CasRaw { target, .. }
+                | Kind::FetchAdd { target, .. }
+                | Kind::MaxOf { target, .. } => {
+                    if let Some(s) =
+                        span_of(qi, target, 8, false, format!("atomic word of {}", who))
+                    {
+                        fp.writes.push(s);
+                    }
+                }
+                Kind::Wait(WaitCond::Absolute { cq, .. }) if !fp.wait_cqs.contains(cq) => {
+                    fp.wait_cqs.push(*cq);
+                }
+                Kind::Enable(EnableTarget::Foreign { sq, .. }) if !fp.enable_sqs.contains(sq) => {
+                    fp.enable_sqs.push(*sq);
+                }
+                _ => {}
+            }
+        }
+    }
+    // SGE tables and external scatter lists land bytes at run time.
+    if p.queues.is_empty() {
+        return fp;
+    }
+    let home_qi = 0usize;
+    for (ci, c) in p.consts.iter().enumerate() {
+        if let ConstSpec::Sges(entries) = c {
+            for (ei, e) in entries.iter().enumerate() {
+                if let Some(s) = span_of(
+                    home_qi,
+                    &e.target,
+                    e.len as u64,
+                    true,
+                    format!("SGE entry {} of table c{}", ei, ci),
+                ) {
+                    fp.writes.push(s);
+                }
+            }
+        }
+    }
+    for (si, entries) in p.scatters.iter().enumerate() {
+        for (ei, e) in entries.iter().enumerate() {
+            if let Some(s) = span_of(
+                home_qi,
+                &e.target,
+                e.len as u64,
+                true,
+                format!("entry {} of external scatter s{}", ei, si),
+            ) {
+                fp.writes.push(s);
+            }
+        }
+    }
+    // Waits on own CQs are self-pacing, not cross-program thresholds.
+    fp.wait_cqs.retain(|cq| !fp.owned_cqs.contains(cq));
+    fp.enable_sqs.retain(|sq| !fp.owned_sqs.contains(sq));
+    fp
+}
+
+/// Proves pairwise non-interference across all programs co-resident on
+/// a node, emitting a machine-readable [`AnalysisReport`].
+pub struct DeploymentVerifier {
+    subject: String,
+    footprints: Vec<Footprint>,
+}
+
+impl DeploymentVerifier {
+    /// A verifier for one co-residency domain (usually one node).
+    pub fn new(subject: impl Into<String>) -> DeploymentVerifier {
+        DeploymentVerifier {
+            subject: subject.into(),
+            footprints: Vec::new(),
+        }
+    }
+
+    /// Add one program's footprint.
+    pub fn add(&mut self, fp: Footprint) {
+        self.footprints.push(fp);
+    }
+
+    /// Footprints added so far.
+    pub fn len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// No footprints added.
+    pub fn is_empty(&self) -> bool {
+        self.footprints.is_empty()
+    }
+
+    /// Check every pair; the report is clean iff no pair interferes.
+    pub fn verify(&self) -> AnalysisReport {
+        let mut diagnostics = Vec::new();
+        let mut checked = 0usize;
+        for i in 0..self.footprints.len() {
+            for j in (i + 1)..self.footprints.len() {
+                checked += 1;
+                pair(&self.footprints[i], &self.footprints[j], &mut diagnostics);
+            }
+        }
+        AnalysisReport {
+            subject: self.subject.clone(),
+            programs: self.footprints.len(),
+            hb_nodes: 0,
+            hb_edges: 0,
+            checked,
+            diagnostics,
+        }
+    }
+}
+
+fn pair(a: &Footprint, b: &Footprint, out: &mut Vec<Diagnostic>) {
+    let (an, bn) = (a.display_name(), b.display_name());
+    for wa in &a.writes {
+        for wb in &b.writes {
+            if wa.overlaps(wb) {
+                out.push(Diagnostic {
+                    rule: Rule::Interference,
+                    message: format!(
+                        "interference: {}'s {} [0x{:x}..0x{:x}) overlaps {}'s {} on {} \
+                         — concurrent writes race",
+                        an,
+                        wa.what,
+                        wa.addr,
+                        wa.addr + wa.len,
+                        bn,
+                        wb.what,
+                        wa.space
+                    ),
+                });
+            }
+        }
+    }
+    let ring_clash =
+        |x: &Footprint, xn: &str, y: &Footprint, yn: &str, out: &mut Vec<Diagnostic>| {
+            for w in &x.writes {
+                for r in &y.rings {
+                    if w.overlaps(r) {
+                        out.push(Diagnostic {
+                            rule: Rule::Interference,
+                            message: format!(
+                                "interference: {}'s {} [0x{:x}..0x{:x}) lands inside {}'s \
+                             {} on {} — a foreign WQE would be rewritten",
+                                xn,
+                                w.what,
+                                w.addr,
+                                w.addr + w.len,
+                                yn,
+                                r.what,
+                                w.space
+                            ),
+                        });
+                    }
+                }
+            }
+        };
+    ring_clash(a, an, b, bn, out);
+    ring_clash(b, bn, a, an, out);
+    for ra in &a.rings {
+        for rb in &b.rings {
+            if ra.overlaps(rb) {
+                out.push(Diagnostic {
+                    rule: Rule::Interference,
+                    message: format!(
+                        "interference: {}'s {} overlaps {}'s {} on {} — two programs \
+                         own the same WQE slots",
+                        an, ra.what, bn, rb.what, ra.space
+                    ),
+                });
+            }
+        }
+    }
+    let cq_clash = |x: &Footprint, xn: &str, y: &Footprint, yn: &str, out: &mut Vec<Diagnostic>| {
+        for cq in &x.wait_cqs {
+            if y.owned_cqs.contains(cq) {
+                out.push(Diagnostic {
+                    rule: Rule::Interference,
+                    message: format!(
+                        "interference: {}'s absolute WAIT threshold counts {:?}, which \
+                         {} owns — the other program's completions shift the threshold",
+                        xn, cq, yn
+                    ),
+                });
+            }
+        }
+        for sq in &x.enable_sqs {
+            if y.owned_sqs.contains(sq) {
+                out.push(Diagnostic {
+                    rule: Rule::Interference,
+                    message: format!(
+                        "interference: {} raises ENABLE horizons on {:?}, which {} owns \
+                         — a foreign horizon bump releases unvetted WQEs",
+                        xn, sq, yn
+                    ),
+                });
+            }
+        }
+    };
+    cq_clash(a, an, b, bn, out);
+    cq_clash(b, bn, a, an, out);
+    for cq in &a.owned_cqs {
+        if b.owned_cqs.contains(cq) {
+            out.push(Diagnostic {
+                rule: Rule::Interference,
+                message: format!(
+                    "interference: {} and {} both own {:?} — their completions \
+                     interleave on one counter",
+                    an, bn, cq
+                ),
+            });
+        }
+    }
+    for sq in &a.owned_sqs {
+        if b.owned_sqs.contains(sq) {
+            out.push(Diagnostic {
+                rule: Rule::Interference,
+                message: format!(
+                    "interference: {} and {} both stage onto {:?} — slot allocation \
+                     and horizons collide",
+                    an, bn, sq
+                ),
+            });
+        }
+    }
+}

@@ -28,6 +28,7 @@ use rnic_sim::sim::Simulator;
 use rnic_sim::verbs::VerbClass;
 use rnic_sim::wqe::{WorkRequest, FLAG_SIGNALED, FLAG_WAIT_PREV, ID_MASK, WQE_SIZE};
 
+use super::analysis::Footprint;
 use super::verify::PatchMap;
 use super::{
     ConstInterner, ConstSpec, DeployOpts, EnableTarget, IrProgram, Kind, Loc, Mode, OpId,
@@ -47,6 +48,7 @@ pub struct LinearLowered {
     builders: Vec<Option<ChainBuilder>>,
     report: PassReport,
     res: Rc<RefCell<Resolution>>,
+    footprint: Footprint,
 }
 
 impl LinearLowered {
@@ -80,6 +82,12 @@ impl LinearLowered {
     pub fn scatter(&self, s: ScatterId) -> Vec<(u64, u32, u32)> {
         self.res.borrow().scatters[s.0].clone().expect("lowered")
     }
+
+    /// The program's non-interference footprint (see
+    /// [`analysis::DeploymentVerifier`](super::analysis::DeploymentVerifier)).
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
+    }
 }
 
 /// A deployed recycled program: posted, armed, running.
@@ -88,6 +96,7 @@ pub struct RecycledLowered {
     pub lp: RecycledLoop,
     report: PassReport,
     res: Rc<RefCell<Resolution>>,
+    footprint: Footprint,
 }
 
 impl RecycledLowered {
@@ -104,6 +113,12 @@ impl RecycledLowered {
     /// A resolved external scatter list (trigger-RECV injection targets).
     pub fn scatter(&self, s: ScatterId) -> Vec<(u64, u32, u32)> {
         self.res.borrow().scatters[s.0].clone().expect("lowered")
+    }
+
+    /// The program's non-interference footprint (see
+    /// [`analysis::DeploymentVerifier`](super::analysis::DeploymentVerifier)).
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
     }
 }
 
@@ -137,6 +152,14 @@ impl Lowered {
         match self {
             Lowered::Linear(l) => l.scatter(s),
             Lowered::Recycled(r) => r.scatter(s),
+        }
+    }
+
+    /// The program's non-interference footprint.
+    pub fn footprint(&self) -> &Footprint {
+        match self {
+            Lowered::Linear(l) => l.footprint(),
+            Lowered::Recycled(r) => r.footprint(),
         }
     }
 
@@ -586,6 +609,15 @@ pub(crate) fn lower(
         p.resolution.borrow_mut().scatters[si] = Some(resolved);
     }
 
+    // ---- non-interference footprint -----------------------------------
+    // Collected unconditionally (cheap: a few spans per op) so fleet and
+    // cluster deployment can prove pairwise isolation without replaying
+    // the lowering.
+    let footprint = {
+        let res = p.resolution.borrow();
+        super::analysis::interference::collect(p, sim, &res)
+    };
+
     // ---- staging -----------------------------------------------------
     let mut counts_after = VerbCounts::default();
     match ring_q {
@@ -624,10 +656,12 @@ pub(crate) fn lower(
             }
             report.after = counts_after;
             report.const_bytes_saved = interner.saved_bytes - interner_base_saved;
+            report.pool_high_water = pool.high_water();
             Ok(Lowered::Linear(LinearLowered {
                 builders,
                 report,
                 res: Rc::clone(&p.resolution),
+                footprint,
             }))
         }
         Some((ring, ring_queue, depth)) => {
@@ -717,10 +751,12 @@ pub(crate) fn lower(
             // (response placeholders re-execute every round too).
             report.after = lp.counts.merge(&counts_after);
             report.const_bytes_saved = interner.saved_bytes - interner_base_saved;
+            report.pool_high_water = pool.high_water();
             Ok(Lowered::Recycled(RecycledLowered {
                 lp,
                 report,
                 res: Rc::clone(&p.resolution),
+                footprint,
             }))
         }
     }

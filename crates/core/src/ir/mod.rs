@@ -29,6 +29,7 @@
 //!
 //! [`ChainProgram`]: crate::ctx::ChainProgram
 
+pub mod analysis;
 pub mod lower;
 pub mod verify;
 
@@ -572,6 +573,10 @@ pub struct PassReport {
     pub restores_merged: usize,
     /// Const-pool bytes saved by deduplication.
     pub const_bytes_saved: u64,
+    /// The const pool's high-water mark after this program's constants
+    /// were placed — the extent the bounds analyzer proved against, and
+    /// the number `FleetStats::pool_high_water` aggregates.
+    pub pool_high_water: u64,
 }
 
 /// Deploy-time switches (the default is optimize + verify).
@@ -775,9 +780,16 @@ impl IrProgram {
         self.deploy_with(sim, pool, DeployOpts::default(), None)
     }
 
-    /// Deploy without the static verifier — the escape hatch for
-    /// programs the checker cannot (yet) see through. The optimizer
-    /// still runs.
+    /// Deploy without the static checks — the escape hatch for programs
+    /// the checker cannot (yet) see through. The optimizer still runs.
+    ///
+    /// **Waived rules**: all three [`verify`] families (§3.1
+    /// fetch-horizon hazard, unreachable ENABLE targets, non-monotonic
+    /// recycled thresholds) *and* the [`analysis`] suite (happens-before
+    /// deadlock/horizon cycles, recycled induction, symbolic bounds).
+    /// Nothing in the shipped tree deploys through this path; it exists
+    /// for tests seeding hazards and for user programs whose ordering is
+    /// established outside the IR.
     pub fn deploy_unchecked(self, sim: &mut Simulator, pool: &mut ConstPool) -> Result<Lowered> {
         self.deploy_with(
             sim,
@@ -799,12 +811,13 @@ impl IrProgram {
         opts: DeployOpts,
         interner: Option<&mut ConstInterner>,
     ) -> Result<Lowered> {
-        // The patch-edge map feeds both the verifier and the WAIT-elision
-        // pass; compute it once (host-armed offloads deploy a program per
-        // armed instance, so this is on the serving path).
+        // The patch-edge map feeds the verifier, the analyzer, and the
+        // WAIT-elision pass; compute it once (host-armed offloads deploy
+        // a program per armed instance, so this is on the serving path).
         let pm = verify::patch_map(&self);
         if opts.verify {
             verify::verify_with(&self, &pm)?;
+            analysis::check(&self, &pm, sim)?;
         }
         lower::lower(&mut self, sim, pool, opts, &pm, interner)
     }

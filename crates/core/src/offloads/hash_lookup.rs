@@ -38,6 +38,7 @@
 
 use crate::ctx::{ChainQueueBuilder, HashGetSpec, TriggerPointBuilder};
 use crate::encode::{operand48, WqeField};
+use crate::ir::analysis::Footprint;
 use crate::ir::{DeployOpts, EnableTarget, Kind, Loc, OpBuild, PassReport, SgeSpec, WaitCond};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
@@ -103,6 +104,10 @@ pub struct HashGetOffload {
     node: NodeId,
     /// IR optimizer report of the deployed round (recycled mode only).
     report: Option<PassReport>,
+    /// Non-interference footprint of the deployed round (recycled mode
+    /// only — a host-armed offload stages fresh programs per `arm` call
+    /// on shared queues, so no single static footprint describes it).
+    footprint: Option<Footprint>,
     backend: Backend,
 }
 
@@ -192,6 +197,7 @@ impl HashGetOffload {
             trigger_base,
             node,
             report: None,
+            footprint: None,
             backend: Backend::HostArmed {
                 chains,
                 ctrls,
@@ -207,6 +213,13 @@ impl HashGetOffload {
     /// per `arm` call).
     pub fn ir_report(&self) -> Option<PassReport> {
         self.report
+    }
+
+    /// The deployed round's non-interference footprint (`None` for
+    /// host-armed offloads — their instances are staged per `arm` call,
+    /// so the static footprint of one round does not exist).
+    pub fn footprint(&self) -> Option<&Footprint> {
+        self.footprint.as_ref()
     }
 
     /// Optimized WQEs per request (one recycled round divided by its
@@ -420,6 +433,17 @@ impl HashGetOffload {
         }
         sim.set_rq_cyclic(tp.qp)?;
 
+        // Claim the trigger point's CQs: they are created outside the IR
+        // (so `collect` sees them as foreign), but this offload owns them
+        // — two offloads sharing a trigger CQ is exactly the interference
+        // the deployment verifier must flag.
+        let mut footprint = lowered
+            .footprint()
+            .clone()
+            .named(format!("hash-get({:?})@node{}", spec.variant, node.0));
+        footprint.claim_cq(tp.recv_cq);
+        footprint.claim_cq(tp.send_cq);
+
         Ok(HashGetOffload {
             tp,
             spec,
@@ -427,6 +451,7 @@ impl HashGetOffload {
             trigger_base,
             node,
             report: Some(lowered.report()),
+            footprint: Some(footprint),
             backend: Backend::Recycled {
                 ring: lowered.lp.queue,
                 slots: k,

@@ -45,6 +45,7 @@ use rnic_sim::wqe::header_word;
 
 use crate::ctx::{ChainQueueBuilder, ListWalkSpec, TriggerPointBuilder};
 use crate::encode::{operand48, WqeField};
+use crate::ir::analysis::Footprint;
 use crate::ir::{DeployOpts, EnableTarget, Kind, Loc, OpBuild, PassReport, SgeSpec, WaitCond};
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::{ChainQueue, ConstPool};
@@ -96,6 +97,10 @@ pub struct ListWalkOffload {
     node: NodeId,
     /// IR optimizer report of the deployed round (recycled mode only).
     report: Option<PassReport>,
+    /// Non-interference footprint of the deployed round (recycled mode
+    /// only — host-armed instances are staged per `arm` call on shared
+    /// queues, so no single static footprint describes them).
+    footprint: Option<Footprint>,
     backend: Backend,
 }
 
@@ -183,6 +188,7 @@ impl ListWalkOffload {
             trigger_base,
             node,
             report: None,
+            footprint: None,
             backend: Backend::HostArmed {
                 chain,
                 ctrl,
@@ -197,6 +203,13 @@ impl ListWalkOffload {
     /// round (`None` for host-armed offloads).
     pub fn ir_report(&self) -> Option<PassReport> {
         self.report
+    }
+
+    /// The deployed round's non-interference footprint (`None` for
+    /// host-armed offloads — their instances are staged per `arm` call,
+    /// so the static footprint of one round does not exist).
+    pub fn footprint(&self) -> Option<&Footprint> {
+        self.footprint.as_ref()
     }
 
     /// Optimized WQEs per request (one recycled round divided by its
@@ -435,6 +448,15 @@ impl ListWalkOffload {
         }
         sim.set_rq_cyclic(tp.qp)?;
 
+        // Claim the trigger point's CQs — created outside the IR, owned
+        // by this offload (see hash_lookup's recycled deploy).
+        let mut footprint = lowered
+            .footprint()
+            .clone()
+            .named(format!("list-walk(n={})@node{}", spec.max_nodes, node.0));
+        footprint.claim_cq(tp.recv_cq);
+        footprint.claim_cq(tp.send_cq);
+
         Ok(ListWalkOffload {
             tp,
             spec,
@@ -442,6 +464,7 @@ impl ListWalkOffload {
             trigger_base,
             node,
             report: Some(lowered.report()),
+            footprint: Some(footprint),
             backend: Backend::Recycled {
                 ring: lowered.lp.queue,
                 slots: k,

@@ -38,6 +38,7 @@
 
 use crate::ctx::{ClientDest, TriggerPointBuilder};
 use crate::encode::WqeField;
+use crate::ir::analysis::Footprint;
 use crate::ir::{
     DeployOpts, EnableTarget, IrProgram, Kind, Loc, OpBuild, PassReport, RingSpec, WaitCond,
 };
@@ -464,6 +465,16 @@ impl ReplicationBuilder {
         }
         sim.set_rq_cyclic(tp.qp)?;
 
+        // Claim the trigger point's CQs — created outside the IR, owned
+        // by this chain (see hash_lookup's recycled deploy).
+        let mut footprint = lowered.footprint().clone().named(format!(
+            "replicate(f={})@node{}",
+            fwd.len(),
+            self.node.0
+        ));
+        footprint.claim_cq(tp.recv_cq);
+        footprint.claim_cq(tp.send_cq);
+
         Ok(ReplicationOffload {
             tp,
             node: self.node,
@@ -475,6 +486,7 @@ impl ReplicationBuilder {
             fwd,
             backups: self.backups,
             report: lowered.report(),
+            footprint,
         })
     }
 }
@@ -499,6 +511,7 @@ pub struct ReplicationOffload {
     fwd: Vec<ChainQueue>,
     backups: Vec<ReplicationLog>,
     report: PassReport,
+    footprint: Footprint,
 }
 
 impl ReplicationOffload {
@@ -536,6 +549,13 @@ impl ReplicationOffload {
     /// The optimizer's before/after verb accounting for one round.
     pub fn ir_report(&self) -> PassReport {
         self.report
+    }
+
+    /// The deployed chain's non-interference footprint (ring slots,
+    /// journal windows, ack slots, owned CQs/SQs) for the deployment
+    /// verifier.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
     }
 
     /// Optimized control-ring WQEs per replicated PUT.

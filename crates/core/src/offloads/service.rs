@@ -21,6 +21,7 @@
 use rnic_sim::error::Result;
 use rnic_sim::sim::Simulator;
 
+use crate::ir::analysis::Footprint;
 use crate::offloads::rpc::TriggerPoint;
 use crate::program::ConstPool;
 
@@ -92,6 +93,16 @@ pub trait OffloadService {
 
     /// Recycle rounds completed (0 for host-armed offloads).
     fn rounds(&self, sim: &Simulator) -> u64;
+
+    /// The deployed program's non-interference footprint, fed to the
+    /// [`DeploymentVerifier`](crate::ir::analysis::DeploymentVerifier)
+    /// when services are co-deployed on one NIC. `None` (the default)
+    /// for host-armed offloads: their instances are staged per
+    /// [`arm`](OffloadService::arm) call onto long-lived shared queues,
+    /// so one round's static footprint does not describe them.
+    fn footprint(&self) -> Option<&Footprint> {
+        None
+    }
 }
 
 impl OffloadService for crate::offloads::hash_lookup::HashGetOffload {
@@ -131,6 +142,9 @@ impl OffloadService for crate::offloads::hash_lookup::HashGetOffload {
     fn rounds(&self, sim: &Simulator) -> u64 {
         crate::offloads::hash_lookup::HashGetOffload::rounds(self, sim)
     }
+    fn footprint(&self) -> Option<&Footprint> {
+        crate::offloads::hash_lookup::HashGetOffload::footprint(self)
+    }
 }
 
 impl OffloadService for crate::offloads::list::ListWalkOffload {
@@ -169,5 +183,8 @@ impl OffloadService for crate::offloads::list::ListWalkOffload {
     }
     fn rounds(&self, sim: &Simulator) -> u64 {
         crate::offloads::list::ListWalkOffload::rounds(self, sim)
+    }
+    fn footprint(&self) -> Option<&Footprint> {
+        crate::offloads::list::ListWalkOffload::footprint(self)
     }
 }

@@ -40,6 +40,7 @@
 use std::collections::VecDeque;
 
 use redn_core::ctx::OffloadCtx;
+use redn_core::ir::analysis::{AnalysisReport, DeploymentVerifier};
 use redn_core::offloads::hash_lookup::HashGetVariant;
 use redn_core::offloads::service::OffloadService;
 use redn_core::program::ConstPool;
@@ -376,6 +377,9 @@ pub struct ServingFleet {
     client_node: NodeId,
     get_arm_calls: u64,
     walk_arm_calls: u64,
+    /// Deploy-time non-interference proof (clean by construction — a
+    /// dirty report aborts [`ServingFleet::deploy`]).
+    isolation: AnalysisReport,
 }
 
 /// Safety net for runs wedged by a lost completion: simulated time spent
@@ -475,6 +479,28 @@ impl ServingFleet {
                 i += 1;
             }
         }
+        // Tenant isolation: prove pairwise non-interference across the
+        // co-deployed services before any request flows. Self-recycling
+        // services publish their round's footprint (response slots, ring
+        // WQEs, owned CQs/SQs); an overlap between any two would surface
+        // at run time as a corrupted response or a shifted threshold, so
+        // it is a hard deploy error here. Host-armed services stage
+        // per-arm programs on private queues (vetted per-deploy by the IR
+        // analyzer) and have no static round footprint to compare.
+        let mut verifier = DeploymentVerifier::new(format!("fleet@node{}", server.node.0));
+        for (ci, c) in clients.iter().enumerate() {
+            if let Some(fp) = c.session.service().footprint() {
+                verifier.add(fp.clone().named(format!("client {}: {}", ci, fp.name)));
+            }
+        }
+        let isolation = verifier.verify();
+        if let Some(d) = isolation.diagnostics.first() {
+            return Err(Error::Verifier(format!(
+                "fleet isolation[{}]: {}",
+                d.rule.name(),
+                d.message
+            )));
+        }
         Ok(ServingFleet {
             spec,
             clients,
@@ -484,7 +510,16 @@ impl ServingFleet {
             client_node,
             get_arm_calls: 0,
             walk_arm_calls: 0,
+            isolation,
         })
+    }
+
+    /// The deploy-time non-interference proof over the fleet's
+    /// self-recycling services (see [`DeploymentVerifier`]): `programs`
+    /// footprints compared pairwise, zero diagnostics (a dirty report is
+    /// a deploy error, so a live fleet's report is always clean).
+    pub fn isolation_report(&self) -> &AnalysisReport {
+        &self.isolation
     }
 
     /// The fleet's geometry.

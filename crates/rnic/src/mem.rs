@@ -247,6 +247,14 @@ impl HostMemory {
             .find(|r| if remote { r.rkey == key } else { r.lkey == key })
     }
 
+    /// The registered region a key resolves to (rkey when `remote`, lkey
+    /// otherwise) — the static analyzer's bounds oracle. `None` when the
+    /// key is not registered on this node (e.g. a client-side key the
+    /// program targets through a not-yet-connected QP).
+    pub fn region_by_key(&self, key: u32, remote: bool) -> Option<&MemoryRegion> {
+        self.find_key(key, remote)
+    }
+
     /// Validate an NIC access under `key`. `remote` selects rkey vs lkey
     /// semantics; `write`/`atomic` select the permission bit.
     pub fn check_key(

@@ -254,6 +254,13 @@ impl Simulator {
         &mut self.mems[node.index()]
     }
 
+    /// The registered region `key` resolves to on `node` (rkey when
+    /// `remote`, lkey otherwise), or `None` when unregistered there — the
+    /// read-only lookup deploy-time bounds analysis runs against.
+    pub fn mr_by_key(&self, node: NodeId, key: u32, remote: bool) -> Option<&MemoryRegion> {
+        self.mems[node.index()].region_by_key(key, remote)
+    }
+
     // ------------------------------------------------------------------
     // Queues
     // ------------------------------------------------------------------

@@ -177,7 +177,9 @@ fn non_monotonic_recycled_wait_is_rejected() {
 }
 
 /// `deploy_unchecked` is the escape hatch: the same seeded hazard lowers
-/// (the caller owns the consequences).
+/// (the caller owns the consequences). Waived rule here: the §3.1
+/// fetch-horizon family (a Transmute patch targeting an unmanaged
+/// queue); the analysis suite is waived along with it.
 #[test]
 fn deploy_unchecked_skips_the_verifier() {
     let (mut sim, node, mut pool) = rig();
