@@ -9,10 +9,14 @@
 //! * a heterogeneous serving fleet (both hash-get modes, both list-walk
 //!   modes) co-resident on one dual-port NIC, driven closed-loop so the
 //!   host-armed families' arm-time programs are analyzed too;
+//! * a packed multi-tenant fleet: four named tenants bin-packed onto
+//!   shared PUs, proven non-interfering under tenant-qualified labels;
 //! * the Fig 13 `+break` list walk (host-armed by design);
 //! * the Appendix A Turing-machine ring;
 //! * the sharded cluster: per-shard hash-get rings plus NIC-resident
-//!   replication chains journaling onto neighbor nodes.
+//!   replication chains journaling onto neighbor nodes;
+//! * the multi-tenant cluster: two tenant lanes per shard node sharing
+//!   the nodes with the replication chains (the largest packed domain).
 //!
 //! One JSON [`AnalysisReport`] line per isolation domain, plus one
 //! per-deployment status line. Exit code 0 iff every deployment passes
@@ -107,15 +111,13 @@ fn fleet() -> Result<AnalysisReport> {
     let mut ctx = OffloadCtx::builder(server_node)
         .pool_capacity(1 << 24)
         .build(&mut sim)?;
-    let spec = FleetSpec {
-        services: vec![
-            ServiceSpec::gets(1, 4, HashGetVariant::Single, true),
-            ServiceSpec::gets(1, 4, HashGetVariant::Sequential, true),
-            ServiceSpec::gets(1, 4, HashGetVariant::Parallel, false),
-            ServiceSpec::walks(2, 4, 4, true),
-            ServiceSpec::walks(1, 4, 4, false),
-        ],
-    };
+    let spec = FleetSpec::new(vec![
+        ServiceSpec::gets(1, 4, HashGetVariant::Single, true),
+        ServiceSpec::gets(1, 4, HashGetVariant::Sequential, true),
+        ServiceSpec::gets(1, 4, HashGetVariant::Parallel, false),
+        ServiceSpec::walks(2, 4, 4, true),
+        ServiceSpec::walks(1, 4, 4, false),
+    ]);
     let workloads = Workload::split_sequential(NKEYS, spec.get_clients());
     let mut fleet = ServingFleet::deploy(
         &mut sim,
@@ -127,6 +129,51 @@ fn fleet() -> Result<AnalysisReport> {
         workloads,
     )?;
     let report = fleet.isolation_report().clone();
+    fleet.run_closed_loop(&mut sim, ctx.pool_mut(), 8, 2)?;
+    Ok(report)
+}
+
+/// The packed multi-tenant fleet: four named tenants — heterogeneous
+/// offload-family mixes — bin-packed onto one dual-port NIC's shared
+/// PUs by the `TenantPacker`, then proven pairwise non-interfering
+/// with tenant-qualified (`tenant/offload`) program labels. The
+/// asserted counts pin the domain's size: 7 self-recycling programs,
+/// C(7,2) = 21 pairs compared, every label tenant-qualified.
+fn tenant_fleet() -> Result<AnalysisReport> {
+    use redn_kv::tenancy::{NicGeometry, TenantSpec};
+    let (mut sim, client, server_node) = testbed_with(NicConfig::connectx5().dual_port());
+    let server = MemcachedServer::create(&mut sim, server_node, 4096, 64, ProcessId(0))?;
+    server.populate(&mut sim, NKEYS)?;
+    let store = ListStore::create(&mut sim, server_node, 4, 4, 32, ProcessId(0))?;
+    let mut ctx = OffloadCtx::builder(server_node)
+        .pool_capacity(1 << 24)
+        .build(&mut sim)?;
+    let tenants = vec![
+        TenantSpec::new("analytics").with_gets(2, 4, HashGetVariant::Sequential, true),
+        TenantSpec::new("cache").with_gets(1, 4, HashGetVariant::Single, true),
+        TenantSpec::new("graph").with_walks(2, 4, 4, true),
+        TenantSpec::new("mixed")
+            .with_gets(1, 4, HashGetVariant::Sequential, true)
+            .with_walks(1, 4, 4, true),
+    ];
+    let spec = FleetSpec::tenants(NicGeometry::of(&sim, server_node), &tenants)?;
+    let workloads = Workload::split_sequential(NKEYS, spec.get_clients());
+    let mut fleet = ServingFleet::deploy(
+        &mut sim,
+        &mut ctx,
+        &server,
+        Some(&store),
+        client,
+        spec,
+        workloads,
+    )?;
+    let report = fleet.isolation_report().clone();
+    assert_eq!(report.programs, 7, "7 recycled programs across 4 tenants");
+    assert_eq!(report.checked, 21, "C(7,2) pairs compared");
+    assert!(
+        report.labels.iter().all(|l| l.contains('/')),
+        "every program label is tenant-qualified"
+    );
     fleet.run_closed_loop(&mut sim, ctx.pool_mut(), 8, 2)?;
     Ok(report)
 }
@@ -176,6 +223,33 @@ fn cluster() -> Result<AnalysisReport> {
     Ok(session.isolation_report().clone())
 }
 
+/// The packed multi-tenant cluster: two tenant lanes of recycled get
+/// rings on every one of the 4 shard nodes, sharing the nodes with the
+/// tenant-neutral replication chains — the largest isolation domain the
+/// gate proves (2×4 gets + 4 chains = 12 programs, C(12,2) = 66 pairs).
+fn cluster_tenants() -> Result<AnalysisReport> {
+    let (mut sim, mut cluster) = Cluster::deploy(ClusterSpec::small())?;
+    let session = ClusterSession::connect_tenants(
+        &mut sim,
+        &mut cluster,
+        SessionOpts::default(),
+        &["tenant-a", "tenant-b"],
+    )?;
+    let report = session.isolation_report().clone();
+    assert_eq!(report.programs, 12, "2 tenants x 4 shards + 4 chains");
+    assert_eq!(report.checked, 66, "C(12,2) pairs compared");
+    assert_eq!(
+        report
+            .labels
+            .iter()
+            .filter(|l| l.starts_with("tenant-a/") || l.starts_with("tenant-b/"))
+            .count(),
+        8,
+        "every get lane is tenant-qualified"
+    );
+    Ok(report)
+}
+
 /// One gate stage: run it, print a status (and report, if any) line,
 /// and fold the verdict.
 fn stage(name: &str, ok: &mut bool, run: impl FnOnce() -> Result<Option<AnalysisReport>>) {
@@ -209,9 +283,11 @@ fn main() -> ExitCode {
     let mut ok = true;
     stage("ir-demo", &mut ok, || ir_demo().map(Some));
     stage("fleet", &mut ok, || fleet().map(Some));
+    stage("tenants", &mut ok, || tenant_fleet().map(Some));
     stage("list-walk(+break)", &mut ok, || break_walk().map(|()| None));
     stage("turing-machine", &mut ok, || turing().map(|()| None));
     stage("cluster", &mut ok, || cluster().map(Some));
+    stage("cluster-tenants", &mut ok, || cluster_tenants().map(Some));
     if ok {
         println!("redn-verify: all deployments proven clean");
         ExitCode::SUCCESS

@@ -10,6 +10,7 @@
 use redn_bench::clusterbench::{cluster_read_point, failover_point, ClusterSweepConfig};
 use redn_bench::report::{kops, print_table, us, Row};
 use redn_bench::servebench::{throughput_sweep, SweepConfig};
+use redn_bench::tenantbench::{noisy_neighbor_point, tenants_point, TenantSweepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +42,17 @@ fn main() {
     );
     report.cluster = Some(cluster_read_point(&ccfg).expect("cluster read sweep"));
     report.failover = Some(failover_point(&ccfg).expect("failover soak"));
+    let tcfg = if small {
+        TenantSweepConfig::small()
+    } else {
+        TenantSweepConfig::full()
+    };
+    println!(
+        "# Tenant sweep ({} tenants x {} clients, window {})",
+        tcfg.ntenants, tcfg.clients_per_tenant, tcfg.window
+    );
+    report.tenants = Some(tenants_point(&tcfg).expect("tenant sweep"));
+    report.noisy_neighbor = Some(noisy_neighbor_point(&tcfg).expect("noisy-neighbor run"));
 
     let mut rows = vec![Row::new(
         "sync baseline (1 client)",
@@ -106,6 +118,37 @@ fn main() {
             note,
         ));
     }
+    if let Some(t) = &report.tenants {
+        rows.push(Row::new(
+            format!("tenants ({} packed) K={}", t.ntenants, t.k),
+            kops(t.stats.ops_per_sec / 1e3),
+            "—",
+            format!("{} ops across shared PUs", t.stats.ops),
+        ));
+        for ts in &t.stats.per_tenant {
+            let note = ts
+                .latency
+                .map(|l| format!("p99 {}, {} arm calls", us(l.p99_us), ts.host_arm_calls))
+                .unwrap_or_default();
+            rows.push(Row::new(
+                format!("  tenant {}", ts.tenant),
+                kops(ts.ops_per_sec / 1e3),
+                "—",
+                note,
+            ));
+        }
+    }
+    if let Some(n) = &report.noisy_neighbor {
+        rows.push(Row::new(
+            "noisy neighbor (B beside capped A)",
+            kops(n.b_packed_ops_per_sec / 1e3),
+            "—",
+            format!(
+                "B p99 {:.2}x solo, tput {:.2}x solo",
+                n.p99_ratio, n.tput_ratio
+            ),
+        ));
+    }
     print_table(
         "Serving-layer throughput",
         ["run", "achieved", "paper", "note"],
@@ -141,6 +184,20 @@ fn main() {
             f.repl_primary_doorbells_per_put,
             f.repl_primary_posts_per_put,
             f.repl_primary_arm_calls_per_put
+        );
+    }
+
+    if let Some(n) = &report.noisy_neighbor {
+        println!(
+            "noisy neighbor: A demanded {:.1}x its {} cap (shed {} posts, held {}); B p99 {} vs {} solo ({:.2}x), tput {:.2}x solo",
+            n.demand_x_cap,
+            kops(n.cap_ops_per_sec / 1e3),
+            n.a_shed_posts,
+            kops(n.a_ops_per_sec / 1e3),
+            us(n.b_packed_p99_us),
+            us(n.b_solo_p99_us),
+            n.p99_ratio,
+            n.tput_ratio
         );
     }
 

@@ -103,7 +103,7 @@ impl ClusterSweepConfig {
 }
 
 /// The sharded read-path point: N per-node fleets merged.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterPoint {
     /// Server nodes.
     pub nodes: usize,

@@ -18,6 +18,7 @@
 //! | [`turingbench`] | Appendix A (mov + TM on the NIC) |
 //! | [`servebench`] | serving-layer throughput sweep (`BENCH_throughput.json`) |
 //! | [`clusterbench`] | sharded cluster row + kill-a-node failover soak |
+//! | [`tenantbench`] | packed multi-tenant row + noisy-neighbor enforcement |
 
 #![warn(missing_docs)]
 
@@ -30,6 +31,7 @@ pub mod mcbench;
 pub mod micro;
 pub mod report;
 pub mod servebench;
+pub mod tenantbench;
 pub mod turingbench;
 
 use rnic_sim::config::{HostConfig, LinkConfig, NicConfig, SimConfig};

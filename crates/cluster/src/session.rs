@@ -277,11 +277,17 @@ impl PutSession {
     }
 }
 
-/// A cluster-wide typed client: one get [`Session`] and one
-/// [`PutSession`] per shard, fanned out by the cluster's router.
+/// A cluster-wide typed client: one get [`Session`] per shard (per
+/// tenant, when connected multi-tenant) and one [`PutSession`] per
+/// shard, fanned out by the cluster's router.
 pub struct ClusterSession {
+    /// Get sessions, flattened `tenant * nshards + shard` (a single
+    /// untenanted lane when connected via [`ClusterSession::connect`]).
     gets: Vec<Session>,
     puts: Vec<PutSession>,
+    nshards: usize,
+    /// Tenant lanes sharing the shards (0 = untenanted).
+    ntenants: usize,
     value_len: u32,
     /// Connect-time non-interference proof (clean by construction — a
     /// dirty report aborts [`ClusterSession::connect`]).
@@ -298,20 +304,49 @@ impl ClusterSession {
         cluster: &mut Cluster,
         opts: SessionOpts,
     ) -> Result<ClusterSession> {
+        ClusterSession::connect_tenants(sim, cluster, opts, &[])
+    }
+
+    /// As [`ClusterSession::connect`], but with one get lane per named
+    /// tenant packed onto every shard node: tenant `t`'s sessions take
+    /// the PU range `opts.pu_base + 2t` onward (strided like the fleet
+    /// packer, so tenants spread over each node's PUs instead of
+    /// stacking), and every program footprint enters the cluster-wide
+    /// [`DeploymentVerifier`] under a `tenant/shardN` label — an
+    /// interference diagnostic names both owning tenants. The write
+    /// path (one replication chain per shard) is shared infrastructure
+    /// and stays tenant-neutral. An empty `tenants` slice degenerates
+    /// to the single-operator connect.
+    pub fn connect_tenants(
+        sim: &mut Simulator,
+        cluster: &mut Cluster,
+        opts: SessionOpts,
+        tenants: &[&str],
+    ) -> Result<ClusterSession> {
         let n = cluster.shards.len();
-        let mut gets = Vec::with_capacity(n);
+        let lanes = tenants.len().max(1);
+        let mut gets = Vec::with_capacity(lanes * n);
         let mut puts = Vec::with_capacity(n);
+        for t in 0..lanes {
+            for s in 0..n {
+                let client = cluster.client;
+                let shard = &mut cluster.shards[s];
+                let npus = sim.nic_config(shard.node).pus_per_port.max(1);
+                let lane_opts = SessionOpts {
+                    pu_base: (opts.pu_base + 2 * t) % npus,
+                    ..opts
+                };
+                gets.push(Session::connect_get(
+                    sim,
+                    &mut shard.ctx,
+                    &shard.server,
+                    client,
+                    HashGetVariant::Sequential,
+                    lane_opts,
+                )?);
+            }
+        }
         for s in 0..n {
-            let client = cluster.client;
-            let shard = &mut cluster.shards[s];
-            gets.push(Session::connect_get(
-                sim,
-                &mut shard.ctx,
-                &shard.server,
-                client,
-                HashGetVariant::Sequential,
-                opts,
-            )?);
             let backup_node = cluster.shards[(s + 1) % n].node;
             let journal = ReplicationLog::create(
                 sim,
@@ -323,16 +358,27 @@ impl ClusterSession {
             puts.push(PutSession::connect(sim, cluster, s, &[journal], 0)?);
         }
         // Tenant isolation across the whole deployment: every shard node
-        // co-hosts its own get offload and replication chain, and chain
-        // `s` additionally writes into node `s+1`'s journal — so the
-        // footprints are compared cluster-wide (spans are node- or
+        // co-hosts its own get offload(s) and replication chain, and
+        // chain `s` additionally writes into node `s+1`'s journal — so
+        // the footprints are compared cluster-wide (spans are node- or
         // rkey-qualified, so cross-node spans cannot falsely collide).
         // Any overlap — aliased response slots, journal windows, ring
-        // WQEs, shared CQ thresholds — is a hard connect error.
-        let mut verifier = DeploymentVerifier::new("cluster");
-        for (s, g) in gets.iter().enumerate() {
+        // WQEs, shared CQ thresholds — is a hard connect error, and in
+        // a multi-tenant connect the diagnostic names both tenants.
+        let subject = if tenants.is_empty() {
+            "cluster"
+        } else {
+            "cluster-tenants"
+        };
+        let mut verifier = DeploymentVerifier::new(subject);
+        for (i, g) in gets.iter().enumerate() {
+            let (t, s) = (i / n, i % n);
             if let Some(fp) = g.service().footprint() {
-                verifier.add(fp.clone().named(format!("shard {}: {}", s, fp.name)));
+                let label = match tenants.get(t) {
+                    Some(name) => format!("{}/shard{}: {}", name, s, fp.name),
+                    None => format!("shard {}: {}", s, fp.name),
+                };
+                verifier.add(fp.clone().named(label));
             }
         }
         for (s, p) in puts.iter().enumerate() {
@@ -350,9 +396,22 @@ impl ClusterSession {
         Ok(ClusterSession {
             gets,
             puts,
+            nshards: n,
+            ntenants: tenants.len(),
             value_len: cluster.spec.value_len,
             isolation,
         })
+    }
+
+    /// Tenant lanes this session was connected with (0 when connected
+    /// via the single-operator [`ClusterSession::connect`]).
+    pub fn ntenants(&self) -> usize {
+        self.ntenants
+    }
+
+    /// The get session tenant lane `t` uses for shard `s`.
+    pub fn get_session_for(&mut self, t: usize, s: usize) -> &mut Session {
+        &mut self.gets[t * self.nshards + s]
     }
 
     /// The connect-time non-interference proof over every shard's get

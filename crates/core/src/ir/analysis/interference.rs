@@ -302,6 +302,11 @@ impl DeploymentVerifier {
         AnalysisReport {
             subject: self.subject.clone(),
             programs: self.footprints.len(),
+            labels: self
+                .footprints
+                .iter()
+                .map(|fp| fp.display_name().to_string())
+                .collect(),
             hb_nodes: 0,
             hb_edges: 0,
             checked,

@@ -95,6 +95,11 @@ pub struct AnalysisReport {
     pub subject: String,
     /// Programs covered (1 for a per-program run).
     pub programs: usize,
+    /// The covered programs' names, in the order they were added. For a
+    /// multi-tenant domain these are tenant-qualified
+    /// (`tenant/offload`), so co-resident programs from different owners
+    /// stay distinguishable in reports and diagnostics.
+    pub labels: Vec<String>,
     /// Happens-before graph size: nodes (two per op: issue, complete).
     pub hb_nodes: usize,
     /// Happens-before graph size: edges.
@@ -119,6 +124,18 @@ impl AnalysisReport {
         s.push_str(&json_escape(&self.subject));
         s.push_str("\",\"programs\":");
         s.push_str(&self.programs.to_string());
+        if !self.labels.is_empty() {
+            s.push_str(",\"labels\":[");
+            for (i, l) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                s.push_str(&json_escape(l));
+                s.push('"');
+            }
+            s.push(']');
+        }
         s.push_str(",\"hb_nodes\":");
         s.push_str(&self.hb_nodes.to_string());
         s.push_str(",\"hb_edges\":");
@@ -181,6 +198,7 @@ pub(crate) fn analyze_with(
     AnalysisReport {
         subject: subject.to_string(),
         programs: 1,
+        labels: vec![subject.to_string()],
         hb_nodes: stats.nodes,
         hb_edges: stats.edges,
         checked,

@@ -500,6 +500,8 @@ pub(crate) fn lower(
         before: naive_counts(p),
         ..PassReport::default()
     };
+    let pool_used_base = pool.used();
+    let pool_leases_base = pool.leases();
 
     // ---- passes ------------------------------------------------------
     if opts.optimize {
@@ -657,6 +659,8 @@ pub(crate) fn lower(
             report.after = counts_after;
             report.const_bytes_saved = interner.saved_bytes - interner_base_saved;
             report.pool_high_water = pool.high_water();
+            report.pool_bytes_placed = pool.used() - pool_used_base;
+            report.pool_leases_taken = pool.leases() - pool_leases_base;
             Ok(Lowered::Linear(LinearLowered {
                 builders,
                 report,
@@ -752,6 +756,9 @@ pub(crate) fn lower(
             report.after = lp.counts.merge(&counts_after);
             report.const_bytes_saved = interner.saved_bytes - interner_base_saved;
             report.pool_high_water = pool.high_water();
+            report.ring_slots = depth as u32;
+            report.pool_bytes_placed = pool.used() - pool_used_base;
+            report.pool_leases_taken = pool.leases() - pool_leases_base;
             Ok(Lowered::Recycled(RecycledLowered {
                 lp,
                 report,

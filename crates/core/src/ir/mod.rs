@@ -577,6 +577,17 @@ pub struct PassReport {
     /// were placed — the extent the bounds analyzer proved against, and
     /// the number `FleetStats::pool_high_water` aggregates.
     pub pool_high_water: u64,
+    /// WQE slots of the recycled ring this lowering created (0 for
+    /// linear programs) — the unit per-tenant ring-slot quotas are
+    /// charged in.
+    pub ring_slots: u32,
+    /// Const-pool bytes this lowering grew the pool by (net of interner
+    /// hits and alignment) — the unit per-tenant pool budgets are
+    /// charged in.
+    pub pool_bytes_placed: u64,
+    /// Pool leases this lowering took (allocations that did not intern
+    /// to an earlier cell).
+    pub pool_leases_taken: u64,
 }
 
 /// Deploy-time switches (the default is optimize + verify).

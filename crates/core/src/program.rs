@@ -55,6 +55,15 @@ impl ChainQueue {
     }
 }
 
+/// An active per-tenant allocation budget (see
+/// [`ConstPool::begin_budget`]).
+struct Budget {
+    label: String,
+    byte_cap: u64,
+    bytes: u64,
+    leases: u64,
+}
+
 /// A registered scratch region for constants, with bump allocation.
 pub struct ConstPool {
     /// Node the pool lives on.
@@ -64,6 +73,7 @@ pub struct ConstPool {
     used: u64,
     leases: u64,
     mr: MemoryRegion,
+    budget: Option<Budget>,
 }
 
 impl ConstPool {
@@ -83,6 +93,7 @@ impl ConstPool {
             used: 0,
             leases: 0,
             mr,
+            budget: None,
         })
     }
 
@@ -102,10 +113,46 @@ impl ConstPool {
         if aligned + bytes.len() as u64 > self.cap {
             return Err(Error::InvalidWr("constant pool exhausted"));
         }
+        let consumed = aligned + bytes.len() as u64 - self.used;
+        if let Some(b) = &mut self.budget {
+            if b.bytes + consumed > b.byte_cap {
+                return Err(Error::Quota(format!(
+                    "tenant '{}' const-pool quota exceeded: {} + {} > {} bytes",
+                    b.label, b.bytes, consumed, b.byte_cap
+                )));
+            }
+            b.bytes += consumed;
+            b.leases += 1;
+        }
         sim.mem_write(self.node, addr, bytes)?;
         self.used = aligned + bytes.len() as u64;
         self.leases += 1;
         Ok(addr)
+    }
+
+    /// Start charging every subsequent allocation against `label`'s
+    /// byte budget. An allocation that would push the charged total past
+    /// `byte_cap` fails with [`Error::Quota`] naming the tenant — the
+    /// quota-at-lowering half of admission control (deduplicated
+    /// constants that intern to earlier cells cost nothing, so a tenant
+    /// is charged only for the bytes it actually forces the pool to
+    /// grow by).
+    pub fn begin_budget(&mut self, label: impl Into<String>, byte_cap: u64) {
+        self.budget = Some(Budget {
+            label: label.into(),
+            byte_cap,
+            bytes: 0,
+            leases: 0,
+        });
+    }
+
+    /// Stop budgeted accounting; returns `(bytes_charged, leases_taken)`
+    /// since the matching [`ConstPool::begin_budget`].
+    pub fn end_budget(&mut self) -> (u64, u64) {
+        match self.budget.take() {
+            Some(b) => (b.bytes, b.leases),
+            None => (0, 0),
+        }
     }
 
     /// Stash a u64 constant; returns its address.

@@ -24,6 +24,12 @@
 //!   heterogeneous service mix (hash-gets + list-walks sharded across one
 //!   NIC), with closed-loop and open-loop load generators (§5.4's traffic
 //!   shape);
+//! * [`tenancy`] — multi-tenant ring packing and QoS: named
+//!   [`TenantSpec`](tenancy::TenantSpec)s with quotas and rate caps, a
+//!   [`TenantPacker`](tenancy::TenantPacker) bin-packing their offloads
+//!   onto shared NIC PUs (admission gated on the deployment verifier),
+//!   and [`CreditPacer`](tenancy::CreditPacer) trigger-path pacing so an
+//!   overloaded tenant sheds its own load, not its neighbors';
 //! * [`workload`] — Memtier-like request generators;
 //! * [`isolation`] — the §5.5 contention harness (writer storms vs one
 //!   reader);
@@ -43,6 +49,7 @@ pub mod memcached;
 pub mod serving;
 pub mod session;
 pub mod store;
+pub mod tenancy;
 pub mod workload;
 
 /// Convenience re-exports.
@@ -52,8 +59,14 @@ pub mod prelude {
     pub use crate::hopscotch::HopscotchTable;
     pub use crate::liststore::ListStore;
     pub use crate::memcached::MemcachedServer;
-    pub use crate::serving::{FleetSpec, FleetStats, ServiceKind, ServiceSpec, ServingFleet};
+    pub use crate::serving::{
+        FleetSpec, FleetStats, ServiceKind, ServiceSpec, ServingFleet, TenantStats,
+    };
     pub use crate::session::{Completion, Session, SessionOpts};
     pub use crate::store::{hash_key, ValueHeap};
+    pub use crate::tenancy::{
+        CreditPacer, NicGeometry, PackError, Packing, Placement, TenantPacker, TenantQuotas,
+        TenantSpec,
+    };
     pub use crate::workload::Workload;
 }

@@ -53,6 +53,9 @@ use crate::baselines::ClientEndpoint;
 use crate::liststore::ListStore;
 use crate::memcached::{redn_get, MemcachedServer};
 use crate::session::{Session, SessionOpts};
+use crate::tenancy::{
+    CreditPacer, NicGeometry, Placement, TenantPacker, TenantRuntime, TenantSpec,
+};
 use crate::workload::{latency_stats, LatencyStats, Workload};
 
 /// One service class in a fleet's mix (what kind of offload a block of
@@ -87,6 +90,12 @@ pub struct ServiceSpec {
     /// is primed once and the NIC re-arms it between rounds. `false`
     /// restores the host-re-armed mode.
     pub self_recycling: bool,
+    /// Index into the owning [`FleetSpec::tenants`] when this block
+    /// belongs to a packed multi-tenant fleet (`None` for the classic
+    /// single-operator fleet). Set by [`TenantPacker`]; drives
+    /// tenant-qualified isolation labels, per-tenant quotas at lowering,
+    /// credit pacing, and the [`FleetStats::per_tenant`] split.
+    pub tenant: Option<usize>,
 }
 
 impl ServiceSpec {
@@ -102,6 +111,7 @@ impl ServiceSpec {
             clients,
             pipeline_depth,
             self_recycling,
+            tenant: None,
         }
     }
 
@@ -117,19 +127,45 @@ impl ServiceSpec {
             clients,
             pipeline_depth,
             self_recycling,
+            tenant: None,
         }
+    }
+
+    /// Tag the block with its tenant index (builder style; normally done
+    /// by [`TenantPacker`]).
+    pub fn for_tenant(mut self, tenant: usize) -> ServiceSpec {
+        self.tenant = Some(tenant);
+        self
     }
 }
 
 /// Fleet geometry: the (possibly heterogeneous) service mix, sharded
-/// round-robin across the server NIC's ports with strided PU bases.
+/// round-robin across the server NIC's ports with strided PU bases —
+/// or, for a packed multi-tenant fleet, placed exactly where the
+/// [`TenantPacker`] put it.
 #[derive(Clone, Debug)]
 pub struct FleetSpec {
     /// The service blocks, deployed in order.
     pub services: Vec<ServiceSpec>,
+    /// The tenants the blocks' [`ServiceSpec::tenant`] tags index into
+    /// (empty for a single-operator fleet).
+    pub tenants: Vec<TenantRuntime>,
+    /// One pre-computed placement per client, in deploy order (packed
+    /// fleets); `None` falls back to the classic round-robin sharding.
+    pub placements: Option<Vec<Placement>>,
 }
 
 impl FleetSpec {
+    /// A single-operator fleet over `services` (classic round-robin
+    /// sharding, no tenants).
+    pub fn new(services: Vec<ServiceSpec>) -> FleetSpec {
+        FleetSpec {
+            services,
+            tenants: Vec::new(),
+            placements: None,
+        }
+    }
+
     /// The pre-heterogeneity shape: one block of hash-get clients.
     pub fn gets(
         clients: usize,
@@ -137,14 +173,25 @@ impl FleetSpec {
         variant: HashGetVariant,
         self_recycling: bool,
     ) -> FleetSpec {
-        FleetSpec {
-            services: vec![ServiceSpec::gets(
-                clients,
-                pipeline_depth,
-                variant,
-                self_recycling,
-            )],
-        }
+        FleetSpec::new(vec![ServiceSpec::gets(
+            clients,
+            pipeline_depth,
+            variant,
+            self_recycling,
+        )])
+    }
+
+    /// A packed multi-tenant fleet: admit `tenants` through a
+    /// [`TenantPacker`] over `geometry` (typed [`PackError`] on an
+    /// over-subscribed spec) and return the placed spec. The packed
+    /// spec's deployment enforces each tenant's const-pool and ring-slot
+    /// quotas at lowering and proves pairwise isolation with
+    /// tenant-qualified labels.
+    ///
+    /// [`PackError`]: crate::tenancy::PackError
+    pub fn tenants(geometry: NicGeometry, tenants: &[TenantSpec]) -> Result<FleetSpec> {
+        let packing = TenantPacker::new(geometry).pack(tenants)?;
+        Ok(packing.into_fleet_spec())
     }
 
     /// Total client sessions across every block.
@@ -167,8 +214,67 @@ impl FleetSpec {
     }
 }
 
+/// One tenant's slice of a fleet run — every aggregate stat a
+/// [`FleetStats`] carries, split by owner. A tenant's `elapsed` spans
+/// run start to *its own* last completion, so a paced neighbor's long
+/// tail does not dilute the others' throughput.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Tenant name (from [`TenantSpec::name`]).
+    pub tenant: String,
+    /// Requests the tenant's clients completed.
+    pub ops: u64,
+    /// Completed hash-gets (subset of `ops`).
+    pub get_ops: u64,
+    /// Completed list-walks (subset of `ops`).
+    pub walk_ops: u64,
+    /// Run start to the tenant's last completion.
+    pub elapsed: Time,
+    /// The tenant's completed throughput over its own span.
+    pub ops_per_sec: f64,
+    /// Scheduled-time latency distribution (see [`FleetStats::latency`]).
+    pub latency: Option<LatencyStats>,
+    /// Post-time latency distribution (see
+    /// [`FleetStats::service_latency`]).
+    pub service_latency: Option<LatencyStats>,
+    /// Host `arm` calls by the tenant's clients — 0 steady-state for a
+    /// self-recycling tenant, per tenant, not just in aggregate.
+    pub host_arm_calls: u64,
+    /// The tenant's requests abandoned at run end.
+    pub timeouts: u64,
+    /// Trigger posts the tenant's [`CreditPacer`] deferred — pacing
+    /// pressure on an overdriven tenant (0 when unpaced or under cap).
+    pub shed_posts: u64,
+}
+
+impl TenantStats {
+    /// Merge the same tenant's slice from two runs/fleets (counts sum,
+    /// spans take the max, latency merges count-weighted — the
+    /// per-tenant analogue of [`FleetStats::merge`]).
+    pub fn merge(&self, other: &TenantStats) -> TenantStats {
+        debug_assert_eq!(self.tenant, other.tenant);
+        let lat = |x: Option<LatencyStats>, y: Option<LatencyStats>| match (x, y) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            (a, b) => a.or(b),
+        };
+        TenantStats {
+            tenant: self.tenant.clone(),
+            ops: self.ops + other.ops,
+            get_ops: self.get_ops + other.get_ops,
+            walk_ops: self.walk_ops + other.walk_ops,
+            elapsed: self.elapsed.max(other.elapsed),
+            ops_per_sec: self.ops_per_sec + other.ops_per_sec,
+            latency: lat(self.latency, other.latency),
+            service_latency: lat(self.service_latency, other.service_latency),
+            host_arm_calls: self.host_arm_calls + other.host_arm_calls,
+            timeouts: self.timeouts + other.timeouts,
+            shed_posts: self.shed_posts + other.shed_posts,
+        }
+    }
+}
+
 /// Aggregate result of one fleet run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FleetStats {
     /// Requests completed (reaped responses across all clients).
     pub ops: u64,
@@ -217,6 +323,11 @@ pub struct FleetStats {
     /// Allocations the serving pool has served in total (leases). Flat
     /// across steady-state runs for the same reason.
     pub pool_leases: u64,
+    /// Per-tenant split of the run (one entry per [`FleetSpec::tenants`]
+    /// entry, in spec order; empty for a single-operator fleet). Every
+    /// aggregate above is the sum/merge of these slices plus any
+    /// untenanted clients.
+    pub per_tenant: Vec<TenantStats>,
 }
 
 impl FleetStats {
@@ -227,7 +338,10 @@ impl FleetStats {
     /// **sum**, while `elapsed` takes the slowest node (the cluster run
     /// spans the longest per-node run). Latency summaries merge
     /// count-weighted via [`LatencyStats::merge`] — approximate
-    /// percentiles, exact `max_us`.
+    /// percentiles, exact `max_us`. Per-tenant slices union **by tenant
+    /// name**: the same tenant packed on two fleets merges into one
+    /// slice (via [`TenantStats::merge`], keeping its distributions);
+    /// tenants unique to one side pass through untouched.
     pub fn merge(&self, other: &FleetStats) -> FleetStats {
         let lat = |x: Option<LatencyStats>, y: Option<LatencyStats>| match (x, y) {
             (Some(a), Some(b)) => Some(a.merge(&b)),
@@ -237,6 +351,13 @@ impl FleetStats {
             (Some(a), Some(b)) => Some(a + b),
             (a, b) => a.or(b),
         };
+        let mut per_tenant: Vec<TenantStats> = self.per_tenant.clone();
+        for t in &other.per_tenant {
+            match per_tenant.iter_mut().find(|m| m.tenant == t.tenant) {
+                Some(mine) => *mine = mine.merge(t),
+                None => per_tenant.push(t.clone()),
+            }
+        }
         FleetStats {
             ops: self.ops + other.ops,
             get_ops: self.get_ops + other.get_ops,
@@ -255,6 +376,7 @@ impl FleetStats {
             client_doorbells: self.client_doorbells + other.client_doorbells,
             pool_high_water: self.pool_high_water + other.pool_high_water,
             pool_leases: self.pool_leases + other.pool_leases,
+            per_tenant,
         }
     }
 }
@@ -291,21 +413,29 @@ struct FleetClient {
     reaped: u64,
     depth: u32,
     self_recycling: bool,
+    /// Owning tenant index (see [`ServiceSpec::tenant`]).
+    tenant: Option<usize>,
 }
+
+/// One client's reap: `(scheduled, posted)` completion-latency pairs,
+/// host arm calls made, and the latest completion time seen.
+type Reaped = (Vec<(Time, Time)>, u64, Option<Time>);
 
 impl FleetClient {
     /// Reap every pending completion: record it, retire its instance
     /// slot, and (host-armed, while requests remain) re-arm one
     /// instance per completion. Returns the `(scheduled, posted)`
-    /// completion-latency pairs and the number of host arm calls.
+    /// completion-latency pairs, the number of host arm calls, and the
+    /// latest completion time seen (for per-tenant run spans).
     fn reap(
         &mut self,
         sim: &mut Simulator,
         pool: &mut ConstPool,
         ops_per_client: u64,
-    ) -> Result<(Vec<(Time, Time)>, u64)> {
+    ) -> Result<Reaped> {
         let mut lats = Vec::new();
         let mut arms = 0u64;
+        let mut last_done: Option<Time> = None;
         for done in self.session.reap(sim, 1024) {
             let tag = done.tag();
             if let Some(pos) = self
@@ -319,6 +449,7 @@ impl FleetClient {
                     done.at() - pending.posted_at,
                 ));
                 self.reaped += 1;
+                last_done = Some(last_done.map_or(done.at(), |t| t.max(done.at())));
                 self.session.complete();
             }
             // Replace the consumed instance from the host in host-armed
@@ -328,7 +459,7 @@ impl FleetClient {
                 arms += 1;
             }
         }
-        Ok((lats, arms))
+        Ok((lats, arms, last_done))
     }
 
     /// Post `n` requests from the stream as one burst (one doorbell).
@@ -377,6 +508,15 @@ pub struct ServingFleet {
     client_node: NodeId,
     get_arm_calls: u64,
     walk_arm_calls: u64,
+    /// Per-tenant accounting, indexed like `spec.tenants` (all empty for
+    /// a single-operator fleet).
+    tenant_sched: Vec<Vec<Time>>,
+    tenant_svc: Vec<Vec<Time>>,
+    tenant_arms: Vec<u64>,
+    tenant_last_done: Vec<Option<Time>>,
+    /// One trigger-path pacer per rate-capped tenant, rebuilt at each
+    /// run's start.
+    pacers: Vec<Option<CreditPacer>>,
     /// Deploy-time non-interference proof (clean by construction — a
     /// dirty report aborts [`ServingFleet::deploy`]).
     isolation: AnalysisReport,
@@ -427,6 +567,26 @@ impl ServingFleet {
         }
         let ports = sim.nic_config(server.node).ports;
         let npus = sim.nic_config(server.node).pus_per_port;
+        if let Some(pl) = &spec.placements {
+            if pl.len() != spec.total_clients() {
+                return Err(Error::InvalidWr("one placement per packed fleet client"));
+            }
+            if pl.iter().any(|p| p.port >= ports) {
+                return Err(Error::InvalidWr("packed placement names a missing port"));
+            }
+        }
+        if spec
+            .services
+            .iter()
+            .any(|s| s.tenant.is_some_and(|t| t >= spec.tenants.len()))
+        {
+            return Err(Error::InvalidWr("service block names a missing tenant"));
+        }
+        let ntenants = spec.tenants.len();
+        // Running per-tenant lowering budgets: const-pool bytes actually
+        // placed (interner hits are free) and recycled-ring WQE slots.
+        let mut pool_spent = vec![0u64; ntenants];
+        let mut ring_spent = vec![0u64; ntenants];
         let mut clients = Vec::with_capacity(spec.total_clients());
         let mut workloads = workloads.into_iter();
         let mut walk_idx = 0usize;
@@ -443,30 +603,77 @@ impl ServingFleet {
                 // one occupies 2 PUs (trigger + its ring), a host-armed
                 // one up to 3 (trigger/merge + chains) — a running
                 // cursor per port keeps mixed strides from overlapping.
+                // A packed multi-tenant spec carries its own placements
+                // (the TenantPacker already did this arithmetic across
+                // tenants) and bypasses the cursor.
                 let stride = if svc.self_recycling { 2 } else { 3 };
-                let port = i % ports;
+                let (port, pu_base) = match &spec.placements {
+                    Some(pl) => (pl[i].port, pl[i].pu_base % npus),
+                    None => {
+                        let port = i % ports;
+                        let base = pu_next[port] % npus;
+                        pu_next[port] += stride;
+                        (port, base)
+                    }
+                };
                 let opts = SessionOpts {
                     pipeline_depth: svc.pipeline_depth,
                     self_recycling: svc.self_recycling,
                     port,
-                    pu_base: pu_next[port] % npus,
+                    pu_base,
                 };
-                pu_next[port] += stride;
-                let (session, stream) = match svc.kind {
+                // A tenant's const-pool quota is enforced *during* this
+                // client's lowering: the pool meters every byte the
+                // connect actually places (dedup hits are free) against
+                // what the tenant has left, and over-budget placement
+                // fails with Error::Quota naming the tenant.
+                let budget = svc.tenant.and_then(|t| {
+                    spec.tenants[t]
+                        .const_pool_quota
+                        .map(|cap| (t, cap.saturating_sub(pool_spent[t])))
+                });
+                if let Some((t, remaining)) = budget {
+                    ctx.pool_mut()
+                        .begin_budget(spec.tenants[t].name.clone(), remaining);
+                }
+                let connected = match svc.kind {
                     ServiceKind::HashGet { variant } => {
-                        let s = Session::connect_get(sim, ctx, server, client_node, variant, opts)?;
                         let w = workloads.next().expect("counted above");
-                        (s, Stream::Keys(w))
+                        Session::connect_get(sim, ctx, server, client_node, variant, opts)
+                            .map(|s| (s, Stream::Keys(w)))
                     }
                     ServiceKind::ListWalk { max_nodes } => {
                         let store = lists.expect("checked above");
-                        let s =
-                            Session::connect_walk(sim, ctx, store, client_node, max_nodes, opts)?;
                         let reqs = store.walk_requests(walk_idx, nwalkers);
                         walk_idx += 1;
-                        (s, Stream::Walks { reqs, cursor: 0 })
+                        Session::connect_walk(sim, ctx, store, client_node, max_nodes, opts)
+                            .map(|s| (s, Stream::Walks { reqs, cursor: 0 }))
                     }
                 };
+                if let Some((t, _)) = budget {
+                    let (bytes, _leases) = ctx.pool_mut().end_budget();
+                    pool_spent[t] += bytes;
+                }
+                let (session, stream) = connected?;
+                // The ring-slot quota is re-checked against the *exact*
+                // lowered ring depth (the packer only saw the
+                // pipeline-depth floor).
+                if let Some(t) = svc.tenant.filter(|_| svc.self_recycling) {
+                    if let Some(cap) = spec.tenants[t].ring_slot_quota {
+                        let slots = session
+                            .ir_report()
+                            .map(|r| u64::from(r.ring_slots))
+                            .unwrap_or(u64::from(svc.pipeline_depth));
+                        ring_spent[t] += slots;
+                        if ring_spent[t] > cap {
+                            return Err(Error::Quota(format!(
+                                "tenant '{}' ring-slot quota exceeded after lowering: \
+                                 {} > {} WQE slots",
+                                spec.tenants[t].name, ring_spent[t], cap
+                            )));
+                        }
+                    }
+                }
                 clients.push(FleetClient {
                     session,
                     stream,
@@ -475,6 +682,7 @@ impl ServingFleet {
                     reaped: 0,
                     depth: svc.pipeline_depth,
                     self_recycling: svc.self_recycling,
+                    tenant: svc.tenant,
                 });
                 i += 1;
             }
@@ -490,7 +698,17 @@ impl ServingFleet {
         let mut verifier = DeploymentVerifier::new(format!("fleet@node{}", server.node.0));
         for (ci, c) in clients.iter().enumerate() {
             if let Some(fp) = c.session.service().footprint() {
-                verifier.add(fp.clone().named(format!("client {}: {}", ci, fp.name)));
+                // Tenant-qualified labels: in a packed fleet every
+                // program (and so every interference diagnostic) names
+                // its owner as `tenant/offload`, so a cross-tenant
+                // overlap reads as "who hit whom", not "client 3 vs 7".
+                let label = match c.tenant {
+                    Some(t) => {
+                        format!("{}/{} (client {})", spec.tenants[t].name, fp.name, ci)
+                    }
+                    None => format!("client {}: {}", ci, fp.name),
+                };
+                verifier.add(fp.clone().named(label));
             }
         }
         let isolation = verifier.verify();
@@ -510,6 +728,11 @@ impl ServingFleet {
             client_node,
             get_arm_calls: 0,
             walk_arm_calls: 0,
+            tenant_sched: vec![Vec::new(); ntenants],
+            tenant_svc: vec![Vec::new(); ntenants],
+            tenant_arms: vec![0; ntenants],
+            tenant_last_done: vec![None; ntenants],
+            pacers: vec![None; ntenants],
             isolation,
         })
     }
@@ -528,8 +751,27 @@ impl ServingFleet {
     }
 
     /// Fold one client's reaped completions into the fleet's run
-    /// accounting (latency vectors, per-family arm-call counters).
-    fn record_reaped(&mut self, lats: Vec<(Time, Time)>, arms: u64, is_get: bool) {
+    /// accounting (latency vectors, per-family arm-call counters, and —
+    /// for a tenanted client — the owner's own split).
+    fn record_reaped(
+        &mut self,
+        lats: Vec<(Time, Time)>,
+        arms: u64,
+        is_get: bool,
+        tenant: Option<usize>,
+        last_done: Option<Time>,
+    ) {
+        if let Some(t) = tenant {
+            for &(sched, svc) in &lats {
+                self.tenant_sched[t].push(sched);
+                self.tenant_svc[t].push(svc);
+            }
+            self.tenant_arms[t] += arms;
+            if let Some(at) = last_done {
+                self.tenant_last_done[t] =
+                    Some(self.tenant_last_done[t].map_or(at, |prev| prev.max(at)));
+            }
+        }
         for (sched, svc) in lats {
             self.sched_latencies.push(sched);
             self.svc_latencies.push(svc);
@@ -541,10 +783,34 @@ impl ServingFleet {
         }
     }
 
+    /// Pass a client's ask through its tenant's pacer (if any): returns
+    /// how many posts are granted now, and — when throttled — notes the
+    /// earliest time a credit accrues in `credit_wake` so the run loop
+    /// can jump there instead of spinning.
+    fn grant_posts(
+        pacers: &mut [Option<CreditPacer>],
+        tenant: Option<usize>,
+        now: Time,
+        want: u64,
+        credit_wake: &mut Option<Time>,
+    ) -> u64 {
+        let Some(pacer) = tenant.and_then(|t| pacers[t].as_mut()) else {
+            return want;
+        };
+        let granted = pacer.grant(now, want);
+        if granted < want {
+            let at = pacer.next_credit_at(now);
+            *credit_wake = Some(credit_wake.map_or(at, |w| w.min(at)));
+        }
+        granted
+    }
+
     /// Closed-loop run: every client keeps `k_outstanding` requests in
     /// flight (capped at its pipeline depth) until it has completed
-    /// `ops_per_client` requests. Returns aggregate throughput and
-    /// latency.
+    /// `ops_per_client` requests. A rate-capped tenant's refills pass
+    /// through its [`CreditPacer`] first, so its clients shed (defer)
+    /// their own posts under overload while its neighbors' windows stay
+    /// full. Returns aggregate throughput and latency.
     pub fn run_closed_loop(
         &mut self,
         sim: &mut Simulator,
@@ -556,23 +822,26 @@ impl ServingFleet {
         let deadline = start + RUN_DEADLINE;
         self.begin_run(sim, pool)?;
         let base = self.counter_base(sim);
-        for c in &mut self.clients {
-            let k = u64::from(k_outstanding.clamp(1, c.depth));
-            c.post_burst(sim, k.min(ops_per_client))?;
-        }
         loop {
             let mut all_done = true;
+            // Earliest time a throttled tenant accrues a credit — the
+            // wake-up target when pacing has idled the whole simulator.
+            let mut credit_wake: Option<Time> = None;
             for ci in 0..self.clients.len() {
                 let c = &mut self.clients[ci];
-                let (lats, arms) = c.reap(sim, pool, ops_per_client)?;
+                let (lats, arms, last_done) = c.reap(sim, pool, ops_per_client)?;
                 let is_get = c.session.is_get();
-                self.record_reaped(lats, arms, is_get);
+                let tenant = c.tenant;
+                self.record_reaped(lats, arms, is_get, tenant, last_done);
                 // Refill the window up to K with the next requests and
                 // fire the whole burst under a single doorbell.
                 let c = &mut self.clients[ci];
                 let k = u64::from(k_outstanding.clamp(1, c.depth));
                 let room = k.saturating_sub(c.inflight.len() as u64);
-                let refill = room.min(ops_per_client - c.posted);
+                let want = room.min(ops_per_client - c.posted);
+                let refill =
+                    Self::grant_posts(&mut self.pacers, tenant, sim.now(), want, &mut credit_wake);
+                let c = &mut self.clients[ci];
                 c.post_burst(sim, refill)?;
                 if c.reaped < ops_per_client {
                     all_done = false;
@@ -581,8 +850,15 @@ impl ServingFleet {
             if all_done {
                 break;
             }
-            if sim.now() > deadline || !sim.step()? {
+            if sim.now() > deadline {
                 break;
+            }
+            if !sim.step()? {
+                // Drained: only paced posts remain. Jump to the credit.
+                match credit_wake {
+                    Some(t) if t > sim.now() && t <= deadline => sim.run_until(t)?,
+                    _ => break,
+                }
             }
         }
         Ok(self.finish(sim, pool, start, None, base))
@@ -620,13 +896,18 @@ impl ServingFleet {
             let mut next_due: Option<Time> = None;
             for i in 0..self.clients.len() {
                 let c = &mut self.clients[i];
-                let (lats, arms) = c.reap(sim, pool, ops_per_client)?;
+                let (lats, arms, last_done) = c.reap(sim, pool, ops_per_client)?;
                 let is_get = c.session.is_get();
-                self.record_reaped(lats, arms, is_get);
+                let tenant = c.tenant;
+                self.record_reaped(lats, arms, is_get, tenant, last_done);
                 let c = &mut self.clients[i];
                 // Post every due request the window has room for, as one
                 // burst under a single doorbell, then backdate each
-                // pending handle to its scheduled time.
+                // pending handle to its scheduled time. A rate-capped
+                // tenant's due posts are additionally gated by its
+                // pacer: the shortfall stays scheduled (so its latency
+                // keeps accruing from the scheduled time — pacing delay
+                // is charged to the overdriven tenant, not hidden).
                 let depth = u64::from(c.depth);
                 let mut due = 0u64;
                 while c.posted + due < ops_per_client
@@ -635,18 +916,34 @@ impl ServingFleet {
                 {
                     due += 1;
                 }
-                if due > 0 {
+                let mut credit_wake: Option<Time> = None;
+                let granted =
+                    Self::grant_posts(&mut self.pacers, tenant, sim.now(), due, &mut credit_wake);
+                let c = &mut self.clients[i];
+                if granted > 0 {
                     let first = c.posted;
-                    c.post_burst(sim, due)?;
+                    c.post_burst(sim, granted)?;
                     let len = c.inflight.len();
-                    for (j, pending) in c.inflight.iter_mut().skip(len - due as usize).enumerate() {
+                    for (j, pending) in c
+                        .inflight
+                        .iter_mut()
+                        .skip(len - granted as usize)
+                        .enumerate()
+                    {
                         pending.scheduled_at = sched(i as u64, first + j as u64);
                     }
                 }
                 if c.reaped < ops_per_client {
                     all_done = false;
                 }
-                if c.posted < ops_per_client && (c.inflight.len() as u64) < depth {
+                // A credit-gated client's next post happens when its
+                // tenant's credit accrues, not at the (already-passed)
+                // scheduled time — report that as its due time instead,
+                // so a drained simulator jumps to the credit.
+                if let Some(t) = credit_wake {
+                    let t = t.max(sim.now());
+                    next_due = Some(next_due.map_or(t, |d: Time| d.min(t)));
+                } else if c.posted < ops_per_client && (c.inflight.len() as u64) < depth {
                     let due = sched(i as u64, c.posted);
                     next_due = Some(next_due.map_or(due, |t: Time| t.min(due)));
                 }
@@ -683,6 +980,25 @@ impl ServingFleet {
         self.walk_arm_calls = 0;
         self.sched_latencies.clear();
         self.svc_latencies.clear();
+        for t in 0..self.spec.tenants.len() {
+            self.tenant_sched[t].clear();
+            self.tenant_svc[t].clear();
+            self.tenant_arms[t] = 0;
+            self.tenant_last_done[t] = None;
+            // Rebuild each rate-capped tenant's pacer at the run's
+            // clock: a burst allowance of the tenant's total pipeline
+            // depth lets it fill its windows once, after which refills
+            // accrue strictly at the cap.
+            self.pacers[t] = self.spec.tenants[t].rate_cap_ops_per_sec.map(|cap| {
+                let burst: u64 = self
+                    .clients
+                    .iter()
+                    .filter(|c| c.tenant == Some(t))
+                    .map(|c| u64::from(c.depth))
+                    .sum();
+                CreditPacer::new(cap, burst.max(1) as f64, sim.now())
+            });
+        }
         for c in &mut self.clients {
             c.posted = 0;
             c.reaped = 0;
@@ -711,9 +1027,14 @@ impl ServingFleet {
         offered: Option<f64>,
         base: (u64, u64, u64),
     ) -> FleetStats {
+        let ntenants = self.spec.tenants.len();
         let mut timeouts = 0u64;
+        let mut tenant_timeouts = vec![0u64; ntenants];
         for c in &mut self.clients {
             timeouts += c.inflight.len() as u64;
+            if let Some(t) = c.tenant {
+                tenant_timeouts[t] += c.inflight.len() as u64;
+            }
             for _ in c.inflight.drain(..) {
                 c.session.abandon();
             }
@@ -734,6 +1055,45 @@ impl ServingFleet {
                 Some(latency_stats(v))
             }
         };
+        let per_tenant = (0..ntenants)
+            .map(|t| {
+                let ops: u64 = self
+                    .clients
+                    .iter()
+                    .filter(|c| c.tenant == Some(t))
+                    .map(|c| c.reaped)
+                    .sum();
+                let get_ops: u64 = self
+                    .clients
+                    .iter()
+                    .filter(|c| c.tenant == Some(t) && c.session.is_get())
+                    .map(|c| c.reaped)
+                    .sum();
+                // The tenant's own span: run start to its last
+                // completion. A rate-capped tenant finishing long after
+                // its neighbors must not dilute their throughput (nor
+                // have its own inflated by the fleet-wide clock).
+                let t_elapsed = self.tenant_last_done[t].map_or(elapsed, |at| at - start);
+                let t_secs = t_elapsed.as_secs_f64();
+                TenantStats {
+                    tenant: self.spec.tenants[t].name.clone(),
+                    ops,
+                    get_ops,
+                    walk_ops: ops - get_ops,
+                    elapsed: t_elapsed,
+                    ops_per_sec: if t_secs > 0.0 {
+                        ops as f64 / t_secs
+                    } else {
+                        0.0
+                    },
+                    latency: stats_of(&self.tenant_sched[t]),
+                    service_latency: stats_of(&self.tenant_svc[t]),
+                    host_arm_calls: self.tenant_arms[t],
+                    timeouts: tenant_timeouts[t],
+                    shed_posts: self.pacers[t].as_ref().map_or(0, |p| p.shed()),
+                }
+            })
+            .collect();
         FleetStats {
             ops,
             get_ops,
@@ -752,6 +1112,7 @@ impl ServingFleet {
             client_doorbells: sim.node_doorbells(self.client_node) - base.2,
             pool_high_water: pool.high_water(),
             pool_leases: pool.leases(),
+            per_tenant,
         }
     }
 }
@@ -1022,12 +1383,10 @@ mod tests {
     fn heterogeneous_fleet_serves_gets_and_walks_side_by_side() {
         let (mut sim, c, server, mut ctx) = rig(512);
         let store = ListStore::create(&mut sim, server.node, 8, 4, 64, ProcessId(0)).unwrap();
-        let spec = FleetSpec {
-            services: vec![
-                ServiceSpec::gets(2, 4, HashGetVariant::Sequential, true),
-                ServiceSpec::walks(2, 4, 4, true),
-            ],
-        };
+        let spec = FleetSpec::new(vec![
+            ServiceSpec::gets(2, 4, HashGetVariant::Sequential, true),
+            ServiceSpec::walks(2, 4, 4, true),
+        ]);
         let mut fleet = ServingFleet::deploy(
             &mut sim,
             &mut ctx,
@@ -1077,8 +1436,9 @@ mod tests {
             client_doorbells: 10,
             pool_high_water: 4096,
             pool_leases: 7,
+            per_tenant: vec![],
         };
-        let mut b = a;
+        let mut b = a.clone();
         b.ops = 300;
         b.elapsed = Time::from_us(80);
         b.ops_per_sec = 4.0e6;
@@ -1101,8 +1461,111 @@ mod tests {
         assert_eq!(m.host_arm_calls, 2);
         assert_eq!(m.pool_high_water, 8192);
         // Merging with an empty-latency side keeps the populated side.
-        let mut c = a;
+        let mut c = a.clone();
         c.latency = None;
         assert_eq!(a.merge(&c).latency.unwrap().count, 100);
+    }
+
+    #[test]
+    fn packed_tenant_fleet_splits_stats_and_labels_by_owner() {
+        use crate::tenancy::{NicGeometry, TenantSpec};
+        let (mut sim, c, server, mut ctx) = rig(512);
+        let tenants = vec![
+            TenantSpec::new("alpha").with_gets(2, 4, HashGetVariant::Sequential, true),
+            TenantSpec::new("beta").with_gets(2, 4, HashGetVariant::Sequential, true),
+        ];
+        let spec = FleetSpec::tenants(NicGeometry::of(&sim, server.node), &tenants).unwrap();
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            None,
+            c,
+            spec,
+            per_client_workloads(4, 512),
+        )
+        .unwrap();
+        // Tenant-qualified isolation labels, proven clean pairwise.
+        let report = fleet.isolation_report();
+        assert!(report.clean());
+        assert_eq!(report.programs, 4);
+        assert_eq!(report.checked, 6, "C(4,2) pairs");
+        assert_eq!(
+            report
+                .labels
+                .iter()
+                .filter(|l| l.starts_with("alpha/"))
+                .count(),
+            2
+        );
+        assert_eq!(
+            report
+                .labels
+                .iter()
+                .filter(|l| l.starts_with("beta/"))
+                .count(),
+            2
+        );
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 50, 4)
+            .unwrap();
+        assert_eq!(stats.ops, 4 * 50);
+        assert_eq!(stats.per_tenant.len(), 2);
+        for ts in &stats.per_tenant {
+            assert_eq!(ts.ops, 100, "tenant '{}' completes every op", ts.tenant);
+            assert_eq!(ts.host_arm_calls, 0, "self-recycling per tenant");
+            assert_eq!(ts.timeouts, 0);
+            assert_eq!(ts.shed_posts, 0, "unpaced tenants shed nothing");
+            assert!(ts.ops_per_sec > 0.0);
+            assert!(ts.latency.is_some());
+        }
+        assert_eq!(
+            stats.per_tenant.iter().map(|t| t.ops).sum::<u64>(),
+            stats.ops,
+            "tenant slices partition the aggregate"
+        );
+    }
+
+    #[test]
+    fn rate_capped_tenant_sheds_its_own_load_only() {
+        use crate::tenancy::{NicGeometry, TenantSpec};
+        let (mut sim, c, server, mut ctx) = rig(512);
+        // Tenant "capped" is limited to 50K ops/s; "free" is unpaced.
+        let tenants = vec![
+            TenantSpec::new("capped")
+                .with_gets(1, 4, HashGetVariant::Sequential, true)
+                .rate_cap(50_000.0),
+            TenantSpec::new("free").with_gets(1, 4, HashGetVariant::Sequential, true),
+        ];
+        let spec = FleetSpec::tenants(NicGeometry::of(&sim, server.node), &tenants).unwrap();
+        let mut fleet = ServingFleet::deploy(
+            &mut sim,
+            &mut ctx,
+            &server,
+            None,
+            c,
+            spec,
+            per_client_workloads(2, 512),
+        )
+        .unwrap();
+        let stats = fleet
+            .run_closed_loop(&mut sim, ctx.pool_mut(), 100, 4)
+            .unwrap();
+        assert_eq!(stats.ops, 200, "pacing defers posts, it never drops them");
+        let capped = &stats.per_tenant[0];
+        let free = &stats.per_tenant[1];
+        assert!(
+            capped.ops_per_sec < 60_000.0,
+            "capped tenant holds ~its cap, got {}",
+            capped.ops_per_sec
+        );
+        assert!(capped.shed_posts > 0, "the cap actually engaged");
+        assert_eq!(free.shed_posts, 0, "the neighbor shed nothing");
+        assert!(
+            free.ops_per_sec > 3.0 * capped.ops_per_sec,
+            "the unpaced neighbor runs at full speed: {} vs {}",
+            free.ops_per_sec,
+            capped.ops_per_sec
+        );
     }
 }

@@ -56,6 +56,11 @@ pub enum Error {
     /// was posted (the deploy-time verifier of `redn_core::ir`). Carries
     /// a full diagnostic naming the offending WQE.
     Verifier(String),
+    /// A tenant's resource budget (processing units, ring slots,
+    /// const-pool bytes) would be exceeded. Carries a diagnostic naming
+    /// the tenant and the quota — admission control rejects the spec
+    /// instead of letting the overrun surface as a neighbor's stall.
+    Quota(String),
     /// A receiver had no RECV posted and the retry budget was exhausted
     /// (receiver-not-ready).
     RnrExhausted(QpId),
@@ -91,6 +96,7 @@ impl fmt::Display for Error {
             Error::Unsupported(what) => write!(f, "unsupported on this NIC: {what}"),
             Error::InvalidWr(what) => write!(f, "invalid work request: {what}"),
             Error::Verifier(what) => write!(f, "chain program rejected by verifier: {what}"),
+            Error::Quota(what) => write!(f, "tenant quota exceeded: {what}"),
             Error::RnrExhausted(qp) => {
                 write!(f, "receiver not ready on {qp} (RNR retries exhausted)")
             }

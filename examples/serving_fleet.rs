@@ -110,12 +110,10 @@ fn main() {
         .pool_capacity(1 << 24)
         .build(&mut sim)
         .unwrap();
-    let spec = FleetSpec {
-        services: vec![
-            ServiceSpec::gets(3, 8, HashGetVariant::Sequential, true),
-            ServiceSpec::walks(1, 8, store.nodes_per_list, true),
-        ],
-    };
+    let spec = FleetSpec::new(vec![
+        ServiceSpec::gets(3, 8, HashGetVariant::Sequential, true),
+        ServiceSpec::walks(1, 8, store.nodes_per_list, true),
+    ]);
     let workloads = Workload::split_sequential(NKEYS, 3);
     let mut fleet = ServingFleet::deploy(
         &mut sim,

@@ -346,15 +346,13 @@ fn shipped_fleet_passes_analyzer_and_isolation() {
         .pool_capacity(1 << 24)
         .build(&mut sim)
         .unwrap();
-    let spec = FleetSpec {
-        services: vec![
-            ServiceSpec::gets(1, 4, HashGetVariant::Single, true),
-            ServiceSpec::gets(1, 4, HashGetVariant::Sequential, true),
-            ServiceSpec::gets(1, 4, HashGetVariant::Parallel, false),
-            ServiceSpec::walks(1, 4, 4, true),
-            ServiceSpec::walks(1, 4, 4, false),
-        ],
-    };
+    let spec = FleetSpec::new(vec![
+        ServiceSpec::gets(1, 4, HashGetVariant::Single, true),
+        ServiceSpec::gets(1, 4, HashGetVariant::Sequential, true),
+        ServiceSpec::gets(1, 4, HashGetVariant::Parallel, false),
+        ServiceSpec::walks(1, 4, 4, true),
+        ServiceSpec::walks(1, 4, 4, false),
+    ]);
     let workloads = Workload::split_sequential(512, spec.get_clients());
     let mut fleet = ServingFleet::deploy(
         &mut sim,

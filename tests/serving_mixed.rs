@@ -43,12 +43,10 @@ fn mixed_fleet_completes_gets_and_walks_side_by_side() {
     const NKEYS: u64 = 512;
     const OPS_PER_CLIENT: u64 = 60;
     let (mut sim, c, server, store, mut ctx) = stand_up(NKEYS);
-    let spec = FleetSpec {
-        services: vec![
-            ServiceSpec::gets(2, 4, HashGetVariant::Sequential, true),
-            ServiceSpec::walks(2, 4, store.nodes_per_list, true),
-        ],
-    };
+    let spec = FleetSpec::new(vec![
+        ServiceSpec::gets(2, 4, HashGetVariant::Sequential, true),
+        ServiceSpec::walks(2, 4, store.nodes_per_list, true),
+    ]);
     let workloads = Workload::split_sequential(NKEYS, 2);
     let mut fleet = ServingFleet::deploy(
         &mut sim,
