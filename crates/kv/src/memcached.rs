@@ -19,6 +19,7 @@ use std::rc::Rc;
 use redn_core::ctx::{ClientDest, HashGetBuilder, OffloadCtx, TableRegion, ValueSource};
 use redn_core::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use redn_core::program::ConstPool;
+use rnic_sim::cq::Cqe;
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::{NodeId, ProcessId};
 use rnic_sim::sim::Simulator;
@@ -199,16 +200,32 @@ pub(crate) fn post_get_burst(
 /// simulator (the engine behind
 /// [`Session::reap`](crate::session::Session::reap)).
 pub(crate) fn reap_gets(sim: &mut Simulator, ep: &ClientEndpoint, max: usize) -> Vec<ReapedGet> {
-    sim.poll_cq(ep.recv_cq, max)
-        .into_iter()
-        .map(|cqe| {
-            ep.note_response_reaped();
-            ReapedGet {
-                instance: cqe.imm.unwrap_or(0) as u64,
-                at: cqe.time,
-            }
-        })
-        .collect()
+    let mut cqes = Vec::new();
+    let mut out = Vec::new();
+    reap_gets_into(sim, ep, max, &mut cqes, &mut out);
+    out
+}
+
+/// Allocation-free [`reap_gets`]: drains completions through the caller's
+/// scratch `cqes` buffer and appends typed reaps to `out`. Long-lived
+/// clients (sessions, fleet generators) reuse one pair of buffers across
+/// every reap instead of allocating two `Vec`s per poll.
+pub(crate) fn reap_gets_into(
+    sim: &mut Simulator,
+    ep: &ClientEndpoint,
+    max: usize,
+    cqes: &mut Vec<Cqe>,
+    out: &mut Vec<ReapedGet>,
+) {
+    cqes.clear();
+    sim.poll_cq_into(ep.recv_cq, max, cqes);
+    for cqe in cqes.iter() {
+        ep.note_response_reaped();
+        out.push(ReapedGet {
+            instance: cqe.imm.unwrap_or(0) as u64,
+            at: cqe.time,
+        });
+    }
 }
 
 /// Synchronous RedN get: arms one instance, triggers it, waits for the

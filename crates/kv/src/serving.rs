@@ -52,7 +52,7 @@ use rnic_sim::time::Time;
 use crate::baselines::ClientEndpoint;
 use crate::liststore::ListStore;
 use crate::memcached::{redn_get, MemcachedServer};
-use crate::session::{Session, SessionOpts};
+use crate::session::{Completion, Session, SessionOpts};
 use crate::tenancy::{
     CreditPacer, NicGeometry, Placement, TenantPacker, TenantRuntime, TenantSpec,
 };
@@ -415,6 +415,8 @@ struct FleetClient {
     self_recycling: bool,
     /// Owning tenant index (see [`ServiceSpec::tenant`]).
     tenant: Option<usize>,
+    /// Scratch completion buffer reused across reaps.
+    comp_buf: Vec<Completion>,
 }
 
 /// One client's reap: `(scheduled, posted)` completion-latency pairs,
@@ -436,7 +438,10 @@ impl FleetClient {
         let mut lats = Vec::new();
         let mut arms = 0u64;
         let mut last_done: Option<Time> = None;
-        for done in self.session.reap(sim, 1024) {
+        let mut reaped = std::mem::take(&mut self.comp_buf);
+        reaped.clear();
+        self.session.reap_into(sim, 1024, &mut reaped);
+        for done in reaped.drain(..) {
             let tag = done.tag();
             if let Some(pos) = self
                 .inflight
@@ -459,6 +464,7 @@ impl FleetClient {
                 arms += 1;
             }
         }
+        self.comp_buf = reaped;
         Ok((lats, arms, last_done))
     }
 
@@ -683,6 +689,7 @@ impl ServingFleet {
                     depth: svc.pipeline_depth,
                     self_recycling: svc.self_recycling,
                     tenant: svc.tenant,
+                    comp_buf: Vec::new(),
                 });
                 i += 1;
             }

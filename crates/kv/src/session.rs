@@ -27,6 +27,7 @@ use redn_core::ctx::OffloadCtx;
 use redn_core::offloads::hash_lookup::{HashGetOffload, HashGetVariant};
 use redn_core::offloads::list::{self, ListWalkOffload};
 use redn_core::offloads::service::OffloadService;
+use rnic_sim::cq::Cqe;
 use rnic_sim::error::{Error, Result};
 use rnic_sim::ids::NodeId;
 use rnic_sim::sim::Simulator;
@@ -35,7 +36,7 @@ use rnic_sim::time::Time;
 use crate::baselines::ClientEndpoint;
 use crate::cuckoo::CuckooTable;
 use crate::liststore::ListStore;
-use crate::memcached::{post_get_burst, reap_gets, MemcachedServer, PendingGet, ReapedGet};
+use crate::memcached::{post_get_burst, reap_gets_into, MemcachedServer, PendingGet, ReapedGet};
 
 /// Deployment knobs shared by both session kinds (what the fleet varies
 /// per client when sharding services across the NIC).
@@ -137,6 +138,10 @@ enum Bound {
 pub struct Session {
     ep: ClientEndpoint,
     bound: Bound,
+    /// Scratch CQE buffer reused across reaps (no per-poll allocation).
+    cqe_buf: Vec<Cqe>,
+    /// Scratch typed-reap buffer reused across reaps.
+    reap_buf: Vec<ReapedGet>,
 }
 
 impl Session {
@@ -174,6 +179,8 @@ impl Session {
                 off,
                 table: server.table.clone(),
             },
+            cqe_buf: Vec::new(),
+            reap_buf: Vec::new(),
         })
     }
 
@@ -220,6 +227,8 @@ impl Session {
         Ok(Session {
             ep,
             bound: Bound::Walk { off },
+            cqe_buf: Vec::new(),
+            reap_buf: Vec::new(),
         })
     }
 
@@ -328,18 +337,25 @@ impl Session {
     /// Reap up to `max` completions, typed by the session's service
     /// family. Does not step the simulator.
     pub fn reap(&mut self, sim: &mut Simulator, max: usize) -> Vec<Completion> {
-        let reaped = reap_gets(sim, &self.ep, max);
+        let mut out = Vec::new();
+        self.reap_into(sim, max, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Session::reap`]: appends typed completions to
+    /// `out`, recycling the session's internal scratch buffers. Fleet
+    /// generators call this with one buffer per client per run.
+    pub fn reap_into(&mut self, sim: &mut Simulator, max: usize, out: &mut Vec<Completion>) {
+        self.reap_buf.clear();
+        reap_gets_into(sim, &self.ep, max, &mut self.cqe_buf, &mut self.reap_buf);
         match self.bound {
-            Bound::Get { .. } => reaped.into_iter().map(Completion::Get).collect(),
-            Bound::Walk { .. } => reaped
-                .into_iter()
-                .map(|g| {
-                    Completion::Walk(ReapedWalk {
-                        instance: g.instance,
-                        at: g.at,
-                    })
+            Bound::Get { .. } => out.extend(self.reap_buf.drain(..).map(Completion::Get)),
+            Bound::Walk { .. } => out.extend(self.reap_buf.drain(..).map(|g| {
+                Completion::Walk(ReapedWalk {
+                    instance: g.instance,
+                    at: g.at,
                 })
-                .collect(),
+            })),
         }
     }
 

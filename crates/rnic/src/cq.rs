@@ -95,6 +95,15 @@ impl CompletionQueue {
     /// pollable entry (and flags overrun) if the queue is full. Returns the
     /// list of work queues whose WAIT threshold is now satisfied.
     pub fn push(&mut self, cqe: Cqe) -> Vec<WqId> {
+        let mut woken = Vec::new();
+        self.push_into(cqe, &mut woken);
+        woken
+    }
+
+    /// Allocation-free [`CompletionQueue::push`]: satisfied waiters are
+    /// appended to `woken` (not cleared first) — the event loop reuses one
+    /// buffer across every CQE.
+    pub fn push_into(&mut self, cqe: Cqe, woken: &mut Vec<WqId>) {
         self.total += 1;
         self.last_completion = cqe.time;
         if self.entries.len() as u32 >= self.depth {
@@ -103,7 +112,6 @@ impl CompletionQueue {
             self.entries.push_back(cqe);
         }
         let total = self.total;
-        let mut woken = Vec::new();
         self.waiters.retain(|(wq, threshold)| {
             if total >= *threshold {
                 woken.push(*wq);
@@ -112,7 +120,6 @@ impl CompletionQueue {
                 true
             }
         });
-        woken
     }
 
     /// Park `wq` until `total >= threshold`. Returns true if the threshold
@@ -129,6 +136,16 @@ impl CompletionQueue {
     pub fn poll(&mut self, max: usize) -> Vec<Cqe> {
         let n = max.min(self.entries.len());
         self.entries.drain(..n).collect()
+    }
+
+    /// Allocation-free [`CompletionQueue::poll`]: drains up to `max`
+    /// entries into `out` (appending) and returns how many were reaped.
+    /// Clients reuse one buffer per reap loop instead of allocating a
+    /// fresh `Vec` per call.
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<Cqe>) -> usize {
+        let n = max.min(self.entries.len());
+        out.extend(self.entries.drain(..n));
+        n
     }
 }
 

@@ -77,6 +77,7 @@ pub mod nic;
 pub mod qp;
 pub mod rate;
 pub mod sim;
+pub mod slab;
 pub mod time;
 pub mod trace;
 pub mod verbs;

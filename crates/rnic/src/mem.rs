@@ -298,6 +298,22 @@ impl HostMemory {
         Ok(self.read(addr, len)?.to_vec())
     }
 
+    /// Allocation-free [`HostMemory::nic_read`]: appends the bytes to
+    /// `out` (a pooled buffer on the simulator's data path). On error,
+    /// `out` is untouched.
+    pub fn nic_read_into(
+        &self,
+        key: u32,
+        addr: u64,
+        len: u64,
+        remote: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.check_key(key, addr, len, remote, false, false)?;
+        out.extend_from_slice(self.read(addr, len)?);
+        Ok(())
+    }
+
     /// NIC-side write under a key.
     pub fn nic_write(&mut self, key: u32, addr: u64, bytes: &[u8], remote: bool) -> Result<()> {
         self.check_key(key, addr, bytes.len() as u64, remote, true, false)?;

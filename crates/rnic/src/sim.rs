@@ -37,12 +37,12 @@ use crate::net::{InFlight, Payload};
 use crate::nic::Nic;
 use crate::qp::{QpConfig, QueuePair};
 use crate::rate::RateLimiter;
+use crate::slab::{BufPool, Slab};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use crate::verbs::Opcode;
 use crate::wq::{WorkQueue, WqBlock, WqKind};
 use crate::wqe::{Sge, WorkRequest, Wqe, SGE_SIZE, WQE_SIZE};
-use std::collections::HashMap;
 
 /// Redelivery delay after receiver-not-ready (RC RNR NAK back-off).
 const RNR_DELAY: Time = Time::from_us(1);
@@ -98,18 +98,22 @@ pub struct Simulator {
     nics: Vec<Nic>,
     hosts: Vec<Host>,
     node_names: Vec<String>,
-    links: HashMap<(u32, u32), Time>,
+    /// Dense one-way link latency table, `links[a][b]` — the per-arrival
+    /// lookup must not hash.
+    links: Vec<Vec<Option<Time>>>,
     qps: Vec<QueuePair>,
     qp_owner: Vec<ProcessId>,
     wqs: Vec<WorkQueue>,
     cqs: Vec<CompletionQueue>,
-    inflight: HashMap<u64, InFlight>,
-    next_msg: u64,
-    callbacks: HashMap<u64, TimerCallback>,
-    next_cb: u64,
-    listeners: HashMap<u64, CqListener>,
-    next_listener: u64,
-    rate_limiters: HashMap<u32, RateLimiter>,
+    inflight: Slab<InFlight>,
+    callbacks: Slab<TimerCallback>,
+    listeners: Slab<CqListener>,
+    /// Recycled payload/result byte buffers (see [`BufPool`]).
+    buf_pool: BufPool,
+    /// Reusable scratch for WAIT wake-ups inside `push_cqe`.
+    woken_buf: Vec<WqId>,
+    /// Reusable scratch for listener poll batches inside `on_notify`.
+    notify_buf: Vec<Cqe>,
     trace: Trace,
 }
 
@@ -117,26 +121,26 @@ impl Simulator {
     /// Create an empty simulator.
     pub fn new(cfg: SimConfig) -> Simulator {
         let trace = Trace::new(cfg.trace);
+        let events = EventQueue::with_lanes(cfg.lanes);
         Simulator {
             cfg,
             now: Time::ZERO,
-            events: EventQueue::new(),
+            events,
             mems: Vec::new(),
             nics: Vec::new(),
             hosts: Vec::new(),
             node_names: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             qps: Vec::new(),
             qp_owner: Vec::new(),
             wqs: Vec::new(),
             cqs: Vec::new(),
-            inflight: HashMap::new(),
-            next_msg: 0,
-            callbacks: HashMap::new(),
-            next_cb: 0,
-            listeners: HashMap::new(),
-            next_listener: 0,
-            rate_limiters: HashMap::new(),
+            inflight: Slab::new(),
+            callbacks: Slab::new(),
+            listeners: Slab::new(),
+            buf_pool: BufPool::new(),
+            woken_buf: Vec::new(),
+            notify_buf: Vec::new(),
             trace,
         }
     }
@@ -152,14 +156,18 @@ impl Simulator {
         self.hosts.push(Host::new(id, host));
         self.nics.push(Nic::new(nic));
         self.node_names.push(name.to_string());
+        for row in &mut self.links {
+            row.push(None);
+        }
+        self.links.push(vec![None; self.mems.len()]);
         id
     }
 
     /// Connect two nodes with a bidirectional link.
     pub fn connect_nodes(&mut self, a: NodeId, b: NodeId, link: LinkConfig) {
         assert_ne!(a, b, "loopback needs no link");
-        self.links.insert((a.0, b.0), link.one_way);
-        self.links.insert((b.0, a.0), link.one_way);
+        self.links[a.index()][b.index()] = Some(link.one_way);
+        self.links[b.index()][a.index()] = Some(link.one_way);
     }
 
     /// Connect every pair of `nodes` with identical bidirectional links —
@@ -178,7 +186,7 @@ impl Simulator {
         if a == b {
             return Some(Time::ZERO);
         }
-        self.links.get(&(a.0, b.0)).copied()
+        self.links[a.index()][b.index()]
     }
 
     /// Current simulated time.
@@ -462,9 +470,9 @@ impl Simulator {
     /// Rate-limit a QP's send queue (`ibv_modify_qp_rate_limit`).
     pub fn set_rate_limit(&mut self, qp: QpId, ops_per_sec: f64, burst: u64) {
         let sq = self.sq_of(qp);
-        self.rate_limiters
-            .insert(sq.0, RateLimiter::new(ops_per_sec, burst));
-        self.wqs[sq.index()].rate_ops_per_sec = Some(ops_per_sec);
+        let wq = &mut self.wqs[sq.index()];
+        wq.rate_limiter = Some(RateLimiter::new(ops_per_sec, burst));
+        wq.rate_ops_per_sec = Some(ops_per_sec);
     }
 
     // ------------------------------------------------------------------
@@ -603,6 +611,14 @@ impl Simulator {
         self.cqs[cq.index()].poll(max)
     }
 
+    /// Allocation-free [`Simulator::poll_cq`]: reap up to `max`
+    /// completions into `out` (appending) and return how many arrived.
+    /// Clients keep one buffer per reap loop instead of allocating a
+    /// fresh `Vec<Cqe>` per poll.
+    pub fn poll_cq_into(&mut self, cq: CqId, max: usize, out: &mut Vec<Cqe>) -> usize {
+        self.cqs[cq.index()].poll_into(max, out)
+    }
+
     /// Monotonic completion count of a CQ (the WAIT target value).
     pub fn cq_total(&self, cq: CqId) -> u64 {
         self.cqs[cq.index()].total
@@ -633,9 +649,7 @@ impl Simulator {
 
     /// Schedule `f` to run at absolute simulated time `at`.
     pub fn at(&mut self, at: Time, f: TimerCallback) {
-        let key = self.next_cb;
-        self.next_cb += 1;
-        self.callbacks.insert(key, f);
+        let key = self.callbacks.insert(f);
         self.events
             .schedule(at.max(self.now), EventKind::Callback { key });
     }
@@ -650,26 +664,21 @@ impl Simulator {
     /// per completion, after the mode's pickup/wake delay. Returns a key
     /// for [`Simulator::remove_cq_listener`].
     pub fn set_cq_listener(&mut self, cq: CqId, mode: ListenMode, cb: CqCallback) -> u64 {
-        let key = self.next_listener;
-        self.next_listener += 1;
         let node = self.cqs[cq.index()].node;
-        self.listeners.insert(
-            key,
-            CqListener {
-                cq,
-                node,
-                mode,
-                cb: Some(cb),
-                scheduled: false,
-            },
-        );
+        let key = self.listeners.insert(CqListener {
+            cq,
+            node,
+            mode,
+            cb: Some(cb),
+            scheduled: false,
+        });
         self.cqs[cq.index()].listener = Some(key);
         key
     }
 
     /// Remove a CQ listener.
     pub fn remove_cq_listener(&mut self, key: u64) {
-        if let Some(l) = self.listeners.remove(&key) {
+        if let Some(l) = self.listeners.remove(key) {
             self.cqs[l.cq.index()].listener = None;
         }
     }
@@ -812,6 +821,13 @@ impl Simulator {
         self.events.len()
     }
 
+    /// Total events dispatched since construction — the engine's hot-path
+    /// op count, and the denominator of events/s and allocs-per-event
+    /// metrics in the `sim_events` bench.
+    pub fn events_processed(&self) -> u64 {
+        self.events.processed()
+    }
+
     /// The execution trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -889,12 +905,16 @@ impl Simulator {
             EventKind::Arrive { qp, msg } => self.on_arrive(qp, msg),
             EventKind::Complete { wq, idx, msg } => self.on_complete(wq, idx, msg),
             EventKind::Callback { key } => {
-                if let Some(cb) = self.callbacks.remove(&key) {
+                if let Some(cb) = self.callbacks.remove(key) {
                     cb(self);
                 }
                 Ok(())
             }
             EventKind::Notify { key } => self.on_notify(key),
+            EventKind::PushCqe { cq, cqe } => {
+                self.push_cqe(cq, cqe);
+                Ok(())
+            }
         }
     }
 
@@ -1117,7 +1137,7 @@ impl Simulator {
             cfg.t_issue(wqe.opcode.is_read_class())
         };
         let mut earliest = self.now.max(self.wqs[wq_id.index()].next_issue_at);
-        if let Some(rl) = self.rate_limiters.get_mut(&wq_id.0) {
+        if let Some(rl) = self.wqs[wq_id.index()].rate_limiter.as_mut() {
             earliest = rl.admit(earliest);
         }
         let (port, pu) = {
@@ -1190,26 +1210,20 @@ impl Simulator {
         signaled: bool,
         status: CqeStatus,
     ) -> u64 {
-        let msg = self.next_msg;
-        self.next_msg += 1;
-        self.inflight.insert(
-            msg,
-            InFlight {
-                src_wq: wq,
-                src_idx: idx,
-                src_qp: qp,
-                dst_qp: qp,
-                opcode,
-                signaled,
-                payload: Payload::Send { bytes: Vec::new() },
-                status,
-                result: Vec::new(),
-                result_sink: (0, 0),
-                result_sgl: false,
-                byte_len: 0,
-            },
-        );
-        msg
+        self.inflight.insert(InFlight {
+            src_wq: wq,
+            src_idx: idx,
+            src_qp: qp,
+            dst_qp: qp,
+            opcode,
+            signaled,
+            payload: Payload::Send { bytes: Vec::new() },
+            status,
+            result: Vec::new(),
+            result_sink: (0, 0),
+            result_sgl: false,
+            byte_len: 0,
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1315,23 +1329,20 @@ impl Simulator {
                 let Some(peer) = self.qps[qp_id.index()].peer else {
                     return self.complete_error(wq_id, idx, qp_id, wqe, retire + cfg.t_cqe);
                 };
-                // Gather payload at the initiator.
-                let payload_res = if wqe.length == 0 {
-                    Ok(Vec::new())
-                } else {
-                    self.mems[node.index()].nic_read(
+                // Gather payload at the initiator, into a recycled buffer.
+                let mut bytes = self.buf_pool.take();
+                if wqe.length != 0 {
+                    if let Err(_e) = self.mems[node.index()].nic_read_into(
                         wqe.lkey,
                         wqe.local_addr,
                         wqe.length as u64,
                         false,
-                    )
-                };
-                let bytes = match payload_res {
-                    Ok(b) => b,
-                    Err(_) => {
-                        return self.complete_error(wq_id, idx, qp_id, wqe, retire + cfg.t_cqe)
+                        &mut bytes,
+                    ) {
+                        self.buf_pool.put(bytes);
+                        return self.complete_error(wq_id, idx, qp_id, wqe, retire + cfg.t_cqe);
                     }
-                };
+                }
                 let nbytes = bytes.len() as u64;
                 let payload = match wqe.opcode {
                     Opcode::Send => Payload::Send { bytes },
@@ -1348,25 +1359,20 @@ impl Simulator {
                         imm: Some(wqe.imm_or_target),
                     },
                 };
-                let msg = self.next_msg;
-                self.next_msg += 1;
-                self.inflight.insert(
-                    msg,
-                    InFlight {
-                        src_wq: wq_id,
-                        src_idx: idx,
-                        src_qp: qp_id,
-                        dst_qp: peer,
-                        opcode: wqe.opcode,
-                        signaled,
-                        payload,
-                        status: CqeStatus::Success,
-                        result: Vec::new(),
-                        result_sink: (0, 0),
-                        result_sgl: false,
-                        byte_len: nbytes as u32,
-                    },
-                );
+                let msg = self.inflight.insert(InFlight {
+                    src_wq: wq_id,
+                    src_idx: idx,
+                    src_qp: qp_id,
+                    dst_qp: peer,
+                    opcode: wqe.opcode,
+                    signaled,
+                    payload,
+                    status: CqeStatus::Success,
+                    result: Vec::new(),
+                    result_sink: (0, 0),
+                    result_sgl: false,
+                    byte_len: nbytes as u32,
+                });
                 // Initiator PCIe: occupancy + store-and-forward stage.
                 let bus_done = self.nics[node.index()].pcie_occupy(retire, nbytes);
                 let src_stage = self.nics[node.index()].pcie_stage(nbytes);
@@ -1408,33 +1414,28 @@ impl Simulator {
                 } else {
                     wqe.length
                 };
-                let msg = self.next_msg;
-                self.next_msg += 1;
-                self.inflight.insert(
-                    msg,
-                    InFlight {
-                        src_wq: wq_id,
-                        src_idx: idx,
-                        src_qp: qp_id,
-                        dst_qp: peer,
-                        opcode: wqe.opcode,
-                        signaled,
-                        payload: Payload::Read {
-                            raddr: wqe.remote_addr,
-                            rkey: wqe.rkey,
-                            len: read_len,
-                        },
-                        status: CqeStatus::Success,
-                        result: Vec::new(),
-                        result_sink: if wqe.is_sgl() {
-                            (wqe.local_addr, wqe.length)
-                        } else {
-                            (wqe.local_addr, wqe.lkey)
-                        },
-                        result_sgl: wqe.is_sgl(),
-                        byte_len: read_len,
+                let msg = self.inflight.insert(InFlight {
+                    src_wq: wq_id,
+                    src_idx: idx,
+                    src_qp: qp_id,
+                    dst_qp: peer,
+                    opcode: wqe.opcode,
+                    signaled,
+                    payload: Payload::Read {
+                        raddr: wqe.remote_addr,
+                        rkey: wqe.rkey,
+                        len: read_len,
                     },
-                );
+                    status: CqeStatus::Success,
+                    result: Vec::new(),
+                    result_sink: if wqe.is_sgl() {
+                        (wqe.local_addr, wqe.length)
+                    } else {
+                        (wqe.local_addr, wqe.lkey)
+                    },
+                    result_sgl: wqe.is_sgl(),
+                    byte_len: read_len,
+                });
                 let peer_node = self.qps[peer.index()].node;
                 let arrive = if peer_node == node {
                     retire
@@ -1448,31 +1449,26 @@ impl Simulator {
                 let Some(peer) = self.qps[qp_id.index()].peer else {
                     return self.complete_error(wq_id, idx, qp_id, wqe, retire + cfg.t_cqe);
                 };
-                let msg = self.next_msg;
-                self.next_msg += 1;
-                self.inflight.insert(
-                    msg,
-                    InFlight {
-                        src_wq: wq_id,
-                        src_idx: idx,
-                        src_qp: qp_id,
-                        dst_qp: peer,
-                        opcode: wqe.opcode,
-                        signaled,
-                        payload: Payload::Atomic {
-                            op: wqe.opcode,
-                            raddr: wqe.remote_addr,
-                            rkey: wqe.rkey,
-                            operand: wqe.operand,
-                            swap: wqe.swap,
-                        },
-                        status: CqeStatus::Success,
-                        result: Vec::new(),
-                        result_sink: (wqe.local_addr, wqe.lkey),
-                        result_sgl: false,
-                        byte_len: 8,
+                let msg = self.inflight.insert(InFlight {
+                    src_wq: wq_id,
+                    src_idx: idx,
+                    src_qp: qp_id,
+                    dst_qp: peer,
+                    opcode: wqe.opcode,
+                    signaled,
+                    payload: Payload::Atomic {
+                        op: wqe.opcode,
+                        raddr: wqe.remote_addr,
+                        rkey: wqe.rkey,
+                        operand: wqe.operand,
+                        swap: wqe.swap,
                     },
-                );
+                    status: CqeStatus::Success,
+                    result: Vec::new(),
+                    result_sink: (wqe.local_addr, wqe.lkey),
+                    result_sgl: false,
+                    byte_len: 8,
+                });
                 let peer_node = self.qps[peer.index()].node;
                 let arrive = if peer_node == node {
                     retire
@@ -1506,7 +1502,7 @@ impl Simulator {
     fn on_arrive(&mut self, qp_id: QpId, msg: u64) -> Result<()> {
         let node = self.qps[qp_id.index()].node;
         let src_node = {
-            let inf = self.inflight.get(&msg).expect("inflight");
+            let inf = self.inflight.get(msg).expect("inflight");
             self.qps[inf.src_qp.index()].node
         };
         let one_way = self.one_way(src_node, node).unwrap_or(Time::ZERO);
@@ -1514,7 +1510,7 @@ impl Simulator {
 
         if self.qps[qp_id.index()].dead {
             // Resources are gone: the initiator eventually errors out.
-            let inf = self.inflight.get_mut(&msg).expect("inflight");
+            let inf = self.inflight.get_mut(msg).expect("inflight");
             inf.status = CqeStatus::RnrError;
             let (wq, idx) = (inf.src_wq, inf.src_idx);
             self.events.schedule(
@@ -1524,10 +1520,22 @@ impl Simulator {
             return Ok(());
         }
 
-        let payload = self.inflight.get(&msg).expect("inflight").payload.clone();
+        // Move the payload out of the in-flight record instead of cloning
+        // it per delivery. A receiver-not-ready park puts it back verbatim,
+        // so the RNR retry re-executes exactly as the first attempt did.
+        let payload = {
+            let inf = self.inflight.get_mut(msg).expect("inflight");
+            std::mem::replace(&mut inf.payload, Payload::Send { bytes: Vec::new() })
+        };
         match payload {
             Payload::Send { bytes } => {
-                self.consume_recv(qp_id, msg, bytes, None, one_way, &cfg)?;
+                if !self.recv_available(qp_id) {
+                    self.inflight.get_mut(msg).expect("inflight").payload = Payload::Send { bytes };
+                    self.qps[qp_id.index()].rnr_queue.push_back(msg);
+                    return Ok(());
+                }
+                self.consume_recv(qp_id, msg, &bytes, None, one_way, &cfg)?;
+                self.buf_pool.put(bytes);
             }
             Payload::Write {
                 raddr,
@@ -1551,15 +1559,31 @@ impl Simulator {
                     }
                     Err(_) => CqeStatus::ProtectionError,
                 };
-                self.inflight.get_mut(&msg).expect("inflight").status = status;
+                self.inflight.get_mut(msg).expect("inflight").status = status;
                 if let Some(imm) = imm {
                     if status == CqeStatus::Success {
                         // WRITE_IMM consumes a RECV (no scatter).
-                        self.consume_recv(qp_id, msg, Vec::new(), Some(imm), one_way, &cfg)?;
+                        if !self.recv_available(qp_id) {
+                            // The retry rewrites memory with the same
+                            // bytes, so the whole payload is restored, not
+                            // just the immediate.
+                            self.inflight.get_mut(msg).expect("inflight").payload =
+                                Payload::Write {
+                                    raddr,
+                                    rkey,
+                                    bytes,
+                                    imm: Some(imm),
+                                };
+                            self.qps[qp_id.index()].rnr_queue.push_back(msg);
+                            return Ok(());
+                        }
+                        self.consume_recv(qp_id, msg, &[], Some(imm), one_way, &cfg)?;
+                        self.buf_pool.put(bytes);
                         return Ok(());
                     }
                 }
-                let inf = self.inflight.get(&msg).expect("inflight");
+                self.buf_pool.put(bytes);
+                let inf = self.inflight.get(msg).expect("inflight");
                 let (wq, idx) = (inf.src_wq, inf.src_idx);
                 self.events.schedule(
                     self.now + one_way + cfg.t_cqe,
@@ -1567,14 +1591,20 @@ impl Simulator {
                 );
             }
             Payload::Read { raddr, rkey, len } => {
-                let data = self.mems[node.index()].nic_read(rkey, raddr, len as u64, true);
-                let (status, result) = match data {
-                    Ok(d) => (CqeStatus::Success, d),
-                    Err(_) => (CqeStatus::ProtectionError, Vec::new()),
+                let mut result = self.buf_pool.take();
+                let status = match self.mems[node.index()].nic_read_into(
+                    rkey,
+                    raddr,
+                    len as u64,
+                    true,
+                    &mut result,
+                ) {
+                    Ok(()) => CqeStatus::Success,
+                    Err(_) => CqeStatus::ProtectionError,
                 };
                 let nbytes = result.len() as u64;
                 {
-                    let inf = self.inflight.get_mut(&msg).expect("inflight");
+                    let inf = self.inflight.get_mut(msg).expect("inflight");
                     inf.status = status;
                     inf.result = result;
                 }
@@ -1594,7 +1624,7 @@ impl Simulator {
                     let wire = self.nics[node.index()].wire_stage(nbytes);
                     (data_ready + wire).max(link_done) + one_way + initiator_stage + cfg.t_cqe
                 };
-                let inf = self.inflight.get(&msg).expect("inflight");
+                let inf = self.inflight.get(msg).expect("inflight");
                 let (wq, idx) = (inf.src_wq, inf.src_idx);
                 self.events
                     .schedule(complete_at, EventKind::Complete { wq, idx, msg });
@@ -1653,12 +1683,14 @@ impl Simulator {
                     );
                 }
                 {
-                    let inf = self.inflight.get_mut(&msg).expect("inflight");
+                    let mut result = self.buf_pool.take();
+                    result.extend_from_slice(&old.to_le_bytes());
+                    let inf = self.inflight.get_mut(msg).expect("inflight");
                     inf.status = status;
-                    inf.result = old.to_le_bytes().to_vec();
+                    inf.result = result;
                 }
                 let rest = cfg.t_nonposted_extra.saturating_sub(cfg.t_atomic_engine);
-                let inf = self.inflight.get(&msg).expect("inflight");
+                let inf = self.inflight.get(msg).expect("inflight");
                 let (wq, idx) = (inf.src_wq, inf.src_idx);
                 self.events.schedule(
                     apply_at + rest + one_way + cfg.t_cqe,
@@ -1701,8 +1733,12 @@ impl Simulator {
             if take == 0 {
                 continue;
             }
-            let chunk = bytes[off..off + take].to_vec();
-            match self.mems[node.index()].nic_write(sge.lkey, sge.addr, &chunk, false) {
+            match self.mems[node.index()].nic_write(
+                sge.lkey,
+                sge.addr,
+                &bytes[off..off + take],
+                false,
+            ) {
                 Ok(()) => {
                     self.trace.record(
                         self.now,
@@ -1726,32 +1762,31 @@ impl Simulator {
         (off as u32, status)
     }
 
+    /// Whether the responder QP has a RECV ready to consume right now.
+    /// Cyclic rings re-arm consumed slots as they wrap (§3.4's recycling
+    /// applied to the RQ): a fully posted cyclic ring never runs dry.
+    fn recv_available(&self, qp_id: QpId) -> bool {
+        let rq = &self.wqs[self.qps[qp_id.index()].rq.index()];
+        rq.cyclic || rq.posted > self.qps[qp_id.index()].recv_consumed
+    }
+
     /// Consume one RECV for an arriving SEND/WRITE_IMM: scatter the
     /// payload (reading the RECV WQE bytes *now* — they may have been
     /// patched by earlier verbs) and generate the receive completion.
+    /// Callers check [`Simulator::recv_available`] first and park on the
+    /// RNR queue themselves when it fails.
     fn consume_recv(
         &mut self,
         qp_id: QpId,
         msg: u64,
-        bytes: Vec<u8>,
+        bytes: &[u8],
         imm: Option<u32>,
         one_way: Time,
         cfg: &NicConfig,
     ) -> Result<()> {
+        debug_assert!(self.recv_available(qp_id));
         let node = self.qps[qp_id.index()].node;
         let rq_id = self.qps[qp_id.index()].rq;
-        let available = {
-            let rq = &self.wqs[rq_id.index()];
-            // Cyclic rings re-arm consumed slots as they wrap (§3.4's
-            // recycling applied to the RQ): a fully posted cyclic ring
-            // never runs dry.
-            rq.cyclic || rq.posted > self.qps[qp_id.index()].recv_consumed
-        };
-        if !available {
-            // Receiver not ready: park until a RECV is posted.
-            self.qps[qp_id.index()].rnr_queue.push_back(msg);
-            return Ok(());
-        }
         let recv_idx = self.qps[qp_id.index()].recv_consumed;
         self.qps[qp_id.index()].recv_consumed = recv_idx + 1;
         self.wqs[rq_id.index()].executed = recv_idx + 1;
@@ -1761,7 +1796,8 @@ impl Simulator {
         let slot = self.wqs[rq_id.index()].slot_addr(recv_idx);
         let nbytes = bytes.len() as u64;
         self.nics[node.index()].pcie_occupy(self.now, nbytes);
-        let raw = self.mems[node.index()].read(slot, WQE_SIZE)?.to_vec();
+        let mut raw = [0u8; WQE_SIZE as usize];
+        raw.copy_from_slice(self.mems[node.index()].read(slot, WQE_SIZE)?);
         let mut status = CqeStatus::Success;
         let mut scattered = 0u32;
         match Wqe::decode(&raw) {
@@ -1772,7 +1808,7 @@ impl Simulator {
                         node,
                         recv_wqe.local_addr,
                         recv_wqe.length as usize,
-                        &bytes,
+                        bytes,
                     );
                     scattered = n;
                     status = st;
@@ -1783,7 +1819,7 @@ impl Simulator {
                         match self.mems[node.index()].nic_write(
                             recv_wqe.lkey,
                             recv_wqe.local_addr,
-                            &bytes,
+                            bytes,
                             false,
                         ) {
                             Ok(()) => {
@@ -1812,7 +1848,7 @@ impl Simulator {
             opcode: Opcode::Recv,
             status,
             byte_len: if imm.is_some() {
-                self.inflight.get(&msg).expect("inflight").byte_len
+                self.inflight.get(msg).expect("inflight").byte_len
             } else {
                 scattered
             },
@@ -1825,12 +1861,12 @@ impl Simulator {
 
         // Ack back to the initiator.
         {
-            let inf = self.inflight.get_mut(&msg).expect("inflight");
+            let inf = self.inflight.get_mut(msg).expect("inflight");
             if status != CqeStatus::Success {
                 inf.status = status;
             }
         }
-        let inf = self.inflight.get(&msg).expect("inflight");
+        let inf = self.inflight.get(msg).expect("inflight");
         let (wq, idx) = (inf.src_wq, inf.src_idx);
         self.events.schedule(
             self.now + one_way + t_cqe,
@@ -1840,25 +1876,19 @@ impl Simulator {
     }
 
     /// Schedule a CQE push `delay` after now (keeps WAIT wake-ups at the
-    /// correct simulated time).
+    /// correct simulated time). `Cqe` is `Copy`, so this rides a plain
+    /// event instead of a boxed one-shot closure.
     fn after_cqe(&mut self, cq: CqId, cqe: Cqe, delay: Time) {
-        // Encode as a one-shot callback to reuse the generic event path.
-        let at = self.now + delay;
-        let key = self.next_cb;
-        self.next_cb += 1;
-        self.callbacks.insert(
-            key,
-            Box::new(move |sim: &mut Simulator| {
-                sim.push_cqe(cq, cqe);
-            }),
-        );
-        self.events.schedule(at, EventKind::Callback { key });
+        self.events
+            .schedule(self.now + delay, EventKind::PushCqe { cq, cqe });
     }
 
     /// Push a CQE: wake WAIT-parked queues and notify host listeners.
     fn push_cqe(&mut self, cq: CqId, mut cqe: Cqe) {
         cqe.time = self.now;
-        let woken = self.cqs[cq.index()].push(cqe);
+        let mut woken = std::mem::take(&mut self.woken_buf);
+        woken.clear();
+        self.cqs[cq.index()].push_into(cqe, &mut woken);
         self.trace.record(
             self.now,
             TraceEvent::Cqe {
@@ -1867,16 +1897,17 @@ impl Simulator {
                 idx: cqe.wqe_index,
             },
         );
-        for wq in woken {
+        for &wq in &woken {
             if self.wqs[wq.index()].block != WqBlock::Dead {
                 self.wqs[wq.index()].block = WqBlock::None;
                 let _ = self.advance_wq(wq);
             }
         }
+        self.woken_buf = woken;
         // Host listener notification.
         if let Some(key) = self.cqs[cq.index()].listener {
             let (node, mode, scheduled) = {
-                let l = self.listeners.get(&key).expect("listener");
+                let l = self.listeners.get(key).expect("listener");
                 (l.node, l.mode, l.scheduled)
             };
             if !scheduled && self.hosts[node.index()].os_alive {
@@ -1884,7 +1915,7 @@ impl Simulator {
                     ListenMode::Polling => self.hosts[node.index()].config.t_poll_pickup,
                     ListenMode::Event => self.hosts[node.index()].config.t_event_wake,
                 };
-                self.listeners.get_mut(&key).expect("listener").scheduled = true;
+                self.listeners.get_mut(key).expect("listener").scheduled = true;
                 self.events
                     .schedule(self.now + delay, EventKind::Notify { key });
             }
@@ -1892,7 +1923,7 @@ impl Simulator {
     }
 
     fn on_notify(&mut self, key: u64) -> Result<()> {
-        let Some(l) = self.listeners.get_mut(&key) else {
+        let Some(l) = self.listeners.get_mut(key) else {
             return Ok(());
         };
         l.scheduled = false;
@@ -1900,21 +1931,24 @@ impl Simulator {
         if !self.hosts[node.index()].os_alive {
             return Ok(());
         }
-        let mut cb = match self.listeners.get_mut(&key).and_then(|l| l.cb.take()) {
+        let mut cb = match self.listeners.get_mut(key).and_then(|l| l.cb.take()) {
             Some(cb) => cb,
             None => return Ok(()),
         };
+        let mut batch = std::mem::take(&mut self.notify_buf);
         loop {
-            let batch = self.cqs[cq.index()].poll(64);
-            if batch.is_empty() {
+            batch.clear();
+            if self.cqs[cq.index()].poll_into(64, &mut batch) == 0 {
                 break;
             }
-            for cqe in batch {
+            for &cqe in &batch {
                 cb(self, cqe);
             }
         }
+        batch.clear();
+        self.notify_buf = batch;
         // The listener may have been removed by its own callback.
-        if let Some(l) = self.listeners.get_mut(&key) {
+        if let Some(l) = self.listeners.get_mut(key) {
             l.cb = Some(cb);
         }
         Ok(())
@@ -1922,7 +1956,7 @@ impl Simulator {
 
     /// Initiator-side completion bookkeeping.
     fn on_complete(&mut self, wq_id: WqId, idx: u64, msg: u64) -> Result<()> {
-        let inf = self.inflight.remove(&msg).expect("inflight");
+        let inf = self.inflight.remove(msg).expect("inflight");
         let node = self.wqs[wq_id.index()].node;
         // Writebacks: READ data / atomic old value.
         let mut status = inf.status;
@@ -1969,6 +2003,12 @@ impl Simulator {
             let cq = self.qps[inf.src_qp.index()].send_cq;
             self.push_cqe(cq, cqe);
         }
+        // Recycle the message's byte buffers for the next in-flight op.
+        match inf.payload {
+            Payload::Send { bytes } | Payload::Write { bytes, .. } => self.buf_pool.put(bytes),
+            Payload::Read { .. } | Payload::Atomic { .. } => {}
+        }
+        self.buf_pool.put(inf.result);
         self.advance_wq(wq_id)
     }
 }

@@ -16,6 +16,7 @@
 //! re-fetch (possibly self-modified) slots.
 
 use crate::ids::{CqId, NodeId, QpId, WqId};
+use crate::rate::RateLimiter;
 use crate::time::Time;
 use crate::wqe::{Wqe, WQE_SIZE};
 
@@ -102,6 +103,10 @@ pub struct WorkQueue {
     /// Optional rate limit in operations per second
     /// (`ibv_modify_qp_rate_limit`, used by §3.5 "Isolation").
     pub rate_ops_per_sec: Option<f64>,
+    /// Token bucket enforcing `rate_ops_per_sec`, consulted at issue. Lives
+    /// on the queue (not in a simulator-side map) so the per-event path
+    /// never hashes a queue id to find it.
+    pub rate_limiter: Option<RateLimiter>,
     /// Statistics: WQEs executed (including recycled re-executions).
     pub stat_executed: u64,
     /// Statistics: doorbells observed.
@@ -149,6 +154,7 @@ impl WorkQueue {
             completed: 0,
             next_issue_at: Time::ZERO,
             rate_ops_per_sec: None,
+            rate_limiter: None,
             stat_executed: 0,
             stat_doorbells: 0,
             cyclic: false,
